@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test cover bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+fuzz:
+	go test -fuzz=FuzzParse -fuzztime=60s ./internal/mimdc/
+
+# Regenerate EXPERIMENTS.md (all paper artifacts + ablations).
+experiments:
+	go run ./cmd/mscbench -o EXPERIMENTS.md -header
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/interp-vs-msc
+	go run ./examples/stencil
+	go run ./examples/taskfarm
+	go run ./examples/artifacts
+
+clean:
+	rm -rf msc-artifacts

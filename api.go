@@ -1,0 +1,211 @@
+// Package msc is a complete implementation of Meta-State Conversion
+// (H. G. Dietz, "Meta-State Conversion", Purdue TR-EE 93-6 / ICPP 1993):
+// a compiler that converts control-parallel MIMD (SPMD) programs into
+// pure SIMD code by building a finite automaton over "meta states" —
+// aggregate sets of simultaneously occupied per-processor states.
+//
+// The pipeline is
+//
+//	MIMDC source ──parse/analyze──▶ MIMD state graph (basic blocks)
+//	            ──meta-state conversion──▶ meta-state automaton
+//	            ──SIMD coding (CSI, hashed multiway branches)──▶ SIMD program
+//
+// and the package bundles three execution engines for evaluation:
+//
+//   - the SIMD machine itself (one control unit, N PEs, global-or,
+//     router) executing the converted program;
+//   - a MIMD reference machine (one pc per processor) providing golden
+//     results and ideal-MIMD timing;
+//   - the §1.1 baseline: a MIMD interpreter running on the SIMD machine,
+//     paying fetch/decode/serialization overhead and per-PE program
+//     memory.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-artifact reproductions.
+package msc
+
+import (
+	"fmt"
+	"io"
+
+	"msc/internal/cfg"
+	"msc/internal/codegen"
+	"msc/internal/gobackend"
+	"msc/internal/interp"
+	"msc/internal/mimdc"
+	"msc/internal/mimdsim"
+	metastate "msc/internal/msc"
+	"msc/internal/simd"
+)
+
+// Config selects the conversion and encoding options.
+type Config struct {
+	// Compress applies §2.5 meta-state compression (both successors
+	// always taken; unconditional transitions; subset states merged).
+	Compress bool
+	// TimeSplit applies the §2.4 MIMD-state time-splitting heuristic.
+	// SplitDelta and SplitPercent tune it (0 means the paper defaults:
+	// 4 cycles and 75%).
+	TimeSplit    bool
+	SplitDelta   int
+	SplitPercent int
+	// BarrierExact tracks barrier occupancy exactly instead of the §2.6
+	// filtering; sound for programs where distinct barriers are
+	// simultaneously occupied, at the cost of more meta states.
+	BarrierExact bool
+	// ExpandCalls expands non-recursive calls in-line per §2.2 instead
+	// of sharing one copy with return-token dispatch.
+	ExpandCalls bool
+	// CSI applies common subexpression induction (§3.1) to meta-state
+	// bodies; Hash encodes multiway branches with customized hash
+	// functions and jump tables (§3.2).
+	CSI  bool
+	Hash bool
+	// MaxStates guards the meta-state explosion (default 65536).
+	MaxStates int
+}
+
+// DefaultConfig is the recommended production configuration: the
+// compressed automaton with both SIMD coding optimizations.
+func DefaultConfig() Config {
+	return Config{Compress: true, CSI: true, Hash: true}
+}
+
+// Compiled is a fully converted program with every intermediate stage
+// retained for inspection.
+type Compiled struct {
+	Source    string
+	AST       *mimdc.Program
+	Graph     *cfg.Graph
+	Automaton *metastate.Automaton
+	Program   *simd.Program
+	Config    Config
+}
+
+// Compile runs the whole pipeline on MIMDC source.
+func Compile(source string, conf Config) (*Compiled, error) {
+	ast, err := mimdc.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("msc: parse: %w", err)
+	}
+	if err := mimdc.Analyze(ast); err != nil {
+		return nil, fmt.Errorf("msc: analyze: %w", err)
+	}
+	g, err := cfg.BuildWith(ast, cfg.Options{ExpandCalls: conf.ExpandCalls})
+	if err != nil {
+		return nil, fmt.Errorf("msc: lower: %w", err)
+	}
+	cfg.Simplify(g)
+	if err := cfg.Verify(g); err != nil {
+		return nil, fmt.Errorf("msc: internal error: %w", err)
+	}
+
+	mopt := metastate.DefaultOptions(conf.Compress)
+	mopt.TimeSplit = conf.TimeSplit
+	if conf.SplitDelta != 0 {
+		mopt.SplitDelta = conf.SplitDelta
+	}
+	if conf.SplitPercent != 0 {
+		mopt.SplitPercent = conf.SplitPercent
+	}
+	mopt.BarrierExact = conf.BarrierExact
+	if conf.MaxStates != 0 {
+		mopt.MaxStates = conf.MaxStates
+	}
+	a, err := metastate.Convert(g, mopt)
+	if err != nil {
+		return nil, fmt.Errorf("msc: convert: %w", err)
+	}
+	if err := metastate.Check(a); err != nil {
+		return nil, fmt.Errorf("msc: internal error: %w", err)
+	}
+
+	p, err := codegen.Compile(a, codegen.Options{Hash: conf.Hash, CSI: conf.CSI})
+	if err != nil {
+		return nil, fmt.Errorf("msc: codegen: %w", err)
+	}
+	return &Compiled{
+		Source:    source,
+		AST:       ast,
+		Graph:     g,
+		Automaton: a,
+		Program:   p,
+		Config:    conf,
+	}, nil
+}
+
+// MustCompile compiles and panics on error; for examples and tests.
+func MustCompile(source string, conf Config) *Compiled {
+	c, err := Compile(source, conf)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// RunConfig selects the machine shape for an execution.
+type RunConfig struct {
+	// N is the machine width. InitialActive PEs start in main (0 = all);
+	// the remainder wait in the free pool for spawn (§3.2.5).
+	N             int
+	InitialActive int
+	// Trace, when non-nil, receives one line per meta-state execution
+	// (SIMD engine only). Timeline, when non-nil, receives a per-PE
+	// occupancy row per meta-state execution.
+	Trace    io.Writer
+	Timeline io.Writer
+}
+
+// RunSIMD executes the converted program on the SIMD machine.
+func (c *Compiled) RunSIMD(rc RunConfig) (*simd.Result, error) {
+	return simd.Run(c.Program, simd.Config{
+		N: rc.N, InitialActive: rc.InitialActive,
+		Trace: rc.Trace, Timeline: rc.Timeline,
+	})
+}
+
+// RunMIMD executes the MIMD state graph on the MIMD reference machine
+// (ideal MIMD: one pc per processor, runtime barrier cost).
+func (c *Compiled) RunMIMD(rc RunConfig) (*mimdsim.Result, error) {
+	return mimdsim.Run(c.Graph, mimdsim.Config{N: rc.N, InitialActive: rc.InitialActive})
+}
+
+// RunInterp executes the §1.1 baseline: the MIMD program interpreted on
+// the SIMD machine.
+func (c *Compiled) RunInterp(rc RunConfig) (*interp.Result, error) {
+	return interp.Run(c.Graph, interp.Config{N: rc.N, InitialActive: rc.InitialActive})
+}
+
+// MPL renders the converted program in the MPL-like text form of the
+// paper's Listing 5.
+func (c *Compiled) MPL() string { return codegen.EmitMPL(c.Program) }
+
+// EmitGo renders the converted program as a standalone, buildable Go
+// main package (the §5 future-work code generator, with Go standing in
+// for MPL). defaultN is the default machine width of the generated
+// program's -n flag. Requires ≤ 64 MIMD states.
+func (c *Compiled) EmitGo(defaultN int) (string, error) {
+	return gobackend.Emit(c.Program, defaultN)
+}
+
+// DotStateGraph renders the MIMD state graph (Figure 1 style) in
+// Graphviz dot.
+func (c *Compiled) DotStateGraph(title string) string { return c.Graph.Dot(title) }
+
+// DotAutomaton renders the meta-state automaton (Figures 2/5/6 style)
+// in Graphviz dot.
+func (c *Compiled) DotAutomaton(title string) string { return c.Automaton.Dot(title) }
+
+// Slot returns the memory slot of a global variable, for reading
+// results out of run memory images. The boolean reports existence.
+func (c *Compiled) Slot(name string) (int, bool) {
+	s, ok := c.Graph.VarSlot[name]
+	return s, ok
+}
+
+// MetaStates returns the number of meta states in the automaton.
+func (c *Compiled) MetaStates() int { return c.Automaton.NumStates() }
+
+// MIMDStates returns the number of MIMD states in the (possibly
+// time-split) state graph the automaton was built over.
+func (c *Compiled) MIMDStates() int { return c.Automaton.G.NumBlocks() }

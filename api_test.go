@@ -1,0 +1,110 @@
+package msc_test
+
+import (
+	"strings"
+	"testing"
+
+	"msc"
+	"msc/internal/harness"
+)
+
+func TestCompilePipeline(t *testing.T) {
+	c, err := msc.Compile(harness.Divergent, msc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AST == nil || c.Graph == nil || c.Automaton == nil || c.Program == nil {
+		t.Fatal("pipeline stages missing")
+	}
+	if c.MIMDStates() <= 0 || c.MetaStates() <= 0 {
+		t.Fatal("no states")
+	}
+	if _, ok := c.Slot("x"); !ok {
+		t.Fatal("Slot lookup failed")
+	}
+	if _, ok := c.Slot("nonexistent"); ok {
+		t.Fatal("Slot invented a variable")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"void main( {", "parse"},
+		{"void main() { x = 1; }", "analyze"},
+		{"void f() {}", "no main"},
+	}
+	for _, c := range cases {
+		_, err := msc.Compile(c.src, msc.Config{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic on bad source")
+		}
+	}()
+	msc.MustCompile("@@", msc.Config{})
+}
+
+func TestArtifactEmission(t *testing.T) {
+	c := msc.MustCompile(harness.Listing4, msc.Config{CSI: true, Hash: true})
+	if !strings.Contains(c.MPL(), "globalor") {
+		t.Error("MPL output missing globalor")
+	}
+	if !strings.Contains(c.DotStateGraph("t"), "digraph") {
+		t.Error("state graph dot broken")
+	}
+	if !strings.Contains(c.DotAutomaton("t"), "digraph") {
+		t.Error("automaton dot broken")
+	}
+}
+
+func TestConfigKnobsReachPipeline(t *testing.T) {
+	base := msc.MustCompile(harness.Listing4, msc.Config{})
+	comp := msc.MustCompile(harness.Listing4, msc.Config{Compress: true})
+	if !(comp.MetaStates() < base.MetaStates()) {
+		t.Errorf("compression knob ineffective: %d vs %d", comp.MetaStates(), base.MetaStates())
+	}
+	split := msc.MustCompile(harness.Imbalance(30), msc.Config{TimeSplit: true})
+	if split.Automaton.Splits == 0 {
+		t.Error("time-split knob ineffective")
+	}
+	if _, err := msc.Compile(harness.SeqLoops(8, false), msc.Config{MaxStates: 100}); err == nil {
+		t.Error("MaxStates knob ineffective")
+	}
+}
+
+func TestThreeEnginesAgree(t *testing.T) {
+	for _, wl := range harness.Suite() {
+		c, err := msc.Compile(wl.Source, msc.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		rc := msc.RunConfig{N: wl.Width, InitialActive: wl.InitialActive}
+		mimd, err := c.RunMIMD(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		in, err := c.RunInterp(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		sd, err := c.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		for pe := 0; pe < wl.Width; pe++ {
+			for slot := range mimd.Mem[pe] {
+				if mimd.Mem[pe][slot] != in.Mem[pe][slot] || mimd.Mem[pe][slot] != sd.Mem[pe][slot] {
+					t.Fatalf("%s: engines disagree at PE %d slot %d", wl.Name, pe, slot)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.mc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliProg = `
+poly int x;
+void main()
+{
+    x = iproc % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x < 4);
+    }
+    return;
+}
+`
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestCLIStats(t *testing.T) {
+	path := writeProg(t, cliProg)
+	out, _, err := runCLI(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MIMD states:", "meta states:", "hashed dispatches:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIEmitVariants(t *testing.T) {
+	path := writeProg(t, cliProg)
+	cases := map[string]string{
+		"graph":     "state 0",
+		"dot":       "digraph",
+		"automaton": "start: ms0",
+		"autodot":   "digraph",
+		"mpl":       "globalor",
+	}
+	for emit, want := range cases {
+		out, _, err := runCLI(t, "-emit="+emit, path)
+		if err != nil {
+			t.Fatalf("-emit=%s: %v", emit, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("-emit=%s output missing %q:\n%s", emit, want, out)
+		}
+	}
+}
+
+func TestCLIRunEngines(t *testing.T) {
+	path := writeProg(t, cliProg)
+	for engine, want := range map[string]string{
+		"simd":   "meta-state SIMD",
+		"mimd":   "ideal MIMD reference",
+		"interp": "interpreter on SIMD",
+	} {
+		out, _, err := runCLI(t, "-run", "-compress", "-n", "6", "-engine", engine, path)
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out, want) || !strings.Contains(out, "x:") {
+			t.Errorf("engine %s output unexpected:\n%s", engine, out)
+		}
+	}
+}
+
+func TestCLITrace(t *testing.T) {
+	path := writeProg(t, cliProg)
+	_, errOut, err := runCLI(t, "-run", "-compress", "-n", "4", "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "apc=") {
+		t.Errorf("trace output missing:\n%s", errOut)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, _, err := runCLI(t); err == nil {
+		t.Error("no-args accepted")
+	}
+	if _, _, err := runCLI(t, "/nonexistent/file.mc"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeProg(t, "void main() { undefined = 1; }")
+	if _, _, err := runCLI(t, bad); err == nil {
+		t.Error("bad program accepted")
+	}
+	good := writeProg(t, cliProg)
+	if _, _, err := runCLI(t, "-emit=nope", good); err == nil {
+		t.Error("unknown emit accepted")
+	}
+	if _, _, err := runCLI(t, "-run", "-engine=nope", good); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestCLIEmitGo(t *testing.T) {
+	path := writeProg(t, cliProg)
+	out, _, err := runCLI(t, "-compress", "-csi", "-emit=go", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package main", "func run(", "apcOf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-emit=go output missing %q", want)
+		}
+	}
+}
+
+func TestCLITimeline(t *testing.T) {
+	path := writeProg(t, cliProg)
+	_, errOut, err := runCLI(t, "-run", "-compress", "-n", "3", "-timeline", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "|") || !strings.Contains(errOut, "ms0") {
+		t.Errorf("timeline output missing:\n%s", errOut)
+	}
+}

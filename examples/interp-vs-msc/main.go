@@ -1,0 +1,70 @@
+// interp-vs-msc reproduces the paper's central comparison on a live
+// workload: the same MIMD program executed (a) by the §1.1 baseline — a
+// MIMD interpreter running on SIMD hardware, paying fetch/decode cycles
+// and a per-PE program copy — and (b) as meta-state converted SIMD code
+// with neither cost; (c) the ideal MIMD reference calibrates both.
+//
+//	go run ./examples/interp-vs-msc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msc"
+)
+
+const source = `
+poly int n, steps;
+void main()
+{
+    n = iproc * 7 + 27;
+    steps = 0;
+    while (n != 1) {
+        if (n % 2) { n = 3 * n + 1; } else { n = n / 2; }
+        steps = steps + 1;
+    }
+    return;
+}
+`
+
+func main() {
+	const n = 32
+	c, err := msc.Compile(source, msc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := msc.RunConfig{N: n}
+
+	ideal, err := c.RunMIMD(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := c.RunInterp(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd, err := c.RunSIMD(rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// All three engines must agree bit for bit.
+	slot, _ := c.Slot("steps")
+	for pe := 0; pe < n; pe++ {
+		if ideal.Mem[pe][slot] != in.Mem[pe][slot] || ideal.Mem[pe][slot] != sd.Mem[pe][slot] {
+			log.Fatalf("engine disagreement at PE %d", pe)
+		}
+	}
+
+	fmt.Printf("workload: collatz on %d PEs (results verified identical on all engines)\n\n", n)
+	fmt.Printf("%-28s %12s %16s\n", "engine", "cycles", "program words/PE")
+	fmt.Printf("%-28s %12d %16s\n", "ideal MIMD (reference)", ideal.Time, "n/a")
+	fmt.Printf("%-28s %12d %16d\n", "MIMD interpreter on SIMD", in.Time, in.ProgWordsPerPE)
+	fmt.Printf("%-28s %12d %16d\n", "meta-state converted SIMD", sd.Time, 0)
+	fmt.Printf("\nmeta-state code runs %.2fx faster than interpretation", float64(in.Time)/float64(sd.Time))
+	fmt.Printf(" and stores no per-PE program\n")
+	fmt.Printf("(interpreter overhead: %d of %d cycles = %.0f%%; %.2f instruction types serialized per round)\n",
+		in.Overhead, in.Time, 100*float64(in.Overhead)/float64(in.Time),
+		float64(in.TypesPerRound)/float64(in.Rounds))
+}

@@ -1,0 +1,64 @@
+// stencil runs a barrier-synchronized nearest-neighbor relaxation over
+// a ring of processors: the archetypal SPMD kernel combining private
+// computation, wait barriers (§2.6), and parallel subscripting through
+// the router (§4.1). The barriers cost nothing at run time in the
+// converted code — synchronization is implicit in the automaton (§5).
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"msc"
+)
+
+const source = `
+poly int cell, left, right;
+void main()
+{
+    poly int round;
+    cell = (iproc * iproc * 37 + 11) % 100;
+    for (round = 0; round < 6; round = round + 1) {
+        wait;
+        left = cell[[iproc - 1]];
+        right = cell[[iproc + 1]];
+        wait;
+        cell = (left + 2 * cell + right) / 4;
+    }
+    return;
+}
+`
+
+func main() {
+	const n = 16
+	c, err := msc.Compile(source, msc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d MIMD states -> %d meta states (barrier states: %d)\n\n",
+		c.MIMDStates(), c.MetaStates(), c.Automaton.Barriers.Len())
+
+	sd, err := c.RunSIMD(msc.RunConfig{N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := c.RunMIMD(msc.RunConfig{N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slot, _ := c.Slot("cell")
+	fmt.Println("smoothed ring (SIMD == MIMD reference):")
+	for pe := 0; pe < n; pe++ {
+		if sd.Mem[pe][slot] != ref.Mem[pe][slot] {
+			log.Fatalf("PE %d: simd %d != mimd %d", pe, sd.Mem[pe][slot], ref.Mem[pe][slot])
+		}
+		fmt.Printf(" %3d", sd.Mem[pe][slot])
+	}
+	fmt.Println()
+	fmt.Printf("\nMIMD reference paid %d runtime barrier episodes; ", ref.Barriers)
+	fmt.Printf("the SIMD program paid zero explicit synchronization operations\n")
+	fmt.Printf("(%d cycles total: %d body + %d dispatch)\n", sd.Time, sd.BodyCycles, sd.DispatchCycles)
+}

@@ -1,0 +1,269 @@
+// Package bitset implements dense bit sets used to represent meta states:
+// aggregate sets of MIMD state IDs. A meta state is exactly the "apc"
+// (aggregate program counter) of the paper's §3.2.3 — the global-or of
+// 1<<pc over all processing elements — generalized past 64 states.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set. The zero value is an empty set ready to use.
+// Methods that mutate the receiver have pointer receivers; all others
+// accept value receivers and never modify their operands.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity hints for ids < n.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Of returns a set containing exactly the given ids.
+func Of(ids ...int) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// FromWord returns a set whose first 64 bits are w (the uint64 apc fast
+// path of §3.2.3).
+func FromWord(w uint64) *Set {
+	if w == 0 {
+		return &Set{}
+	}
+	return &Set{words: []uint64{w}}
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts id into the set. id must be non-negative.
+func (s *Set) Add(id int) {
+	if id < 0 {
+		panic(fmt.Sprintf("bitset: negative id %d", id))
+	}
+	w := id / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << (uint(id) % wordBits)
+}
+
+// Remove deletes id from the set; removing an absent id is a no-op.
+func (s *Set) Remove(id int) {
+	w := id / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(id) % wordBits)
+	}
+}
+
+// Has reports whether id is in the set.
+func (s *Set) Has(id int) bool {
+	if id < 0 {
+		return false
+	}
+	w := id / wordBits
+	return w < len(s.words) && s.words[w]&(1<<(uint(id)%wordBits)) != 0
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union returns a new set s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	longer, shorter := s.words, t.words
+	if len(shorter) > len(longer) {
+		longer, shorter = shorter, longer
+	}
+	out := make([]uint64, len(longer))
+	copy(out, longer)
+	for i, w := range shorter {
+		out[i] |= w
+	}
+	return &Set{words: out}
+}
+
+// Intersect returns a new set s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	n := min(len(s.words), len(t.words))
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.words[i] & t.words[i]
+	}
+	return &Set{words: out}
+}
+
+// Minus returns a new set s − t.
+func (s *Set) Minus(t *Set) *Set {
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	for i := 0; i < len(out) && i < len(t.words); i++ {
+		out[i] &^= t.words[i]
+	}
+	return &Set{words: out}
+}
+
+// UnionWith adds every element of t to s in place.
+func (s *Set) UnionWith(t *Set) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	longer, shorter := s.words, t.words
+	if len(shorter) > len(longer) {
+		longer, shorter = shorter, longer
+	}
+	for i := range shorter {
+		if longer[i] != shorter[i] {
+			return false
+		}
+	}
+	for _, w := range longer[len(shorter):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every element of s is in t.
+func (s *Set) Subset(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the elements in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Word returns the first 64 bits of the set and whether the set fits
+// entirely within them. This is the §3.2.3 one-bit-per-pc apc word used
+// by the hashed multiway-branch fast path.
+func (s *Set) Word() (uint64, bool) {
+	var w uint64
+	if len(s.words) > 0 {
+		w = s.words[0]
+	}
+	for _, hi := range s.words[1:] {
+		if hi != 0 {
+			return w, false
+		}
+	}
+	return w, true
+}
+
+// Key returns a canonical string key usable as a map key. Two sets have
+// equal keys iff they are Equal.
+func (s *Set) Key() string {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	b.Grow(n * 8)
+	for i := 0; i < n; i++ {
+		w := s.words[i]
+		for j := 0; j < 8; j++ {
+			b.WriteByte(byte(w >> (8 * j)))
+		}
+	}
+	return b.String()
+}
+
+// String formats the set as {a,b,c} with elements in increasing order.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.Elems() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", e)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(10)
+	if !s.Empty() {
+		t.Fatalf("new set not empty")
+	}
+	s.Add(3)
+	s.Add(200) // forces growth past one word
+	s.Add(3)   // duplicate add is a no-op
+	if !s.Has(3) || !s.Has(200) {
+		t.Fatalf("missing added elements: %v", s)
+	}
+	if s.Has(4) || s.Has(199) || s.Has(-1) {
+		t.Fatalf("spurious elements: %v", s)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	s.Remove(3)
+	if s.Has(3) {
+		t.Fatalf("Remove failed")
+	}
+	s.Remove(3)    // removing absent id is a no-op
+	s.Remove(5000) // beyond allocated words is a no-op
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestOfAndElems(t *testing.T) {
+	s := Of(9, 2, 6, 2)
+	want := []int{2, 6, 9}
+	if got := s.Elems(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %d/%d, want 2/9", s.Min(), s.Max())
+	}
+	if s.String() != "{2,6,9}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestEmptyMinMax(t *testing.T) {
+	s := New(0)
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatalf("empty Min/Max = %d/%d, want -1/-1", s.Min(), s.Max())
+	}
+	if s.String() != "{}" {
+		t.Fatalf("empty String = %q", s.String())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(1, 2, 3, 70)
+	b := Of(3, 4, 70, 130)
+	if got := a.Union(b).Elems(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 70, 130}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Elems(); !reflect.DeepEqual(got, []int{3, 70}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := a.Minus(b).Elems(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Minus = %v", got)
+	}
+	if !a.Intersects(b) || a.Intersects(Of(99)) {
+		t.Fatalf("Intersects wrong")
+	}
+	if !Of(3).Subset(a) || Of(3, 5).Subset(a) {
+		t.Fatalf("Subset wrong")
+	}
+	c := a.Clone()
+	c.UnionWith(b)
+	if !c.Equal(a.Union(b)) {
+		t.Fatalf("UnionWith = %v", c)
+	}
+	if !a.Equal(Of(70, 3, 2, 1)) {
+		t.Fatalf("Equal order-sensitive")
+	}
+}
+
+func TestEqualDifferentWordLengths(t *testing.T) {
+	a := Of(1)
+	b := Of(1)
+	b.Add(200)
+	b.Remove(200) // leaves trailing zero words allocated
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatalf("Equal should ignore trailing zero words")
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("Key should ignore trailing zero words")
+	}
+}
+
+func TestWordFastPath(t *testing.T) {
+	s := Of(0, 5, 63)
+	w, ok := s.Word()
+	if !ok || w != 1|1<<5|1<<63 {
+		t.Fatalf("Word = %x, %v", w, ok)
+	}
+	s.Add(64)
+	if _, ok := s.Word(); ok {
+		t.Fatalf("Word should report overflow past bit 63")
+	}
+	if w2, ok := FromWord(w).Word(); !ok || w2 != w {
+		t.Fatalf("FromWord roundtrip = %x, %v", w2, ok)
+	}
+	if !FromWord(0).Empty() {
+		t.Fatalf("FromWord(0) not empty")
+	}
+}
+
+// randomIDs converts quick-generated raw values into small non-negative ids.
+func randomIDs(raw []uint16) []int {
+	ids := make([]int, len(raw))
+	for i, v := range raw {
+		ids[i] = int(v % 300)
+	}
+	return ids
+}
+
+func TestQuickElemsSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := Of(randomIDs(raw)...)
+		e := s.Elems()
+		return sort.IntsAreSorted(e) && len(e) == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionCommutes(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		a, b := Of(randomIDs(ra)...), Of(randomIDs(rb)...)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a − (b ∪ c) == (a − b) − c
+	f := func(ra, rb, rc []uint16) bool {
+		a, b, c := Of(randomIDs(ra)...), Of(randomIDs(rb)...), Of(randomIDs(rc)...)
+		return a.Minus(b.Union(c)).Equal(a.Minus(b).Minus(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectViaMinus(t *testing.T) {
+	// a ∩ b == a − (a − b)
+	f := func(ra, rb []uint16) bool {
+		a, b := Of(randomIDs(ra)...), Of(randomIDs(rb)...)
+		return a.Intersect(b).Equal(a.Minus(a.Minus(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyCanonical(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		ids := randomIDs(raw)
+		a := Of(ids...)
+		// Insert in a different order; keys must match.
+		r := rand.New(rand.NewSource(seed))
+		b := New(0)
+		for _, i := range r.Perm(len(ids)) {
+			b.Add(ids[i])
+		}
+		return a.Key() == b.Key() && a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetUnion(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		a, b := Of(randomIDs(ra)...), Of(randomIDs(rb)...)
+		u := a.Union(b)
+		return a.Subset(u) && b.Subset(u) && a.Intersect(b).Subset(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := Of(1, 5, 9, 64, 128, 200)
+	y := Of(2, 5, 70, 199)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	x := Of(1, 5, 9, 64, 128, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Key()
+	}
+}

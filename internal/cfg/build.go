@@ -1,0 +1,784 @@
+package cfg
+
+import (
+	"fmt"
+
+	"msc/internal/ir"
+	"msc/internal/mimdc"
+)
+
+// Build lowers an analyzed MIMDC program into a MIMD state graph.
+//
+// Lowering maintains the invariant that every block's stack code is
+// balanced: a block begins and ends with an empty evaluation stack
+// (Branch blocks end with exactly the condition value, which the
+// terminator pops). When a function call or a value-context short
+// circuit must split a block mid-expression, pending operands are
+// spilled to fresh temp slots and reloaded in the continuation. This
+// keeps every MIMD state self-contained, which both the CSI pass (§3.1)
+// and the verifier rely on.
+//
+// Function calls are NOT left in the graph: each function body is
+// lowered once, call sites push a return-site token and jump to the
+// entry, and the function's single exit block performs the paper's
+// return-as-multiway-branch (§2.2) over all recorded return sites.
+// Use inline.Expand for the paper's per-call-site expansion of
+// non-recursive calls.
+func Build(prog *mimdc.Program) (*Graph, error) {
+	return BuildWith(prog, Options{})
+}
+
+// Options selects builder variants.
+type Options struct {
+	// ExpandCalls applies the paper's §2.2 treatment literally: every
+	// non-recursive call site receives its own in-line copy of the
+	// callee's state graph, so its return is an ordinary goto. Calls
+	// that are recursive at the point of expansion fall back to the
+	// shared-copy return-token mechanism (which is also how the paper's
+	// trick handles them: returns become multiway branches). Expansion
+	// trades a larger MIMD state space for narrower return dispatch.
+	ExpandCalls bool
+}
+
+// BuildWith is Build with explicit options.
+func BuildWith(prog *mimdc.Program, opts Options) (*Graph, error) {
+	b := &builder{
+		prog: prog,
+		opts: opts,
+		g: &Graph{
+			MonoSlots: prog.MonoSlots,
+			RetSlot:   make(map[string]int),
+			VarSlot:   make(map[string]int),
+		},
+		nextSlot:   prog.MonoSlots + prog.PolySlots,
+		funcs:      make(map[string]*funcInfo),
+		called:     make(map[string]bool),
+		spawned:    make(map[string]bool),
+		inProgress: make(map[string]bool),
+		retSlots:   make(map[string]int),
+	}
+	b.run()
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	b.g.Words = b.nextSlot
+	return b.g, nil
+}
+
+// MustBuild parses, analyzes, and lowers src, panicking on any error.
+// Intended for tests and embedded example programs.
+func MustBuild(src string) *Graph {
+	g, err := Build(mimdc.MustAnalyze(src))
+	if err != nil {
+		panic("cfg.MustBuild: " + err.Error())
+	}
+	return g
+}
+
+type funcInfo struct {
+	decl    *mimdc.FuncDecl
+	entry   int
+	exit    *Block
+	retSlot int // None for void
+}
+
+type loopCtx struct {
+	brk, cont int
+}
+
+type builder struct {
+	prog     *mimdc.Program
+	opts     Options
+	g        *Graph
+	errs     []error
+	cur      *Block // nil when the current path is terminated
+	depth    int    // static evaluation-stack depth within cur
+	nextSlot int
+	funcs    map[string]*funcInfo
+	called   map[string]bool
+	spawned  map[string]bool
+	curFn    *funcInfo
+	loops    []loopCtx
+	// inProgress tracks functions on the expansion stack (recursion
+	// detection); retSlots memoizes per-function return slots so every
+	// in-line copy shares one (static activation records).
+	inProgress map[string]bool
+	retSlots   map[string]int
+}
+
+func (b *builder) errorf(pos mimdc.Pos, format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (b *builder) run() {
+	main := b.prog.Func("main")
+	if main == nil {
+		b.errs = append(b.errs, fmt.Errorf("program has no main function"))
+		return
+	}
+	if len(main.Params) != 0 {
+		b.errorf(main.Pos, "main must take no parameters")
+		return
+	}
+
+	prologue := b.g.newBlock("prologue")
+	b.g.Entry = prologue.ID
+	b.cur = prologue
+
+	for _, gv := range b.prog.Globals {
+		b.g.VarSlot[gv.Name] = gv.Slot
+		if gv.Init != nil {
+			b.lowerValue(gv.Init)
+			b.storeScalar(gv)
+		}
+	}
+
+	exit := b.g.newBlock("exit:main")
+	exit.Term = End
+	mi := &funcInfo{decl: main, entry: prologue.ID, exit: exit, retSlot: b.retSlotFor(main)}
+	b.funcs["main"] = mi
+	b.curFn = mi
+
+	b.stmt(main.Body)
+	b.sealGoto(exit.ID)
+
+	// Finalize every lowered function's exit terminator now that all
+	// call and spawn sites are known.
+	for name, fi := range b.funcs {
+		if name == "main" {
+			continue
+		}
+		switch {
+		case b.called[name] && b.spawned[name]:
+			b.errorf(fi.decl.Pos,
+				"function %s is both called and spawned; a spawn target's exit releases the PE and cannot also return", name)
+		case b.spawned[name]:
+			fi.exit.Term = Halt
+		default:
+			fi.exit.Term = RetBr
+		}
+	}
+}
+
+// fn lowers the named function on first use and returns its info.
+func (b *builder) fn(decl *mimdc.FuncDecl) *funcInfo {
+	if fi, ok := b.funcs[decl.Name]; ok {
+		return fi
+	}
+	entry := b.g.newBlock("fn:" + decl.Name)
+	exit := b.g.newBlock("exit:" + decl.Name)
+	exit.Term = RetBr // provisional; finalized in run
+	fi := &funcInfo{decl: decl, entry: entry.ID, exit: exit, retSlot: b.retSlotFor(decl)}
+	b.funcs[decl.Name] = fi
+
+	// Lower the body with fresh statement context.
+	savedCur, savedDepth, savedFn, savedLoops := b.cur, b.depth, b.curFn, b.loops
+	b.cur, b.depth, b.curFn, b.loops = entry, 0, fi, nil
+	b.stmt(decl.Body)
+	b.sealGoto(exit.ID)
+	b.cur, b.depth, b.curFn, b.loops = savedCur, savedDepth, savedFn, savedLoops
+	return fi
+}
+
+func (b *builder) newTemp() int {
+	s := b.nextSlot
+	b.nextSlot++
+	return s
+}
+
+// retSlotFor returns the (shared, static) return-value slot of a
+// function, allocating it on first use; None for void functions.
+func (b *builder) retSlotFor(decl *mimdc.FuncDecl) int {
+	if decl.Ret == ir.Void {
+		return None
+	}
+	if s, ok := b.retSlots[decl.Name]; ok {
+		return s
+	}
+	s := b.newTemp()
+	b.retSlots[decl.Name] = s
+	b.g.RetSlot[decl.Name] = s
+	return s
+}
+
+// ensureCur guarantees a current block, creating an unreachable one for
+// code that follows a terminator (pruned later).
+func (b *builder) ensureCur() {
+	if b.cur == nil {
+		b.cur = b.g.newBlock("dead")
+		b.depth = 0
+	}
+}
+
+func (b *builder) emit(in ir.Instr) {
+	b.ensureCur()
+	b.cur.Code = append(b.cur.Code, in)
+	b.depth += in.Op.StackDelta(in.Imm)
+}
+
+// seal terminates the current block. The builder's stack-balance
+// invariant is checked here: any violation is a lowering bug.
+func (b *builder) seal(term TermKind, next, fnext int) {
+	if b.cur == nil {
+		return
+	}
+	want := 0
+	if term == Branch {
+		want = 1
+	}
+	if b.depth != want {
+		panic(fmt.Sprintf("cfg: block %d sealed with stack depth %d, want %d",
+			b.cur.ID, b.depth, want))
+	}
+	b.cur.Term = term
+	b.cur.Next = next
+	b.cur.FNext = fnext
+	b.cur = nil
+	b.depth = 0
+}
+
+func (b *builder) sealGoto(next int) { b.seal(Goto, next, None) }
+
+// enter makes blk the current block.
+func (b *builder) enter(blk *Block) {
+	b.cur = blk
+	b.depth = 0
+}
+
+// ---- Statements ------------------------------------------------------------
+
+func (b *builder) stmt(s mimdc.Stmt) {
+	switch s := s.(type) {
+	case *mimdc.BlockStmt:
+		for _, inner := range s.Stmts {
+			b.stmt(inner)
+		}
+	case *mimdc.DeclStmt:
+		for _, d := range s.Decls {
+			if d.Init != nil {
+				b.lowerValue(d.Init)
+				b.storeScalar(d)
+			}
+		}
+	case *mimdc.EmptyStmt:
+	case *mimdc.ExprStmt:
+		b.lowerEffect(s.X)
+	case *mimdc.IfStmt:
+		b.ensureCur()
+		thenB := b.g.newBlock("then")
+		join := b.g.newBlock("join")
+		elseID := join.ID
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.g.newBlock("else")
+			elseID = elseB.ID
+		}
+		b.lowerCond(s.Cond, thenB.ID, elseID)
+		b.enter(thenB)
+		b.stmt(s.Then)
+		b.sealGoto(join.ID)
+		if s.Else != nil {
+			b.enter(elseB)
+			b.stmt(s.Else)
+			b.sealGoto(join.ID)
+		}
+		b.enter(join)
+	case *mimdc.WhileStmt:
+		// Normalized form (§4.2): the loop body executes one or more
+		// times, guarded by a replicated entry test — while (c) s
+		// becomes if (c) { do s while (c) }.
+		b.ensureCur()
+		body := b.g.newBlock("loop-body")
+		latch := b.g.newBlock("loop-latch")
+		exit := b.g.newBlock("loop-exit")
+		b.lowerCond(s.Cond, body.ID, exit.ID)
+		b.enter(body)
+		b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: latch.ID})
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.sealGoto(latch.ID)
+		b.enter(latch)
+		b.lowerCond(s.Cond, body.ID, exit.ID)
+		b.enter(exit)
+	case *mimdc.DoWhileStmt:
+		b.ensureCur()
+		body := b.g.newBlock("do-body")
+		latch := b.g.newBlock("do-latch")
+		exit := b.g.newBlock("do-exit")
+		b.sealGoto(body.ID)
+		b.enter(body)
+		b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: latch.ID})
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.sealGoto(latch.ID)
+		b.enter(latch)
+		b.lowerCond(s.Cond, body.ID, exit.ID)
+		b.enter(exit)
+	case *mimdc.ForStmt:
+		b.ensureCur()
+		if s.Init != nil {
+			b.lowerEffect(s.Init)
+		}
+		body := b.g.newBlock("for-body")
+		latch := b.g.newBlock("for-latch")
+		exit := b.g.newBlock("for-exit")
+		if s.Cond != nil {
+			b.lowerCond(s.Cond, body.ID, exit.ID)
+		} else {
+			b.sealGoto(body.ID)
+		}
+		b.enter(body)
+		b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: latch.ID})
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.sealGoto(latch.ID)
+		b.enter(latch)
+		if s.Post != nil {
+			b.lowerEffect(s.Post)
+		}
+		if s.Cond != nil {
+			b.lowerCond(s.Cond, body.ID, exit.ID)
+		} else {
+			b.sealGoto(body.ID)
+		}
+		b.enter(exit)
+	case *mimdc.ReturnStmt:
+		b.ensureCur()
+		if s.X != nil {
+			b.lowerValue(s.X)
+			b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(b.curFn.retSlot), Sym: "$ret"})
+		}
+		b.sealGoto(b.curFn.exit.ID)
+	case *mimdc.WaitStmt:
+		// A dedicated empty barrier-wait state (§2.6): PEs whose pc is
+		// here are "at the barrier".
+		b.ensureCur()
+		w := b.g.newBlock("wait")
+		w.Barrier = true
+		cont := b.g.newBlock("after-wait")
+		b.sealGoto(w.ID)
+		b.enter(w)
+		b.sealGoto(cont.ID)
+		b.enter(cont)
+	case *mimdc.SpawnStmt:
+		b.ensureCur()
+		fi := b.fn(s.Decl) // saves/restores the current block
+		b.spawned[s.Name] = true
+		spawnBlk := b.cur
+		cont := b.g.newBlock("after-spawn")
+		b.seal(Spawn, cont.ID, None)
+		spawnBlk.SpawnNext = fi.entry // child entry rides in SpawnNext
+		b.enter(cont)
+	case *mimdc.HaltStmt:
+		b.ensureCur()
+		b.seal(Halt, None, None)
+	case *mimdc.BreakStmt:
+		b.ensureCur()
+		b.sealGoto(b.loops[len(b.loops)-1].brk)
+	case *mimdc.ContinueStmt:
+		b.ensureCur()
+		b.sealGoto(b.loops[len(b.loops)-1].cont)
+	default:
+		panic(fmt.Sprintf("cfg: unknown statement %T", s))
+	}
+}
+
+// storeScalar emits the store for a scalar variable declaration.
+func (b *builder) storeScalar(d *mimdc.VarDecl) {
+	op := ir.StLocal
+	if d.Mono {
+		op = ir.StMono
+	}
+	b.emit(ir.Instr{Op: op, Imm: int64(d.Slot), Sym: d.Name})
+}
+
+// ---- Conditions ------------------------------------------------------------
+
+// lowerCond lowers e as a branch condition: control reaches tID when e
+// is true and fID when false. Short-circuit operators become control
+// flow, exactly the multiple-exit-arc states of §2.3.
+func (b *builder) lowerCond(e mimdc.Expr, tID, fID int) {
+	switch e := e.(type) {
+	case *mimdc.Binary:
+		switch e.Op {
+		case mimdc.AndAnd:
+			mid := b.g.newBlock("and-rhs")
+			b.lowerCond(e.L, mid.ID, fID)
+			b.enter(mid)
+			b.lowerCond(e.R, tID, fID)
+			return
+		case mimdc.OrOr:
+			mid := b.g.newBlock("or-rhs")
+			b.lowerCond(e.L, tID, mid.ID)
+			b.enter(mid)
+			b.lowerCond(e.R, tID, fID)
+			return
+		}
+	case *mimdc.Unary:
+		if e.Op == mimdc.Not {
+			b.lowerCond(e.X, fID, tID)
+			return
+		}
+	case *mimdc.IntLit:
+		if e.Val != 0 {
+			b.sealGoto(tID)
+		} else {
+			b.sealGoto(fID)
+		}
+		return
+	case *mimdc.FloatLit:
+		if e.Val != 0 {
+			b.sealGoto(tID)
+		} else {
+			b.sealGoto(fID)
+		}
+		return
+	}
+	b.lowerValue(e)
+	b.truthify(e.Type())
+	b.seal(Branch, tID, fID)
+}
+
+// truthify normalizes a float condition value to an int 0/1; int values
+// branch on nonzero directly.
+func (b *builder) truthify(ty ir.Type) {
+	if ty == ir.Float {
+		b.emit(ir.Instr{Op: ir.PushC, Imm: int64(ir.FloatWord(0)), Ty: ir.Float})
+		b.emit(ir.Instr{Op: ir.FCmpNe})
+	}
+}
+
+// ---- Expressions -----------------------------------------------------------
+
+// lowerEffect evaluates e for its side effects only.
+func (b *builder) lowerEffect(e mimdc.Expr) {
+	switch e := e.(type) {
+	case *mimdc.Assign:
+		b.lowerAssign(e, false)
+	case *mimdc.Call:
+		b.lowerCall(e)
+	default:
+		b.lowerValue(e)
+		b.emit(ir.Instr{Op: ir.Pop, Imm: 1})
+	}
+}
+
+// lowerValue evaluates e, leaving exactly one value on the stack.
+func (b *builder) lowerValue(e mimdc.Expr) {
+	switch e := e.(type) {
+	case *mimdc.IntLit:
+		b.emit(ir.Instr{Op: ir.PushC, Imm: e.Val, Ty: ir.Int})
+	case *mimdc.FloatLit:
+		b.emit(ir.Instr{Op: ir.PushC, Imm: int64(ir.FloatWord(e.Val)), Ty: ir.Float})
+	case *mimdc.IProc:
+		b.emit(ir.Instr{Op: ir.IProc})
+	case *mimdc.NProc:
+		b.emit(ir.Instr{Op: ir.NProc})
+	case *mimdc.VarRef:
+		op := ir.LdLocal
+		if e.Decl.Mono {
+			op = ir.LdMono
+		}
+		b.emit(ir.Instr{Op: op, Imm: int64(e.Decl.Slot), Ty: e.Type(), Sym: e.Name})
+	case *mimdc.IndexRef:
+		b.lowerValue(e.Idx)
+		b.emit(ir.Instr{Op: ir.LdIndex, Imm: int64(e.Decl.Slot), Ty: e.Type(), Sym: e.Name})
+	case *mimdc.RemoteRef:
+		b.lowerValue(e.PE)
+		b.emit(ir.Instr{Op: ir.LdRemote, Imm: int64(e.Decl.Slot), Ty: e.Type(), Sym: e.Name})
+	case *mimdc.Conv:
+		b.lowerValue(e.X)
+		from, to := e.X.Type(), e.Type()
+		switch {
+		case from == ir.Int && to == ir.Float:
+			b.emit(ir.Instr{Op: ir.I2F})
+		case from == ir.Float && to == ir.Int:
+			b.emit(ir.Instr{Op: ir.F2I})
+		}
+	case *mimdc.Unary:
+		switch e.Op {
+		case mimdc.Minus:
+			b.lowerValue(e.X)
+			if e.Type() == ir.Float {
+				b.emit(ir.Instr{Op: ir.FNeg})
+			} else {
+				b.emit(ir.Instr{Op: ir.Neg})
+			}
+		case mimdc.Not:
+			b.lowerValue(e.X)
+			if e.X.Type() == ir.Float {
+				b.emit(ir.Instr{Op: ir.PushC, Imm: int64(ir.FloatWord(0)), Ty: ir.Float})
+				b.emit(ir.Instr{Op: ir.FCmpEq})
+			} else {
+				b.emit(ir.Instr{Op: ir.LNot})
+			}
+		case mimdc.Tilde:
+			b.lowerValue(e.X)
+			b.emit(ir.Instr{Op: ir.BitNot})
+		default:
+			panic(fmt.Sprintf("cfg: unknown unary op %v", e.Op))
+		}
+	case *mimdc.Binary:
+		if e.Op == mimdc.AndAnd || e.Op == mimdc.OrOr {
+			b.lowerShortCircuitValue(e)
+			return
+		}
+		b.lowerValue(e.L)
+		b.lowerValue(e.R)
+		b.emit(ir.Instr{Op: binaryOp(e.Op, e.L.Type())})
+	case *mimdc.Assign:
+		b.lowerAssign(e, true)
+	case *mimdc.Cond:
+		b.lowerCondValue(e)
+	case *mimdc.Call:
+		retSlot := b.lowerCall(e)
+		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(retSlot), Ty: e.Type(), Sym: "$ret:" + e.Name})
+	default:
+		panic(fmt.Sprintf("cfg: unknown expression %T", e))
+	}
+}
+
+// binaryOp maps a source operator and operand type to the IR opcode.
+func binaryOp(op mimdc.Kind, operand ir.Type) ir.Op {
+	f := operand == ir.Float
+	switch op {
+	case mimdc.Plus:
+		if f {
+			return ir.FAdd
+		}
+		return ir.Add
+	case mimdc.Minus:
+		if f {
+			return ir.FSub
+		}
+		return ir.Sub
+	case mimdc.Star:
+		if f {
+			return ir.FMul
+		}
+		return ir.Mul
+	case mimdc.Slash:
+		if f {
+			return ir.FDiv
+		}
+		return ir.Div
+	case mimdc.Percent:
+		return ir.Mod
+	case mimdc.And:
+		return ir.BitAnd
+	case mimdc.Or:
+		return ir.BitOr
+	case mimdc.Xor:
+		return ir.BitXor
+	case mimdc.Shl:
+		return ir.Shl
+	case mimdc.Shr:
+		return ir.Shr
+	case mimdc.EqEq:
+		if f {
+			return ir.FCmpEq
+		}
+		return ir.CmpEq
+	case mimdc.NotEq:
+		if f {
+			return ir.FCmpNe
+		}
+		return ir.CmpNe
+	case mimdc.Lt:
+		if f {
+			return ir.FCmpLt
+		}
+		return ir.CmpLt
+	case mimdc.LtEq:
+		if f {
+			return ir.FCmpLe
+		}
+		return ir.CmpLe
+	case mimdc.Gt:
+		if f {
+			return ir.FCmpGt
+		}
+		return ir.CmpGt
+	case mimdc.GtEq:
+		if f {
+			return ir.FCmpGe
+		}
+		return ir.CmpGe
+	}
+	panic(fmt.Sprintf("cfg: unknown binary op %v", op))
+}
+
+// lowerAssign lowers an assignment; when wantValue is set the assigned
+// value is left on the stack (C assignment-expression semantics).
+func (b *builder) lowerAssign(a *mimdc.Assign, wantValue bool) {
+	switch lhs := a.LHS.(type) {
+	case *mimdc.VarRef:
+		b.lowerValue(a.RHS)
+		if wantValue {
+			b.emit(ir.Instr{Op: ir.Dup})
+		}
+		b.storeScalar(lhs.Decl)
+	case *mimdc.IndexRef:
+		// StIndex pops value then index, so stage the value in a temp to
+		// get [index, value] on the stack in order.
+		t := b.newTemp()
+		b.lowerValue(a.RHS)
+		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(t), Sym: "$t"})
+		b.lowerValue(lhs.Idx)
+		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Sym: "$t"})
+		b.emit(ir.Instr{Op: ir.StIndex, Imm: int64(lhs.Decl.Slot), Sym: lhs.Name})
+		if wantValue {
+			b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Ty: a.Type(), Sym: "$t"})
+		}
+	case *mimdc.RemoteRef:
+		t := b.newTemp()
+		b.lowerValue(a.RHS)
+		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(t), Sym: "$t"})
+		b.lowerValue(lhs.PE)
+		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Sym: "$t"})
+		b.emit(ir.Instr{Op: ir.StRemote, Imm: int64(lhs.Decl.Slot), Sym: lhs.Name})
+		if wantValue {
+			b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Ty: a.Type(), Sym: "$t"})
+		}
+	default:
+		panic(fmt.Sprintf("cfg: unassignable LHS %T survived analysis", a.LHS))
+	}
+}
+
+// lowerShortCircuitValue materializes a && / || value (0 or 1) via
+// control flow, preserving C short-circuit evaluation.
+func (b *builder) lowerShortCircuitValue(e *mimdc.Binary) {
+	t := b.newTemp()
+	spills := b.spillAll()
+	thenB := b.g.newBlock("sc-true")
+	elseB := b.g.newBlock("sc-false")
+	join := b.g.newBlock("sc-join")
+	b.lowerCond(e, thenB.ID, elseB.ID)
+	b.enter(thenB)
+	b.emit(ir.Instr{Op: ir.PushC, Imm: 1, Ty: ir.Int})
+	b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(t), Sym: "$sc"})
+	b.sealGoto(join.ID)
+	b.enter(elseB)
+	b.emit(ir.Instr{Op: ir.PushC, Imm: 0, Ty: ir.Int})
+	b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(t), Sym: "$sc"})
+	b.sealGoto(join.ID)
+	b.enter(join)
+	b.reload(spills)
+	b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Ty: ir.Int, Sym: "$sc"})
+}
+
+// lowerCondValue materializes c ? t : f via control flow, evaluating
+// only the selected arm (C semantics), with pending operands spilled
+// across the split.
+func (b *builder) lowerCondValue(e *mimdc.Cond) {
+	tmp := b.newTemp()
+	spills := b.spillAll()
+	thenB := b.g.newBlock("cond-true")
+	elseB := b.g.newBlock("cond-false")
+	join := b.g.newBlock("cond-join")
+	b.lowerCond(e.C, thenB.ID, elseB.ID)
+	b.enter(thenB)
+	b.lowerValue(e.T)
+	b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(tmp), Sym: "$cond"})
+	b.sealGoto(join.ID)
+	b.enter(elseB)
+	b.lowerValue(e.F)
+	b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(tmp), Sym: "$cond"})
+	b.sealGoto(join.ID)
+	b.enter(join)
+	b.reload(spills)
+	b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(tmp), Ty: e.Type(), Sym: "$cond"})
+}
+
+// lowerCall lowers a call and returns the callee's return-value slot
+// (None for void). Arguments are staged in temps (so that argument
+// sub-calls to the same function cannot clobber parameter slots) and
+// copied to the parameter slots. Pending operands are spilled across
+// the split.
+//
+// With Options.ExpandCalls the callee's state graph is copied in-line
+// at the site (§2.2) and its returns become plain gotos; otherwise —
+// and always for calls that are recursive at the point of expansion —
+// control transfers to the shared copy with a return-site token pushed
+// and the callee exit's multiway return branch dispatches back.
+func (b *builder) lowerCall(c *mimdc.Call) int {
+	b.ensureCur()
+	if b.opts.ExpandCalls && !b.inProgress[c.Name] {
+		return b.inlineCall(c)
+	}
+	fi := b.fn(c.Decl)
+	b.called[c.Name] = true
+
+	b.stageArgs(c, fi.decl)
+	spills := b.spillAll()
+	cont := b.g.newBlock("ret:" + c.Name)
+	b.emit(ir.Instr{Op: ir.PushRet, Imm: int64(cont.ID)})
+	b.sealGoto(fi.entry)
+	fi.exit.RetTargets = appendUnique(fi.exit.RetTargets, cont.ID)
+	b.enter(cont)
+	b.reload(spills)
+	return fi.retSlot
+}
+
+// inlineCall expands the callee's body at the call site.
+func (b *builder) inlineCall(c *mimdc.Call) int {
+	retSlot := b.retSlotFor(c.Decl)
+	b.stageArgs(c, c.Decl)
+	spills := b.spillAll()
+	cont := b.g.newBlock("inlret:" + c.Name)
+
+	b.inProgress[c.Name] = true
+	savedFn, savedLoops := b.curFn, b.loops
+	b.curFn = &funcInfo{decl: c.Decl, exit: cont, retSlot: retSlot}
+	b.loops = nil
+	b.stmt(c.Decl.Body)
+	b.sealGoto(cont.ID)
+	b.curFn, b.loops = savedFn, savedLoops
+	delete(b.inProgress, c.Name)
+
+	b.enter(cont)
+	b.reload(spills)
+	return retSlot
+}
+
+// stageArgs evaluates arguments into temps then copies them into the
+// callee's parameter slots.
+func (b *builder) stageArgs(c *mimdc.Call, decl *mimdc.FuncDecl) {
+	argTemps := make([]int, len(c.Args))
+	for i, arg := range c.Args {
+		b.lowerValue(arg)
+		argTemps[i] = b.newTemp()
+		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(argTemps[i]), Sym: "$arg"})
+	}
+	for i, prm := range decl.Params {
+		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(argTemps[i]), Sym: "$arg"})
+		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(prm.Slot), Sym: prm.Name})
+	}
+}
+
+// spillAll pops every pending operand into fresh temps; reload restores
+// them in original order.
+func (b *builder) spillAll() []int {
+	n := b.depth
+	spills := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		spills[i] = b.newTemp()
+		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(spills[i]), Sym: "$spill"})
+	}
+	return spills
+}
+
+func (b *builder) reload(spills []int) {
+	for _, s := range spills {
+		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(s), Sym: "$spill"})
+	}
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

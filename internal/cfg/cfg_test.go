@@ -1,0 +1,383 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/ir"
+)
+
+// Listing4 is the paper's complete example program (Listing 4), whose
+// control structure is Listing 1.
+const Listing4 = `
+void main()
+{
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    return;
+}
+`
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	g := MustBuild(src)
+	Simplify(g)
+	if err := Verify(g); err != nil {
+		t.Fatalf("verify: %v\n%s", err, g)
+	}
+	return g
+}
+
+// TestFigure1 reproduces Figure 1: the MIMD state graph for Listing 1
+// has exactly four states — A (the if test), B;C and D;E (the two
+// do-while bodies fused with their tests), and F (the join) — with the
+// branch/loop arcs of the figure.
+func TestFigure1(t *testing.T) {
+	g := build(t, Listing4)
+	if got := g.NumBlocks(); got != 4 {
+		t.Fatalf("state count = %d, want 4 (Figure 1)\n%s", got, g)
+	}
+	a := g.Block(g.Entry)
+	if a.Term != Branch {
+		t.Fatalf("state A terminator = %v, want branch", a.Term)
+	}
+	b, d := g.Block(a.Next), g.Block(a.FNext)
+	if b.Term != Branch || d.Term != Branch {
+		t.Fatalf("loop states not branches: %v, %v", b.Term, d.Term)
+	}
+	// Each do-while state loops to itself on TRUE and exits to F on FALSE.
+	if b.Next != b.ID || d.Next != d.ID {
+		t.Fatalf("do-while states do not self-loop: B true->%d, D true->%d", b.Next, d.Next)
+	}
+	if b.FNext != d.FNext {
+		t.Fatalf("loops exit to different joins: %d vs %d", b.FNext, d.FNext)
+	}
+	f := g.Block(b.FNext)
+	if f.Term != End {
+		t.Fatalf("state F terminator = %v, want end", f.Term)
+	}
+}
+
+func TestWhileNormalization(t *testing.T) {
+	// while (c) s  must become  if (c) { do s while (c) } — the entry
+	// test is replicated, so the loop body+test is a single state with a
+	// self-loop, not a separate test state visited every iteration.
+	g := build(t, `
+void main()
+{
+    poly int i;
+    while (i < 10) { i = i + 1; }
+    return;
+}
+`)
+	if got := g.NumBlocks(); got != 3 {
+		t.Fatalf("state count = %d, want 3 (test, body+test, exit)\n%s", got, g)
+	}
+	entry := g.Block(g.Entry)
+	body := g.Block(entry.Next)
+	if body.Next != body.ID {
+		t.Fatalf("loop body does not self-loop\n%s", g)
+	}
+	if body.FNext != entry.FNext {
+		t.Fatalf("loop exits diverge\n%s", g)
+	}
+}
+
+func TestForLoweringAndBreakContinue(t *testing.T) {
+	g := build(t, `
+void main()
+{
+    poly int i, s;
+    for (i = 0; i < 8; i = i + 1) {
+        if (i == 3) continue;
+        if (i == 6) break;
+        s = s + i;
+    }
+    return;
+}
+`)
+	// Just structural sanity: verification passed, entry branches, and
+	// there is exactly one End state.
+	ends := 0
+	for _, b := range g.Blocks {
+		if b.Term == End {
+			ends++
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("end states = %d, want 1\n%s", ends, g)
+	}
+}
+
+func TestInfiniteForHasNoEnd(t *testing.T) {
+	g := build(t, `void main() { poly int x; for (;;) { x = x + 1; } }`)
+	for _, b := range g.Blocks {
+		if b.Term == End {
+			t.Fatalf("infinite loop should prune the end state\n%s", g)
+		}
+	}
+}
+
+func TestBarrierState(t *testing.T) {
+	g := build(t, `
+void main()
+{
+    poly int x;
+    x = 1;
+    wait;
+    x = 2;
+    return;
+}
+`)
+	var barriers []*Block
+	for _, b := range g.Blocks {
+		if b.Barrier {
+			barriers = append(barriers, b)
+		}
+	}
+	if len(barriers) != 1 {
+		t.Fatalf("barrier states = %d, want 1\n%s", len(barriers), g)
+	}
+	// Straightening may fold post-barrier code into the barrier state,
+	// but never pre-barrier code.
+	w := barriers[0]
+	entry := g.Block(g.Entry)
+	if entry.Barrier {
+		t.Fatalf("pre-barrier code merged into barrier state\n%s", g)
+	}
+	if w.Term == Branch {
+		t.Fatalf("barrier state should not branch")
+	}
+}
+
+func TestCallLoweringSharedBody(t *testing.T) {
+	g := build(t, `
+int twice(int v) { return v * 2; }
+void main()
+{
+    poly int a, b;
+    a = twice(3);
+    b = twice(a) + twice(b);
+    return;
+}
+`)
+	// One RetBr state (the shared exit of twice) with three return sites.
+	var retbrs []*Block
+	for _, b := range g.Blocks {
+		if b.Term == RetBr {
+			retbrs = append(retbrs, b)
+		}
+	}
+	if len(retbrs) != 1 {
+		t.Fatalf("retbr states = %d, want 1\n%s", len(retbrs), g)
+	}
+	if got := len(retbrs[0].RetTargets); got != 3 {
+		t.Fatalf("return sites = %d, want 3\n%s", got, g)
+	}
+	// Every PushRet token is listed.
+	tokens := map[int]bool{}
+	for _, b := range g.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.PushRet {
+				tokens[int(in.Imm)] = true
+			}
+		}
+	}
+	if len(tokens) != 3 {
+		t.Fatalf("distinct PushRet tokens = %d, want 3", len(tokens))
+	}
+}
+
+func TestRecursionLowers(t *testing.T) {
+	g := build(t, `
+int fact(int n)
+{
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+void main()
+{
+    poly int r;
+    r = fact(5);
+    return;
+}
+`)
+	var retbr *Block
+	for _, b := range g.Blocks {
+		if b.Term == RetBr {
+			retbr = b
+		}
+	}
+	if retbr == nil {
+		t.Fatalf("no retbr state for recursive function\n%s", g)
+	}
+	// Two call sites: main and the recursive one.
+	if len(retbr.RetTargets) != 2 {
+		t.Fatalf("return sites = %d, want 2\n%s", len(retbr.RetTargets), g)
+	}
+}
+
+func TestSpawnLowering(t *testing.T) {
+	g := build(t, `
+void worker() { poly int w; w = 1; halt; }
+void main()
+{
+    spawn worker();
+    return;
+}
+`)
+	var spawn *Block
+	halts := 0
+	for _, b := range g.Blocks {
+		if b.Term == Spawn {
+			spawn = b
+		}
+		if b.Term == Halt {
+			halts++
+		}
+	}
+	if spawn == nil {
+		t.Fatalf("no spawn state\n%s", g)
+	}
+	if g.Block(spawn.SpawnNext) == nil {
+		t.Fatalf("spawn child entry missing")
+	}
+	if halts == 0 {
+		t.Fatalf("spawned worker has no halt state\n%s", g)
+	}
+}
+
+func TestSpawnAndCallConflict(t *testing.T) {
+	_, err := buildErr(`
+void w() { halt; }
+void main() { spawn w(); w(); return; }
+`)
+	if err == nil || !strings.Contains(err.Error(), "both called and spawned") {
+		t.Fatalf("err = %v, want spawn/call conflict", err)
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	_, err := buildErr(`void notmain() { return; }`)
+	if err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Fatalf("err = %v, want no-main error", err)
+	}
+}
+
+func TestMainWithParams(t *testing.T) {
+	_, err := buildErr(`void main(int x) { return; }`)
+	if err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Fatalf("err = %v, want params error", err)
+	}
+}
+
+func TestShortCircuitValueContext(t *testing.T) {
+	g := build(t, `
+void main()
+{
+    poly int a, b, c;
+    c = a && b;
+    c = a || (b && c);
+    return;
+}
+`)
+	// Value-context short circuits become control flow; at least two
+	// Branch states must exist and all blocks verify (stack balance).
+	branches := 0
+	for _, b := range g.Blocks {
+		if b.Term == Branch {
+			branches++
+		}
+	}
+	if branches < 3 {
+		t.Fatalf("branches = %d, want >= 3\n%s", branches, g)
+	}
+}
+
+func TestGlobalInitsInPrologue(t *testing.T) {
+	g := build(t, `
+mono int m = 7;
+poly float p = 1.5;
+void main() { return; }
+`)
+	entry := g.Block(g.Entry)
+	var sawMono, sawPoly bool
+	for _, in := range entry.Code {
+		if in.Op == ir.StMono {
+			sawMono = true
+		}
+		if in.Op == ir.StLocal {
+			sawPoly = true
+		}
+	}
+	if !sawMono || !sawPoly {
+		t.Fatalf("prologue missing inits: mono=%v poly=%v\n%s", sawMono, sawPoly, g)
+	}
+	if g.VarSlot["m"] != 0 {
+		t.Fatalf("mono slot = %d, want 0", g.VarSlot["m"])
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	g := build(t, Listing4)
+	before := g.String()
+	Simplify(g)
+	if after := g.String(); before != after {
+		t.Fatalf("Simplify not idempotent:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := build(t, Listing4)
+	c := g.Clone()
+	c.Block(0).Code = append(c.Block(0).Code, ir.Instr{Op: ir.Nop})
+	c.Block(0).Next = 99
+	if len(g.Block(0).Code) == len(c.Block(0).Code) {
+		t.Fatalf("clone shares code slices")
+	}
+	if g.Block(0).Next == 99 {
+		t.Fatalf("clone shares blocks")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := build(t, Listing4)
+	dot := g.Dot("fig1")
+	for _, want := range []string{"digraph", "label=\"T\"", "label=\"F\"", "start ->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	kinds := []TermKind{End, Halt, Goto, Branch, RetBr, Spawn}
+	for _, k := range kinds {
+		if strings.HasPrefix(k.String(), "term(") {
+			t.Errorf("TermKind %d has no name", k)
+		}
+	}
+	if TermKind(99).String() != "term(99)" {
+		t.Errorf("unknown TermKind formatting wrong")
+	}
+}
+
+func TestBlockCost(t *testing.T) {
+	b := &Block{Code: []ir.Instr{{Op: ir.PushC, Imm: 1}, {Op: ir.StLocal}}, Term: Branch}
+	want := ir.PushC.Cost() + ir.StLocal.Cost() + 2
+	if got := b.Cost(); got != want {
+		t.Fatalf("Cost = %d, want %d", got, want)
+	}
+}
+
+func buildErr(src string) (*Graph, error) {
+	prog, err := parseAnalyze(src)
+	if err != nil {
+		return nil, err
+	}
+	return Build(prog)
+}

@@ -1,0 +1,101 @@
+package cfg
+
+import "msc/internal/ir"
+
+// Fold applies constant-folding peepholes to every block's stack code:
+//
+//	PushC a; PushC b; <binary op>  →  PushC (a op b)
+//	PushC a; <unary op>            →  PushC (op a)
+//	PushC a; Pop(1)                →  (nothing)
+//	StLocal s; LdLocal s           →  Dup; StLocal s   (store-load forward)
+//
+// Folding shortens blocks, which matters to the meta-state cost model:
+// block costs drive the §2.4 time-splitting heuristic and every cycle
+// of straight-line code is broadcast to the whole machine. Run by
+// Simplify until a fixed point. Reports whether anything changed.
+func Fold(g *Graph) bool {
+	changed := false
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		for foldBlock(b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// foldBlock performs one left-to-right folding sweep; reports whether it
+// rewrote anything.
+func foldBlock(b *Block) bool {
+	out := b.Code[:0]
+	changed := false
+	for _, in := range b.Code {
+		n := len(out)
+		switch {
+		case ir.IsBinary(in.Op) && n >= 2 &&
+			out[n-1].Op == ir.PushC && out[n-2].Op == ir.PushC &&
+			typesMatchBinary(in.Op, out[n-2], out[n-1]):
+			v := ir.EvalBinary(in.Op, ir.Word(out[n-2].Imm), ir.Word(out[n-1].Imm))
+			out = out[:n-2]
+			out = append(out, ir.Instr{Op: ir.PushC, Imm: int64(v), Ty: resultType(in.Op)})
+			changed = true
+		case ir.IsUnary(in.Op) && n >= 1 && out[n-1].Op == ir.PushC &&
+			typesMatchUnary(in.Op, out[n-1]):
+			v := ir.EvalUnary(in.Op, ir.Word(out[n-1].Imm))
+			out = out[:n-1]
+			out = append(out, ir.Instr{Op: ir.PushC, Imm: int64(v), Ty: resultType(in.Op)})
+			changed = true
+		case in.Op == ir.Pop && in.Imm == 1 && n >= 1 && out[n-1].Op == ir.PushC:
+			out = out[:n-1]
+			changed = true
+		case in.Op == ir.Dup && n >= 1 && out[n-1].Op == ir.PushC:
+			c := out[n-1]
+			out = append(out, c)
+			changed = true
+		case in.Op == ir.LdLocal && n >= 1 && out[n-1].Op == ir.StLocal &&
+			out[n-1].Imm == in.Imm:
+			// Forward the stored value instead of reloading it. Only for
+			// private slots: a mono store's broadcast winner can differ
+			// from a PE's own value under (undefined) racy writes.
+			st := out[n-1]
+			out = out[:n-1]
+			out = append(out, ir.Instr{Op: ir.Dup}, st)
+			changed = true
+		default:
+			out = append(out, in)
+		}
+	}
+	b.Code = out
+	return changed
+}
+
+// typesMatchBinary guards against folding a float operator over int
+// constants or vice versa (the encodings differ).
+func typesMatchBinary(op ir.Op, a, b ir.Instr) bool {
+	if op.IsFloat() {
+		return a.Ty == ir.Float && b.Ty == ir.Float
+	}
+	return a.Ty != ir.Float && b.Ty != ir.Float
+}
+
+func typesMatchUnary(op ir.Op, a ir.Instr) bool {
+	switch op {
+	case ir.FNeg, ir.F2I:
+		return a.Ty == ir.Float
+	case ir.I2F:
+		return a.Ty != ir.Float
+	default:
+		return a.Ty != ir.Float
+	}
+}
+
+// resultType gives the constant type an op's folded result carries.
+func resultType(op ir.Op) ir.Type {
+	switch op {
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv, ir.FNeg, ir.I2F:
+		return ir.Float
+	}
+	return ir.Int
+}

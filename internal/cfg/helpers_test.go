@@ -1,0 +1,14 @@
+package cfg
+
+import "msc/internal/mimdc"
+
+func parseAnalyze(src string) (*mimdc.Program, error) {
+	prog, err := mimdc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := mimdc.Analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

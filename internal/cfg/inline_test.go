@@ -1,0 +1,201 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"msc/internal/cfg"
+	"msc/internal/ir"
+	"msc/internal/mimdc"
+	"msc/internal/mimdsim"
+)
+
+func parseAnalyze(src string) (*mimdc.Program, error) {
+	prog, err := mimdc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := mimdc.Analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func buildExpanded(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	prog, err := parseAnalyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildWith(prog, cfg.Options{ExpandCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Simplify(g)
+	if err := cfg.Verify(g); err != nil {
+		t.Fatalf("verify: %v\n%s", err, g)
+	}
+	return g
+}
+
+const multiCallSrc = `
+poly int a, b;
+int twice(int v) { return v * 2; }
+void main()
+{
+    a = twice(3);
+    b = twice(a) + twice(b);
+    return;
+}
+`
+
+// TestExpandEliminatesReturnBranches: §2.2 — in-line expansion of
+// non-recursive calls turns every return into unconditional sequencing,
+// so no RetBr states and no PushRet tokens remain.
+func TestExpandEliminatesReturnBranches(t *testing.T) {
+	g := buildExpanded(t, multiCallSrc)
+	for _, blk := range g.Blocks {
+		if blk.Term == cfg.RetBr {
+			t.Fatalf("expanded graph still has a RetBr state\n%s", g)
+		}
+		for _, in := range blk.Code {
+			if in.Op == ir.PushRet {
+				t.Fatalf("expanded graph still pushes return tokens\n%s", g)
+			}
+		}
+	}
+}
+
+func TestExpandRecursiveFallsBackToTokens(t *testing.T) {
+	g := buildExpanded(t, `
+poly int r;
+int fact(int n)
+{
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+void main()
+{
+    r = fact(1);
+    return;
+}
+`)
+	// The recursive call needs the shared copy: exactly one RetBr state.
+	retbrs := 0
+	for _, blk := range g.Blocks {
+		if blk.Term == cfg.RetBr {
+			retbrs++
+		}
+	}
+	if retbrs != 1 {
+		t.Fatalf("RetBr states = %d, want 1 (recursive shared copy)\n%s", retbrs, g)
+	}
+}
+
+func TestExpandAndSharedAgreeOnResults(t *testing.T) {
+	srcs := []string{
+		multiCallSrc,
+		`
+poly int r;
+int add(int x, int y) { return x + y; }
+int mix(int x) { return add(x, 1) * add(x, 2); }
+void main()
+{
+    r = mix(iproc);
+    return;
+}
+`,
+	}
+	for _, src := range srcs {
+		prog, err := parseAnalyze(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := cfg.Build(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Simplify(shared)
+		prog2, _ := parseAnalyze(src)
+		expanded, err := cfg.BuildWith(prog2, cfg.Options{ExpandCalls: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Simplify(expanded)
+
+		rs, err := mimdsim.Run(shared, mimdsim.Config{N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := mimdsim.Run(expanded, mimdsim.Config{N: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pe := 0; pe < 4; pe++ {
+			for name, slot := range shared.VarSlot {
+				es := expanded.VarSlot[name]
+				if rs.Mem[pe][slot] != re.Mem[pe][es] {
+					t.Fatalf("PE %d var %s: shared %d != expanded %d",
+						pe, name, rs.Mem[pe][slot], re.Mem[pe][es])
+				}
+			}
+		}
+	}
+}
+
+func TestExpandGrowsStateSpace(t *testing.T) {
+	prog, err := parseAnalyze(multiCallSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, _ := cfg.Build(prog)
+	cfg.Simplify(shared)
+	prog2, _ := parseAnalyze(multiCallSrc)
+	expanded, _ := cfg.BuildWith(prog2, cfg.Options{ExpandCalls: true})
+	cfg.Simplify(expanded)
+	// Three call sites expand to three copies, but each copy straightens
+	// into its caller: the expanded graph has no more states than the
+	// shared one, which must keep entry/exit/continuation states.
+	if expanded.NumBlocks() > shared.NumBlocks() {
+		t.Logf("note: expanded %d states, shared %d", expanded.NumBlocks(), shared.NumBlocks())
+	}
+	if shared.NumBlocks() < 2 || expanded.NumBlocks() < 1 {
+		t.Fatalf("unexpected graph sizes: shared %d, expanded %d",
+			shared.NumBlocks(), expanded.NumBlocks())
+	}
+}
+
+func TestExpandSpawnAndCallCoexist(t *testing.T) {
+	// With expansion, calling and spawning the same function is legal:
+	// call sites get private copies, the spawn target gets the shared
+	// halting copy.
+	prog, err := parseAnalyze(`
+poly int r;
+void job() { r = r + 1; }
+void main()
+{
+    job();
+    spawn job();
+    return;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildWith(prog, cfg.Options{ExpandCalls: true})
+	if err != nil {
+		t.Fatalf("expand mode rejected call+spawn: %v", err)
+	}
+	cfg.Simplify(g)
+	if err := cfg.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	halts := 0
+	for _, blk := range g.Blocks {
+		if blk.Term == cfg.Halt {
+			halts++
+		}
+	}
+	if halts == 0 {
+		t.Fatalf("spawned copy lost its halt\n%s", g)
+	}
+}

@@ -1,0 +1,80 @@
+package cfg
+
+import (
+	"fmt"
+
+	"msc/internal/ir"
+)
+
+// miniResult and runMini form a deliberately tiny single-pc interpreter
+// used only by this package's tests (the real engines import cfg and
+// would create an import cycle). It supports the subset of operations
+// the pass tests need.
+type miniResult struct {
+	Mem [][]ir.Word
+}
+
+func runMini(g *Graph, n int) (*miniResult, error) {
+	res := &miniResult{Mem: make([][]ir.Word, n)}
+	for pe := 0; pe < n; pe++ {
+		res.Mem[pe] = make([]ir.Word, g.Words)
+		var stack []ir.Word
+		pop := func() ir.Word {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return w
+		}
+		pc := g.Entry
+		for steps := 0; ; steps++ {
+			if steps > 100000 {
+				return nil, fmt.Errorf("mini: runaway execution")
+			}
+			b := g.Block(pc)
+			if b == nil {
+				return nil, fmt.Errorf("mini: no block %d", pc)
+			}
+			for _, in := range b.Code {
+				switch {
+				case in.Op == ir.PushC:
+					stack = append(stack, ir.Word(in.Imm))
+				case in.Op == ir.LdLocal || in.Op == ir.LdMono:
+					stack = append(stack, res.Mem[pe][in.Imm])
+				case in.Op == ir.StLocal || in.Op == ir.StMono:
+					res.Mem[pe][in.Imm] = pop()
+				case in.Op == ir.Pop:
+					for k := int64(0); k < in.Imm; k++ {
+						pop()
+					}
+				case in.Op == ir.Dup:
+					stack = append(stack, stack[len(stack)-1])
+				case in.Op == ir.IProc:
+					stack = append(stack, ir.Word(pe))
+				case ir.IsBinary(in.Op):
+					rhs := pop()
+					lhs := pop()
+					stack = append(stack, ir.EvalBinary(in.Op, lhs, rhs))
+				case ir.IsUnary(in.Op):
+					stack = append(stack, ir.EvalUnary(in.Op, pop()))
+				default:
+					return nil, fmt.Errorf("mini: unsupported op %v", in.Op)
+				}
+			}
+			switch b.Term {
+			case End, Halt:
+				goto done
+			case Goto:
+				pc = b.Next
+			case Branch:
+				if ir.Truth(pop()) {
+					pc = b.Next
+				} else {
+					pc = b.FNext
+				}
+			default:
+				return nil, fmt.Errorf("mini: unsupported terminator %v", b.Term)
+			}
+		}
+	done:
+	}
+	return res, nil
+}

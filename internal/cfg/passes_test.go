@@ -1,0 +1,268 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/ir"
+)
+
+// mimdRun executes a graph single-threaded via a minimal interpreter
+// local to this test file (the real engines live in other packages that
+// import cfg, so they cannot be used here).
+func mimdRun(g *Graph, n int) (*miniResult, error) {
+	return runMini(g, n)
+}
+
+// hand-built graphs exercise pass edge cases the builder never produces.
+
+func TestRemoveEmptyChain(t *testing.T) {
+	g := &Graph{RetSlot: map[string]int{}, VarSlot: map[string]int{}}
+	a := g.newBlock("a")
+	e1 := g.newBlock("e1")
+	e2 := g.newBlock("e2")
+	end := g.newBlock("end")
+	a.Code = []ir.Instr{{Op: ir.PushC, Imm: 1}, {Op: ir.Pop, Imm: 1}}
+	a.Term = Goto
+	a.Next = e1.ID
+	e1.Term = Goto
+	e1.Next = e2.ID
+	e2.Term = Goto
+	e2.Next = end.ID
+	end.Term = End
+	g.Entry = a.ID
+
+	Simplify(g)
+	if err := Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	// a and end merge through the bypassed chain.
+	if g.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1\n%s", g.NumBlocks(), g)
+	}
+}
+
+func TestRemoveEmptyCycleProtection(t *testing.T) {
+	// Two empty gotos forming a cycle, reachable from entry: the chaser
+	// must not loop forever; the states stay (an empty infinite loop).
+	g := &Graph{RetSlot: map[string]int{}, VarSlot: map[string]int{}}
+	a := g.newBlock("a")
+	b := g.newBlock("b")
+	a.Term = Goto
+	a.Next = b.ID
+	b.Term = Goto
+	b.Next = a.ID
+	g.Entry = a.ID
+
+	Simplify(g)
+	if err := Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumBlocks() == 0 {
+		t.Fatalf("cycle erased entirely")
+	}
+}
+
+func TestSelfLoopNotStraightened(t *testing.T) {
+	g := &Graph{RetSlot: map[string]int{}, VarSlot: map[string]int{}}
+	a := g.newBlock("a")
+	a.Code = []ir.Instr{{Op: ir.PushC, Imm: 1}, {Op: ir.Pop, Imm: 1}}
+	a.Term = Goto
+	a.Next = a.ID
+	g.Entry = a.ID
+	Simplify(g)
+	if g.NumBlocks() != 1 || g.Block(g.Entry).Next != g.Entry {
+		t.Fatalf("self-loop mangled:\n%s", g)
+	}
+}
+
+func TestEntryNotMergedAway(t *testing.T) {
+	// b gotos the entry; the entry must survive straightening even with
+	// a single predecessor.
+	g := &Graph{RetSlot: map[string]int{}, VarSlot: map[string]int{}}
+	entry := g.newBlock("entry")
+	entry.Code = []ir.Instr{{Op: ir.PushC, Imm: 1}}
+	entry.Term = Branch
+	b := g.newBlock("b")
+	b.Code = []ir.Instr{{Op: ir.PushC, Imm: 2}, {Op: ir.Pop, Imm: 1}}
+	b.Term = Goto
+	b.Next = entry.ID
+	end := g.newBlock("end")
+	end.Term = End
+	entry.Next = b.ID
+	entry.FNext = end.ID
+	g.Entry = entry.ID
+
+	Simplify(g)
+	if err := Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Block(g.Entry).Term != Branch {
+		t.Fatalf("entry merged away:\n%s", g)
+	}
+}
+
+func TestUnreachableSpawnChildKept(t *testing.T) {
+	g := &Graph{RetSlot: map[string]int{}, VarSlot: map[string]int{}}
+	a := g.newBlock("a")
+	child := g.newBlock("child")
+	orphan := g.newBlock("orphan")
+	a.Term = Spawn
+	a.Next = child.ID // parent continues into child's code? no: use separate
+	a.SpawnNext = child.ID
+	child.Term = Halt
+	orphan.Term = End
+	g.Entry = a.ID
+
+	Simplify(g)
+	if g.Block(g.Entry) == nil {
+		t.Fatalf("entry vanished")
+	}
+	found := false
+	for _, blk := range g.Blocks {
+		if blk.Term == Halt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spawn child pruned:\n%s", g)
+	}
+	for _, blk := range g.Blocks {
+		if blk.Label == "orphan" {
+			t.Fatalf("orphan survived pruning")
+		}
+	}
+}
+
+func TestDotRendersAllTermKinds(t *testing.T) {
+	g := MustBuild(`
+poly int r;
+int f(int v) { return v + 1; }
+void w() { halt; }
+void main()
+{
+    poly int x;
+    if (x) { r = f(1); } else { r = f(2); }
+    spawn w();
+    return;
+}
+`)
+	Simplify(g)
+	dot := g.Dot("all-terms")
+	for _, want := range []string{"label=\"ret\"", "label=\"spawn\"", "label=\"T\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+	s := g.String()
+	for _, want := range []string{"retbr", "spawn parent->", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBranchSameTargetSuccs(t *testing.T) {
+	b := &Block{Term: Branch, Next: 3, FNext: 3}
+	if got := b.Succs(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Succs = %v", got)
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	g := MustBuild(`
+poly int x;
+poly float f;
+void main()
+{
+    x = 2 + 3 * 4;
+    x = x + (10 / 2 - 1);
+    f = 1.5 * 2.0;
+    x = -(7);
+    return;
+}
+`)
+	Simplify(g)
+	if err := Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	// Every constant expression folds to a single PushC; no arithmetic
+	// on constants survives.
+	for _, b := range g.Blocks {
+		for i, in := range b.Code {
+			if ir.IsBinary(in.Op) || ir.IsUnary(in.Op) {
+				// Operands must not both be constants.
+				if i >= 2 && b.Code[i-1].Op == ir.PushC && b.Code[i-2].Op == ir.PushC {
+					t.Fatalf("unfolded constant binary at %v: %v", b.ID, b.Code)
+				}
+			}
+		}
+	}
+	// Check folded values via execution.
+	res, err := mimdRun(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mem[0][g.VarSlot["x"]]; got != -7 {
+		t.Fatalf("x = %d, want -7", got)
+	}
+	if got := res.Mem[0][g.VarSlot["f"]].Float(); got != 3.0 {
+		t.Fatalf("f = %g, want 3", got)
+	}
+}
+
+func TestFoldMixedTypesNotConfused(t *testing.T) {
+	// int 2 converted to float then multiplied: the I2F fold must carry
+	// the float encoding, not reinterpret bits.
+	g := MustBuild(`
+poly float f;
+void main()
+{
+    f = 2 * 1.5;
+    return;
+}
+`)
+	Simplify(g)
+	res, err := mimdRun(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mem[0][g.VarSlot["f"]].Float(); got != 3.0 {
+		t.Fatalf("f = %g, want 3", got)
+	}
+}
+
+func TestFoldStoreLoadForward(t *testing.T) {
+	g := MustBuild(`
+poly int x, y;
+void main()
+{
+    x = iproc + 1;
+    y = x;
+    do { x = x - 1; } while (x);
+    return;
+}
+`)
+	Simplify(g)
+	// No StLocal immediately followed by LdLocal of the same slot remains.
+	for _, b := range g.Blocks {
+		for i := 1; i < len(b.Code); i++ {
+			if b.Code[i].Op == ir.LdLocal && b.Code[i-1].Op == ir.StLocal &&
+				b.Code[i].Imm == b.Code[i-1].Imm {
+				t.Fatalf("store-load pair survived in state %d: %v", b.ID, b.Code)
+			}
+		}
+	}
+	res, err := mimdRun(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 3; pe++ {
+		if got := res.Mem[pe][g.VarSlot["y"]]; got != ir.Word(pe+1) {
+			t.Fatalf("PE %d: y = %d, want %d", pe, got, pe+1)
+		}
+		if got := res.Mem[pe][g.VarSlot["x"]]; got != 0 {
+			t.Fatalf("PE %d: x = %d, want 0", pe, got)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package cfg
+
+import (
+	"fmt"
+
+	"msc/internal/ir"
+)
+
+// Verify checks the structural invariants of a MIMD state graph:
+//
+//   - the entry state exists;
+//   - every successor reference points at a live block;
+//   - every block's stack code is balanced: it never pops below its own
+//     entry depth, and its net effect is exactly one value for Branch
+//     blocks (the condition) and zero otherwise;
+//   - RetBr blocks enumerate at least one return site, and every
+//     PushRet token names a live block listed by some RetBr.
+//
+// The meta-state converter and the code generator both assume these
+// invariants.
+func Verify(g *Graph) error {
+	if g.Block(g.Entry) == nil {
+		return fmt.Errorf("cfg: entry state %d does not exist", g.Entry)
+	}
+	retTargets := make(map[int]bool)
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		for _, t := range b.RetTargets {
+			retTargets[t] = true
+		}
+	}
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if g.Block(s) == nil {
+				return fmt.Errorf("cfg: state %d has dangling successor %d", b.ID, s)
+			}
+		}
+		net, minDepth := ir.StackBalance(b.Code)
+		if minDepth < 0 {
+			return fmt.Errorf("cfg: state %d pops below its entry stack depth (min %d)", b.ID, minDepth)
+		}
+		want := 0
+		if b.Term == Branch {
+			want = 1
+		}
+		if net != want {
+			return fmt.Errorf("cfg: state %d has net stack effect %d, want %d (%s terminator)",
+				b.ID, net, want, b.Term)
+		}
+		if b.Term == RetBr && len(b.RetTargets) == 0 {
+			return fmt.Errorf("cfg: state %d is a return branch with no return sites", b.ID)
+		}
+		for _, in := range b.Code {
+			if in.Op == ir.PushRet {
+				t := int(in.Imm)
+				if g.Block(t) == nil {
+					return fmt.Errorf("cfg: state %d pushes return site %d which does not exist", b.ID, t)
+				}
+				if !retTargets[t] {
+					return fmt.Errorf("cfg: state %d pushes return site %d not listed by any return branch", b.ID, t)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package codegen compiles a meta-state automaton into an executable
+// SIMD program (§3): each meta state becomes a sequence of pc-guarded
+// slots (the Listing 5 `if (pc & BIT(n))` blocks), block terminators
+// become pc updates (JumpF and friends), and the multiway transitions
+// become global-or dispatches, optionally through customized hash
+// functions ([Die92a]) and optionally with common subexpression
+// induction ([Die92]) applied to each meta state's body.
+package codegen
+
+import (
+	"fmt"
+
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+	"msc/internal/csi"
+	"msc/internal/hashgen"
+	"msc/internal/msc"
+	"msc/internal/simd"
+)
+
+// Options selects the §3 encoding optimizations.
+type Options struct {
+	// Hash attaches customized hash functions to multiway branches so
+	// they dispatch through dense jump tables (§3.2.3, [Die92a]).
+	// Requires the MIMD pc domain to fit 64 states; wider programs fall
+	// back to map dispatch per state.
+	Hash bool
+	// CSI applies common subexpression induction to each meta state
+	// body, factoring operations shared by multiple threads into single
+	// broadcast slots (§3.1, [Die92]).
+	CSI bool
+}
+
+// Compile lowers an automaton to a SIMD program.
+func Compile(a *msc.Automaton, opt Options) (*simd.Program, error) {
+	p := &simd.Program{
+		Start:            a.Start,
+		Words:            a.G.Words,
+		NStates:          len(a.G.Blocks),
+		Barriers:         a.Barriers.Clone(),
+		SupersetDispatch: a.Opt.Compress || a.Opt.MergeSubsets || a.OverApprox,
+		VarSlot:          a.G.VarSlot,
+		RetSlot:          a.G.RetSlot,
+	}
+	for _, ms := range a.States {
+		mc, err := compileMeta(a, ms, opt)
+		if err != nil {
+			return nil, err
+		}
+		p.Meta = append(p.Meta, mc)
+	}
+	return p, nil
+}
+
+// MustCompile compiles and panics on error; for tests and examples.
+func MustCompile(a *msc.Automaton, opt Options) *simd.Program {
+	p, err := Compile(a, opt)
+	if err != nil {
+		panic("codegen.MustCompile: " + err.Error())
+	}
+	return p
+}
+
+func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCode, error) {
+	mc := &simd.MetaCode{ID: ms.ID, Set: ms.Set.Clone()}
+
+	// Which members execute: in exact barrier mode, barrier-wait states
+	// inside a mixed meta state just wait (§2.6); in paper mode mixed
+	// states never exist and all-barrier states execute on release.
+	allBarrier := ms.Set.Subset(a.Barriers)
+	var members []*cfg.Block
+	for _, id := range ms.Set.Elems() {
+		b := a.G.Block(id)
+		if b == nil {
+			return nil, fmt.Errorf("codegen: ms%d references missing MIMD state %d", ms.ID, id)
+		}
+		if b.Barrier && !allBarrier {
+			continue // waiting: contributes no code, pc unchanged
+		}
+		members = append(members, b)
+	}
+
+	// Body: one guarded slot per instruction, optionally CSI-merged.
+	if opt.CSI {
+		threads := make([]csi.Thread, len(members))
+		for i, b := range members {
+			threads[i] = csi.Thread{Guard: bitset.Of(b.ID), Code: b.Code}
+		}
+		sched, err := csi.Induce(threads)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: ms%d: %w", ms.ID, err)
+		}
+		for _, sl := range sched.Slots {
+			mc.Slots = append(mc.Slots, simd.Slot{
+				Kind:  simd.SlotExec,
+				Guard: sl.Guard,
+				Instr: sl.Instr,
+			})
+		}
+	} else {
+		for _, b := range members {
+			guard := bitset.Of(b.ID)
+			for _, in := range b.Code {
+				mc.Slots = append(mc.Slots, simd.Slot{
+					Kind:  simd.SlotExec,
+					Guard: guard,
+					Instr: in,
+				})
+			}
+		}
+	}
+
+	// Terminators, in member order (Listing 5 places all pc updates
+	// after the shared body).
+	exitCheck := false
+	for _, b := range members {
+		guard := bitset.Of(b.ID)
+		switch b.Term {
+		case cfg.End:
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotEnd, Guard: guard})
+			exitCheck = true
+		case cfg.Halt:
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotHalt, Guard: guard})
+			exitCheck = true
+		case cfg.Goto:
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotSetPC, Guard: guard, To: b.Next})
+		case cfg.Branch:
+			mc.Slots = append(mc.Slots, simd.Slot{
+				Kind: simd.SlotJumpF, Guard: guard, To: b.Next, FTo: b.FNext,
+			})
+		case cfg.RetBr:
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotRetBr, Guard: guard})
+		case cfg.Spawn:
+			mc.Slots = append(mc.Slots, simd.Slot{
+				Kind: simd.SlotSpawn, Guard: guard, To: b.Next, ChildTo: b.SpawnNext,
+			})
+		}
+	}
+
+	// Transition encoding (§3.2).
+	for _, to := range ms.Trans {
+		mc.Trans.Entries = append(mc.Trans.Entries, simd.DispatchEntry{
+			Key: a.States[to].Set.Clone(),
+			To:  to,
+		})
+	}
+	switch {
+	case len(mc.Trans.Entries) == 0:
+		mc.Trans.Kind = simd.TransNone
+	case len(mc.Trans.Entries) == 1:
+		mc.Trans.Kind = simd.TransGoto
+		mc.Trans.ExitCheck = exitCheck
+	default:
+		mc.Trans.Kind = simd.TransSwitch
+		if opt.Hash && !(a.Opt.Compress || a.Opt.MergeSubsets || a.OverApprox) {
+			// Superset dispatch cannot go through an exact hash table.
+			if h := hashTable(mc.Trans.Entries); h != nil {
+				mc.Trans.Hash = h
+			}
+		}
+	}
+	return mc, nil
+}
+
+// maxHashedWays bounds the switch width worth a customized hash: wider
+// dispatches keep the generic map lookup ([Die92a] targets the small
+// switches real meta states produce).
+const maxHashedWays = 32
+
+// hashTable builds a customized hash function over the dispatch keys, or
+// nil when the keys exceed the one-bit-per-pc word or no function is
+// found.
+func hashTable(entries []simd.DispatchEntry) *simd.HashFn {
+	if len(entries) > maxHashedWays {
+		return nil
+	}
+	keys := make([]uint64, len(entries))
+	tos := make([]int, len(entries))
+	for i, e := range entries {
+		w, ok := e.Key.Word()
+		if !ok {
+			return nil
+		}
+		keys[i] = w
+		tos[i] = e.To
+	}
+	h, err := hashgen.Find(keys)
+	if err != nil {
+		return nil
+	}
+	table := make([]int, h.Mask+1)
+	for i := range table {
+		table[i] = -1
+	}
+	for i, k := range keys {
+		table[h.Index(k)] = tos[i]
+	}
+	h.Table = table
+	return h
+}

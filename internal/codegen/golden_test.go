@@ -1,0 +1,37 @@
+package codegen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msc/internal/msc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestListing4Golden pins the full MPL emission for the paper's example
+// program. Regenerate with `go test ./internal/codegen -run Golden -update`
+// after an intentional change.
+func TestListing4Golden(t *testing.T) {
+	g := buildGraph(t, listing4)
+	a := msc.MustConvert(g, msc.DefaultOptions(false))
+	p := MustCompile(a, Options{Hash: true, CSI: true})
+	got := EmitMPL(p)
+
+	path := filepath.Join("testdata", "listing4.mpl.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("MPL emission drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

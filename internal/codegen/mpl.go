@@ -1,0 +1,124 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"msc/internal/bitset"
+	"msc/internal/simd"
+)
+
+// EmitMPL renders a compiled program in the MPL-like form of the paper's
+// Listing 5: one labeled block per meta state, pc-guarded stack code,
+// JumpF/Ret pc updates, a globalor aggregate, and the (optionally
+// hashed) multiway switch.
+func EmitMPL(p *simd.Program) string {
+	var sb strings.Builder
+	sb.WriteString("/* meta-state converted SIMD program (MPL-like; cf. Listing 5) */\n")
+	for _, mc := range p.Meta {
+		fmt.Fprintf(&sb, "%s:\n", msName(mc.Set))
+		emitSlots(&sb, mc)
+		emitTrans(&sb, p, mc)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// msName renders a meta state label like ms_2_6.
+func msName(set *bitset.Set) string {
+	parts := make([]string, 0, set.Len())
+	for _, e := range set.Elems() {
+		parts = append(parts, fmt.Sprintf("%d", e))
+	}
+	return "ms_" + strings.Join(parts, "_")
+}
+
+// guardExpr renders "pc & (BIT(2) | BIT(6))".
+func guardExpr(g *bitset.Set) string {
+	parts := make([]string, 0, g.Len())
+	for _, e := range g.Elems() {
+		parts = append(parts, fmt.Sprintf("BIT(%d)", e))
+	}
+	if len(parts) == 1 {
+		return "pc & " + parts[0]
+	}
+	return "pc & (" + strings.Join(parts, " | ") + ")"
+}
+
+// emitSlots groups consecutive slots with identical guards into one
+// if-block, the way Listing 5 batches each thread's stack macros.
+func emitSlots(sb *strings.Builder, mc *simd.MetaCode) {
+	i := 0
+	for i < len(mc.Slots) {
+		g := mc.Slots[i].Guard
+		j := i
+		for j < len(mc.Slots) && mc.Slots[j].Guard.Equal(g) && mc.Slots[j].Kind == simd.SlotExec && mc.Slots[i].Kind == simd.SlotExec {
+			j++
+		}
+		if j > i { // run of plain instructions
+			fmt.Fprintf(sb, "    if (%s) {\n        ", guardExpr(g))
+			var ops []string
+			for _, s := range mc.Slots[i:j] {
+				ops = append(ops, s.Instr.String())
+			}
+			sb.WriteString(strings.Join(ops, " "))
+			sb.WriteString("\n    }\n")
+			i = j
+			continue
+		}
+		s := &mc.Slots[i]
+		fmt.Fprintf(sb, "    if (%s) {\n        ", guardExpr(g))
+		switch s.Kind {
+		case simd.SlotSetPC:
+			fmt.Fprintf(sb, "Jump(%d)", s.To)
+		case simd.SlotJumpF:
+			// Listing 5 order: JumpF(false, true).
+			fmt.Fprintf(sb, "JumpF(%d,%d)", s.FTo, s.To)
+		case simd.SlotEnd:
+			sb.WriteString("Ret(0)")
+		case simd.SlotHalt:
+			sb.WriteString("Halt()")
+		case simd.SlotRetBr:
+			sb.WriteString("RetBr()")
+		case simd.SlotSpawn:
+			fmt.Fprintf(sb, "Spawn(%d,%d)", s.To, s.ChildTo)
+		}
+		sb.WriteString("\n    }\n")
+		i++
+	}
+}
+
+func emitTrans(sb *strings.Builder, p *simd.Program, mc *simd.MetaCode) {
+	tr := &mc.Trans
+	switch tr.Kind {
+	case simd.TransNone:
+		sb.WriteString("    /* no next meta state */\n    exit(0);\n")
+	case simd.TransGoto:
+		if tr.ExitCheck {
+			sb.WriteString("    apc = globalor(pc);\n    if (apc == 0) exit(0);\n")
+		}
+		fmt.Fprintf(sb, "    goto %s;\n", msName(p.Meta[tr.Entries[0].To].Set))
+	case simd.TransSwitch:
+		sb.WriteString("    apc = globalor(pc);\n    if (apc == 0) exit(0);\n")
+		if !p.Barriers.Empty() {
+			fmt.Fprintf(sb, "    if ((apc & ~BARRIERS) != 0) apc &= ~BARRIERS; /* §3.2.4 */\n")
+		}
+		if tr.Hash != nil {
+			fmt.Fprintf(sb, "    switch (%s) {\n", tr.Hash.String())
+			for idx, to := range tr.Hash.Table {
+				if to < 0 {
+					continue
+				}
+				fmt.Fprintf(sb, "    case %d: goto %s;\n", idx, msName(p.Meta[to].Set))
+			}
+		} else {
+			sb.WriteString("    switch (apc) {\n")
+			for _, e := range tr.Entries {
+				fmt.Fprintf(sb, "    case %s: goto %s;\n",
+					strings.ReplaceAll(strings.TrimPrefix(guardExpr(e.Key), "pc & "), "pc & ", ""),
+					msName(p.Meta[e.To].Set))
+			}
+		}
+		sb.WriteString("    }\n")
+	}
+}

@@ -1,0 +1,345 @@
+// Package csi implements Common Subexpression Induction ("Common
+// Subexpression Induction", Dietz, ICPP 1992; §3.1 of the MSC paper).
+//
+// A meta state that merged several MIMD states contains one instruction
+// sequence per thread (per enabled set of SIMD PEs). A traditional SIMD
+// machine must serialize different instructions, but any instruction
+// that appears in more than one sequence can be executed by all of
+// those threads at once: stack code makes this sound unconditionally,
+// because a shared instruction operates on each PE's private stack and
+// memory. CSI therefore searches for a schedule that interleaves the
+// thread sequences, merging identical instructions under a union guard,
+// to minimize total broadcast cycles.
+//
+// The implementation follows the paper's pipeline:
+//
+//   - the guarded precedence structure (its "guarded DAG") is each
+//     thread's code in order, with guards naming the owning thread;
+//   - inter-thread CSE is a progressive weighted alignment: each thread
+//     is aligned against the schedule so far by dynamic programming that
+//     maximizes the cycle cost of merged instructions (optimal for each
+//     pair);
+//   - the result seeds an improvement search in the spirit of the
+//     paper's permutation-in-range pass: pairs of identical slots with
+//     disjoint guards are merged whenever the precedence DAG admits a
+//     common position (no path between them), until no merge helps;
+//   - a theoretical lower bound (per-instruction-class maxima) is
+//     computed for pruning and reporting.
+package csi
+
+import (
+	"fmt"
+
+	"msc/internal/bitset"
+	"msc/internal/ir"
+)
+
+// Thread is one MIMD state's straight-line code within a meta state,
+// guarded by the pc set that enables it (normally a single pc bit).
+type Thread struct {
+	Guard *bitset.Set
+	Code  []ir.Instr
+}
+
+// Slot is one scheduled broadcast: the instruction and the union of the
+// guards of every thread that executes it.
+type Slot struct {
+	Guard *bitset.Set
+	Instr ir.Instr
+}
+
+// Schedule is the CSI result.
+type Schedule struct {
+	Slots []Slot
+	// Cost is the schedule's total broadcast cycles; NaiveCost is the
+	// fully serialized cost (no sharing); LowerBound is the theoretical
+	// minimum over all schedules.
+	Cost       int
+	NaiveCost  int
+	LowerBound int
+}
+
+// Saved returns the cycles CSI recovered versus full serialization.
+func (s *Schedule) Saved() int { return s.NaiveCost - s.Cost }
+
+// Induce computes a CSI schedule for the given threads. Thread guards
+// must be pairwise disjoint.
+func Induce(threads []Thread) (*Schedule, error) {
+	for i := range threads {
+		if threads[i].Guard == nil || threads[i].Guard.Empty() {
+			return nil, fmt.Errorf("csi: thread %d has empty guard", i)
+		}
+		for j := i + 1; j < len(threads); j++ {
+			if threads[i].Guard.Intersects(threads[j].Guard) {
+				return nil, fmt.Errorf("csi: thread guards %s and %s overlap",
+					threads[i].Guard, threads[j].Guard)
+			}
+		}
+	}
+
+	naive := 0
+	for _, t := range threads {
+		naive += ir.CodeCost(t.Code)
+	}
+
+	sched := &Schedule{NaiveCost: naive, LowerBound: lowerBound(threads)}
+	g := buildGraph(threads)
+	g.improve()
+	sched.Slots = g.linearize()
+	for _, sl := range sched.Slots {
+		sched.Cost += sl.Instr.Cost()
+	}
+	return sched, nil
+}
+
+// lowerBound computes the classic class-count bound: for each distinct
+// instruction value, at least max-per-thread occurrences must be
+// broadcast no matter how threads share.
+func lowerBound(threads []Thread) int {
+	type class struct{ max, cur int }
+	classes := make(map[ir.Instr]*class)
+	for _, t := range threads {
+		for k := range classes {
+			classes[k].cur = 0
+		}
+		for _, in := range t.Code {
+			c := classes[in]
+			if c == nil {
+				c = &class{}
+				classes[in] = c
+			}
+			c.cur++
+			if c.cur > c.max {
+				c.max = c.cur
+			}
+		}
+	}
+	lb := 0
+	for in, c := range classes {
+		lb += c.max * in.Cost()
+	}
+	return lb
+}
+
+// ---- Precedence graph -------------------------------------------------------
+
+type node struct {
+	instr ir.Instr
+	guard *bitset.Set
+	// seq[t] is the node's position in thread t's chain, or -1.
+	seq  []int
+	dead bool
+}
+
+type graph struct {
+	nodes []*node
+	// chains[t] lists thread t's nodes in program order.
+	chains  [][]*node
+	threads []Thread
+}
+
+// buildGraph seeds the schedule by progressive alignment: thread 0's
+// code becomes the initial chain; each later thread is aligned against
+// the current node order with a cost-weighted LCS.
+func buildGraph(threads []Thread) *graph {
+	g := &graph{threads: threads, chains: make([][]*node, len(threads))}
+	order := []*node{}
+	for t, th := range threads {
+		order = g.alignThread(order, t, th)
+	}
+	return g
+}
+
+// alignThread merges thread t's code into the existing slot order,
+// maximizing the cost of matched (shared) instructions; returns the new
+// global order.
+func (g *graph) alignThread(order []*node, t int, th Thread) []*node {
+	n, m := len(order), len(th.Code)
+	// dp[i][j]: best saved cost aligning order[i:] with code[j:].
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			best := dp[i+1][j] // leave slot unshared
+			if v := dp[i][j+1]; v > best {
+				best = v // emit instruction as its own new slot
+			}
+			if order[i].instr == th.Code[j] {
+				if v := dp[i+1][j+1] + th.Code[j].Cost(); v > best {
+					best = v
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+
+	var out []*node
+	chain := make([]*node, 0, m)
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && order[i].instr == th.Code[j] &&
+			dp[i][j] == dp[i+1][j+1]+th.Code[j].Cost():
+			order[i].guard = order[i].guard.Union(th.Guard)
+			order[i].seq[t] = len(chain)
+			chain = append(chain, order[i])
+			out = append(out, order[i])
+			i, j = i+1, j+1
+		case i < n && (j >= m || dp[i][j] == dp[i+1][j]):
+			out = append(out, order[i])
+			i++
+		default:
+			nd := g.newNode(th.Code[j], th.Guard)
+			nd.seq[t] = len(chain)
+			chain = append(chain, nd)
+			out = append(out, nd)
+			j++
+		}
+	}
+	g.chains[t] = chain
+	return out
+}
+
+func (g *graph) newNode(in ir.Instr, guard *bitset.Set) *node {
+	nd := &node{instr: in, guard: guard.Clone(), seq: make([]int, len(g.threads))}
+	for i := range nd.seq {
+		nd.seq[i] = -1
+	}
+	g.nodes = append(g.nodes, nd)
+	return nd
+}
+
+// succs returns the immediate per-thread successors of nd.
+func (g *graph) succs(nd *node) []*node {
+	var out []*node
+	for t, pos := range nd.seq {
+		if pos >= 0 && pos+1 < len(g.chains[t]) {
+			out = append(out, g.chains[t][pos+1])
+		}
+	}
+	return out
+}
+
+// reaches reports whether a path of precedence edges leads from a to b.
+func (g *graph) reaches(a, b *node) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*node]bool{a: true}
+	stack := []*node{a}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs(nd) {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// improve is the permutation-in-range search: repeatedly merge the most
+// expensive pair of identical, guard-disjoint, order-independent slots.
+func (g *graph) improve() {
+	for {
+		var bestA, bestB *node
+		bestCost := 0
+		for i, a := range g.nodes {
+			if a.dead {
+				continue
+			}
+			for _, b := range g.nodes[i+1:] {
+				if b.dead || a.instr != b.instr || a.instr.Cost() <= bestCost {
+					continue
+				}
+				if a.guard.Intersects(b.guard) {
+					continue
+				}
+				if g.reaches(a, b) || g.reaches(b, a) {
+					continue
+				}
+				bestA, bestB = a, b
+				bestCost = a.instr.Cost()
+			}
+		}
+		if bestA == nil {
+			return
+		}
+		// Merge bestB into bestA.
+		bestA.guard = bestA.guard.Union(bestB.guard)
+		for t, pos := range bestB.seq {
+			if pos >= 0 {
+				bestA.seq[t] = pos
+				g.chains[t][pos] = bestA
+			}
+		}
+		bestB.dead = true
+	}
+}
+
+// linearize topologically sorts the precedence DAG into the final slot
+// order, preferring earlier positions in lower-numbered threads for
+// determinism.
+func (g *graph) linearize() []Slot {
+	next := make([]int, len(g.threads)) // next unscheduled position per chain
+	var slots []Slot
+	scheduled := map[*node]bool{}
+	for {
+		var pick *node
+		for t := range g.chains {
+			for next[t] < len(g.chains[t]) && scheduled[g.chains[t][next[t]]] {
+				next[t]++
+			}
+			if next[t] >= len(g.chains[t]) {
+				continue
+			}
+			cand := g.chains[t][next[t]]
+			// cand is ready iff it is the next node in every chain it
+			// belongs to.
+			ready := true
+			for ot, pos := range cand.seq {
+				if pos >= 0 && (pos != next[ot] && !allScheduledBefore(g.chains[ot], pos, scheduled)) {
+					ready = false
+					break
+				}
+			}
+			if ready && pick == nil {
+				pick = cand
+			}
+		}
+		if pick == nil {
+			// Either done or stuck; stuck cannot happen on a DAG.
+			allDone := true
+			for t := range g.chains {
+				if next[t] < len(g.chains[t]) {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				return slots
+			}
+			panic("csi: precedence cycle in linearize (merge bug)")
+		}
+		scheduled[pick] = true
+		slots = append(slots, Slot{Guard: pick.guard, Instr: pick.instr})
+	}
+}
+
+// allScheduledBefore reports whether every node before pos in chain is
+// already scheduled.
+func allScheduledBefore(chain []*node, pos int, scheduled map[*node]bool) bool {
+	for i := 0; i < pos; i++ {
+		if !scheduled[chain[i]] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package csi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msc/internal/bitset"
+	"msc/internal/ir"
+)
+
+func instr(op ir.Op, imm int64) ir.Instr { return ir.Instr{Op: op, Imm: imm} }
+
+func thread(guardBit int, code ...ir.Instr) Thread {
+	return Thread{Guard: bitset.Of(guardBit), Code: code}
+}
+
+// extract returns the per-thread projection of a schedule: the slots
+// whose guard includes the thread's bit, in order.
+func extract(s *Schedule, guardBit int) []ir.Instr {
+	var out []ir.Instr
+	for _, sl := range s.Slots {
+		if sl.Guard.Has(guardBit) {
+			out = append(out, sl.Instr)
+		}
+	}
+	return out
+}
+
+func equalCode(a, b []ir.Instr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func induce(t *testing.T, threads ...Thread) *Schedule {
+	t.Helper()
+	s, err := Induce(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Universal invariant: each thread's projection is its original code.
+	for _, th := range threads {
+		bitID := th.Guard.Min()
+		if got := extract(s, bitID); !equalCode(got, th.Code) {
+			t.Fatalf("thread %s projection corrupted:\n got %v\nwant %v", th.Guard, got, th.Code)
+		}
+	}
+	if s.Cost > s.NaiveCost {
+		t.Fatalf("CSI made things worse: cost %d > naive %d", s.Cost, s.NaiveCost)
+	}
+	if s.Cost < s.LowerBound {
+		t.Fatalf("cost %d below lower bound %d (bound bug)", s.Cost, s.LowerBound)
+	}
+	return s
+}
+
+func TestIdenticalThreadsFullyShare(t *testing.T) {
+	code := []ir.Instr{instr(ir.LdLocal, 0), instr(ir.PushC, 1), ir.Instr{Op: ir.Add}, instr(ir.StLocal, 0)}
+	s := induce(t,
+		Thread{Guard: bitset.Of(2), Code: code},
+		Thread{Guard: bitset.Of(6), Code: code},
+	)
+	if s.Cost != ir.CodeCost(code) {
+		t.Fatalf("identical threads cost %d, want %d (full sharing)", s.Cost, ir.CodeCost(code))
+	}
+	if len(s.Slots) != len(code) {
+		t.Fatalf("slots = %d, want %d", len(s.Slots), len(code))
+	}
+	for _, sl := range s.Slots {
+		if sl.Guard.Len() != 2 {
+			t.Fatalf("slot guard %s, want both threads", sl.Guard)
+		}
+	}
+	if s.Saved() != ir.CodeCost(code) {
+		t.Fatalf("saved = %d, want %d", s.Saved(), ir.CodeCost(code))
+	}
+}
+
+func TestDisjointThreadsSerialize(t *testing.T) {
+	s := induce(t,
+		thread(1, instr(ir.PushC, 1), instr(ir.StLocal, 0)),
+		thread(2, instr(ir.PushC, 2), instr(ir.StLocal, 1)),
+	)
+	// PushC(1) vs PushC(2) and StLocal(0) vs StLocal(1) differ: nothing
+	// shareable.
+	if s.Saved() != 0 {
+		t.Fatalf("saved = %d on disjoint code, want 0", s.Saved())
+	}
+}
+
+// TestListing1Threads mirrors the paper's example: the two do-while
+// bodies x=1;test and x=2;test share everything except the pushed
+// constant (see Listing 5's ms_2_6, where the common LdL/StL/Pop/LdL
+// sequence is factored and only Push(1)/Push(2) stay guarded).
+func TestListing1Threads(t *testing.T) {
+	mkBody := func(c int64) []ir.Instr {
+		return []ir.Instr{
+			instr(ir.PushC, c),
+			instr(ir.StLocal, 4),
+			instr(ir.LdLocal, 4),
+		}
+	}
+	s := induce(t,
+		Thread{Guard: bitset.Of(2), Code: mkBody(1)},
+		Thread{Guard: bitset.Of(6), Code: mkBody(2)},
+	)
+	// Shared: StLocal, LdLocal. Guarded: the two PushC.
+	wantCost := ir.PushC.Cost()*2 + ir.StLocal.Cost() + ir.LdLocal.Cost()
+	if s.Cost != wantCost {
+		t.Fatalf("cost = %d, want %d\nslots: %v", s.Cost, wantCost, s.Slots)
+	}
+	if s.Cost != s.LowerBound {
+		t.Fatalf("optimal schedule not found: cost %d, bound %d", s.Cost, s.LowerBound)
+	}
+}
+
+func TestExpensiveOpsPrioritized(t *testing.T) {
+	// Both threads contain an expensive Div at different positions among
+	// sharable neighbors; CSI must still share it.
+	s := induce(t,
+		thread(1, instr(ir.PushC, 9), instr(ir.LdLocal, 0), ir.Instr{Op: ir.Div}, instr(ir.StLocal, 0)),
+		thread(2, instr(ir.LdLocal, 0), instr(ir.PushC, 9), ir.Instr{Op: ir.Div}, instr(ir.StLocal, 0)),
+	)
+	divShared := false
+	for _, sl := range s.Slots {
+		if sl.Instr.Op == ir.Div && sl.Guard.Len() == 2 {
+			divShared = true
+		}
+	}
+	if !divShared {
+		t.Fatalf("Div not shared:\n%v", s.Slots)
+	}
+}
+
+func TestThreeThreads(t *testing.T) {
+	common := []ir.Instr{instr(ir.LdLocal, 3), instr(ir.PushC, 1), ir.Instr{Op: ir.Add}, instr(ir.StLocal, 3)}
+	uniq := func(g int) []ir.Instr {
+		return append([]ir.Instr{instr(ir.PushC, int64(g)), instr(ir.StLocal, int64(10+g))}, common...)
+	}
+	s := induce(t,
+		Thread{Guard: bitset.Of(1), Code: uniq(1)},
+		Thread{Guard: bitset.Of(2), Code: uniq(2)},
+		Thread{Guard: bitset.Of(3), Code: uniq(3)},
+	)
+	// The common tail must be fully shared across all three threads.
+	if s.Cost != s.LowerBound {
+		t.Fatalf("three-way sharing suboptimal: cost %d, bound %d\n%v", s.Cost, s.LowerBound, s.Slots)
+	}
+}
+
+func TestRepeatedInstructionsKeepMultiplicity(t *testing.T) {
+	// Thread 1 has Add twice, thread 2 once: schedule needs two Adds,
+	// one shared at most.
+	s := induce(t,
+		thread(1, instr(ir.PushC, 1), instr(ir.PushC, 2), ir.Instr{Op: ir.Add}, instr(ir.PushC, 3), ir.Instr{Op: ir.Add}, instr(ir.Pop, 1)),
+		thread(2, instr(ir.PushC, 4), instr(ir.PushC, 5), ir.Instr{Op: ir.Add}, instr(ir.Pop, 1)),
+	)
+	adds := 0
+	for _, sl := range s.Slots {
+		if sl.Instr.Op == ir.Add {
+			adds++
+		}
+	}
+	if adds != 2 {
+		t.Fatalf("Add slots = %d, want 2", adds)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	s := induce(t, thread(1))
+	if len(s.Slots) != 0 || s.Cost != 0 {
+		t.Fatalf("empty thread schedule = %v", s.Slots)
+	}
+	code := []ir.Instr{instr(ir.PushC, 7), instr(ir.StLocal, 2)}
+	s = induce(t, Thread{Guard: bitset.Of(4), Code: code})
+	if s.Cost != ir.CodeCost(code) || s.Saved() != 0 {
+		t.Fatalf("single thread cost = %d", s.Cost)
+	}
+}
+
+func TestGuardValidation(t *testing.T) {
+	if _, err := Induce([]Thread{{Guard: bitset.New(0)}}); err == nil {
+		t.Fatal("empty guard accepted")
+	}
+	if _, err := Induce([]Thread{thread(1), thread(1)}); err == nil {
+		t.Fatal("overlapping guards accepted")
+	}
+}
+
+// TestQuickProjectionPreserved is the core CSI soundness property: for
+// random threads, every thread's projection of the schedule equals its
+// original code, and the cost never exceeds naive serialization.
+func TestQuickProjectionPreserved(t *testing.T) {
+	ops := []ir.Instr{
+		instr(ir.PushC, 1), instr(ir.PushC, 2), instr(ir.LdLocal, 0),
+		instr(ir.LdLocal, 1), ir.Instr{Op: ir.Add}, ir.Instr{Op: ir.Mul}, instr(ir.StLocal, 0),
+		instr(ir.StLocal, 1), ir.Instr{Op: ir.Dup}, instr(ir.Pop, 1),
+	}
+	f := func(seed int64, nThreadsRaw, lenRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nThreads := int(nThreadsRaw%4) + 1
+		threads := make([]Thread, nThreads)
+		for i := range threads {
+			n := int(lenRaw%12) + 1
+			code := make([]ir.Instr, n)
+			for j := range code {
+				code[j] = ops[r.Intn(len(ops))]
+			}
+			threads[i] = Thread{Guard: bitset.Of(i), Code: code}
+		}
+		s, err := Induce(threads)
+		if err != nil {
+			return false
+		}
+		for i, th := range threads {
+			if !equalCode(extract(s, i), th.Code) {
+				return false
+			}
+		}
+		return s.Cost <= s.NaiveCost && s.Cost >= s.LowerBound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInduceTwoThreads(b *testing.B) {
+	code := make([]ir.Instr, 40)
+	for i := range code {
+		code[i] = instr(ir.LdLocal, int64(i%5))
+	}
+	t1 := Thread{Guard: bitset.Of(1), Code: code}
+	t2 := Thread{Guard: bitset.Of(2), Code: append([]ir.Instr{instr(ir.PushC, 1)}, code...)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Induce([]Thread{t1, t2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestImproveMergesAcrossAlignmentOrder builds the case progressive
+// pairwise alignment gets wrong: thread 3 shares its Mul with thread 2
+// and its Div with thread 1, but by the time thread 3 is aligned the
+// schedule is [Div{1}, Mul{2}] and the LCS can only match one of them.
+// The permutation-in-range improvement pass must merge the other.
+func TestImproveMergesAcrossAlignmentOrder(t *testing.T) {
+	s := induce(t,
+		thread(1, ir.Instr{Op: ir.Div}),
+		thread(2, ir.Instr{Op: ir.Mul}),
+		thread(3, ir.Instr{Op: ir.Mul}, ir.Instr{Op: ir.Div}),
+	)
+	divs, muls := 0, 0
+	for _, sl := range s.Slots {
+		switch sl.Instr.Op {
+		case ir.Div:
+			divs++
+		case ir.Mul:
+			muls++
+		}
+	}
+	if divs != 1 || muls != 1 {
+		t.Fatalf("slots: %d Div + %d Mul, want 1 + 1 (improve pass failed)\n%v", divs, muls, s.Slots)
+	}
+	if s.Cost != s.LowerBound {
+		t.Fatalf("cost %d != lower bound %d", s.Cost, s.LowerBound)
+	}
+}
+
+// TestImproveRespectsOrderConflicts: A;B in one thread and B;A in the
+// other cannot share both — merging would need a position both before
+// and after the other slot.
+func TestImproveRespectsOrderConflicts(t *testing.T) {
+	s := induce(t,
+		thread(1, ir.Instr{Op: ir.Div}, ir.Instr{Op: ir.Mul}),
+		thread(2, ir.Instr{Op: ir.Mul}, ir.Instr{Op: ir.Div}),
+	)
+	// Exactly one of Div/Mul can be shared; schedule needs 3 slots.
+	if len(s.Slots) != 3 {
+		t.Fatalf("slots = %d, want 3\n%v", len(s.Slots), s.Slots)
+	}
+}

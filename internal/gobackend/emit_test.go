@@ -1,0 +1,425 @@
+package gobackend
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msc/internal/cfg"
+	"msc/internal/codegen"
+	"msc/internal/mimdsim"
+	"msc/internal/msc"
+)
+
+func compileProgram(t *testing.T, src string, conf msc.Options, code codegen.Options) (*cfg.Graph, string) {
+	t.Helper()
+	g := cfg.Simplify(cfg.MustBuild(src))
+	a, err := msc.Convert(g, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Compile(a, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Emit(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, out
+}
+
+// TestEmittedSourceParses checks the generated program is valid Go for
+// every conversion flavor.
+func TestEmittedSourceParses(t *testing.T) {
+	src := `
+poly int val, sum;
+void main()
+{
+    poly int j;
+    val = iproc + 1;
+    wait;
+    sum = 0;
+    for (j = 0; j < nproc; j = j + 1) {
+        sum = sum + val[[j]];
+    }
+    return;
+}
+`
+	for _, conf := range []msc.Options{
+		msc.DefaultOptions(false),
+		msc.DefaultOptions(true),
+	} {
+		for _, code := range []codegen.Options{{}, {Hash: true, CSI: true}} {
+			_, out := compileProgram(t, src, conf, code)
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, "gen.go", out, 0); err != nil {
+				t.Fatalf("generated code does not parse: %v\n%s", err, out)
+			}
+			for _, want := range []string{"func run(", "apcOf", "switch ms {"} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("generated code missing %q", want)
+				}
+			}
+		}
+	}
+}
+
+// TestEmittedProgramRuns builds and executes generated programs with the
+// Go toolchain and compares their printed variables against the MIMD
+// reference simulation.
+func TestEmittedProgramRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain invocation skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	workloads := []struct {
+		name, src string
+		n         int
+	}{
+		{"collatz", `
+poly int n, steps;
+void main()
+{
+    n = iproc * 7 + 27;
+    steps = 0;
+    while (n != 1) {
+        if (n % 2) { n = 3 * n + 1; } else { n = n / 2; }
+        steps = steps + 1;
+    }
+    return;
+}
+`, 6},
+		{"reduction", `
+poly int val, sum;
+void main()
+{
+    poly int j;
+    val = iproc + 1;
+    wait;
+    sum = 0;
+    for (j = 0; j < nproc; j = j + 1) {
+        sum = sum + val[[j]];
+    }
+    return;
+}
+`, 5},
+		{"calls", `
+poly int r;
+int gcd(int a, int b) { if (b == 0) { return a; } return gcd(b, a % b); }
+void main()
+{
+    r = gcd(iproc * 6 + 12, 18);
+    return;
+}
+`, 4},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			g, out := compileProgram(t, wl.src,
+				msc.DefaultOptions(true), codegen.Options{CSI: true})
+			dir := t.TempDir()
+			path := filepath.Join(dir, "gen.go")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command("go", "run", path, "-n", fmt.Sprint(wl.n))
+			cmd.Env = append(os.Environ(), "GO111MODULE=off", "GOFLAGS=")
+			raw, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed: %v\n%s\n--- generated ---\n%s", err, raw, out)
+			}
+
+			ref, err := mimdsim.Run(g, mimdsim.Config{N: wl.n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := parseDump(t, string(raw))
+			for name, slot := range g.VarSlot {
+				vals, ok := got[name]
+				if !ok {
+					t.Fatalf("variable %s missing from output:\n%s", name, raw)
+				}
+				for pe := 0; pe < wl.n; pe++ {
+					if vals[pe] != int64(ref.Mem[pe][slot]) {
+						t.Fatalf("%s PE %d: native %d != reference %d",
+							name, pe, vals[pe], ref.Mem[pe][slot])
+					}
+				}
+			}
+		})
+	}
+}
+
+func parseDump(t *testing.T, out string) map[string][]int64 {
+	t.Helper()
+	res := make(map[string][]int64)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var vals []int64
+		for _, f := range fields[1:] {
+			var v int64
+			if _, err := fmt.Sscan(f, &v); err != nil {
+				t.Fatalf("bad dump line %q", line)
+			}
+			vals = append(vals, v)
+		}
+		res[fields[0]] = vals
+	}
+	return res
+}
+
+func TestEmitRejectsWidePrograms(t *testing.T) {
+	// Fake a program with too many states.
+	g, _ := compileProgram(t, `void main() { return; }`, msc.DefaultOptions(false), codegen.Options{})
+	_ = g
+	a, err := msc.Convert(cfg.Simplify(cfg.MustBuild(`void main() { return; }`)), msc.DefaultOptions(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.Compile(a, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NStates = 65
+	if _, err := Emit(p, 4); err == nil {
+		t.Fatal("wide program accepted")
+	}
+}
+
+// TestEmittedDispatchVariants runs generated programs through the
+// remaining dispatch shapes: hashed base-mode switches, barrier
+// subtraction, spawn over the free pool, and superset fallback.
+func TestEmittedDispatchVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain invocation skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	cases := []struct {
+		name, src string
+		n, active int
+		conf      msc.Options
+		code      codegen.Options
+	}{
+		{
+			name: "hashed-base",
+			src: `
+poly int x;
+void main()
+{
+    x = iproc % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x < 4);
+    }
+    x = x + 100;
+    return;
+}
+`,
+			n: 7, conf: msc.DefaultOptions(false), code: codegen.Options{Hash: true},
+		},
+		{
+			name: "barrier-stencil",
+			src: `
+poly int cell, left, right;
+void main()
+{
+    poly int round;
+    cell = (iproc * 13) % 31;
+    for (round = 0; round < 3; round = round + 1) {
+        wait;
+        left = cell[[iproc - 1]];
+        right = cell[[iproc + 1]];
+        wait;
+        cell = (left + 2 * cell + right) / 4;
+    }
+    return;
+}
+`,
+			n: 6, conf: msc.DefaultOptions(false), code: codegen.Options{Hash: true, CSI: true},
+		},
+		{
+			name: "spawn-farm",
+			src: `
+poly int result;
+void worker()
+{
+    poly int k;
+    for (k = 0; k < iproc + 2; k = k + 1) { result = result + k * k; }
+    halt;
+}
+void main()
+{
+    spawn worker();
+    spawn worker();
+    return;
+}
+`,
+			n: 5, active: 1, conf: msc.DefaultOptions(true), code: codegen.Options{CSI: true},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			g, out := compileProgram2(t, c.src, c.conf, c.code)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "gen.go")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			args := []string{"run", path, "-n", fmt.Sprint(c.n)}
+			if c.active != 0 {
+				args = append(args, "-active", fmt.Sprint(c.active))
+			}
+			cmd := exec.Command("go", args...)
+			cmd.Env = append(os.Environ(), "GO111MODULE=off", "GOFLAGS=")
+			raw, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed: %v\n%s", err, raw)
+			}
+			ref, err := mimdsim.Run(g, mimdsim.Config{N: c.n, InitialActive: c.active})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := parseDump(t, string(raw))
+			for name, slot := range g.VarSlot {
+				for pe := 0; pe < c.n; pe++ {
+					if got[name][pe] != int64(ref.Mem[pe][slot]) {
+						t.Fatalf("%s PE %d: native %d != reference %d",
+							name, pe, got[name][pe], ref.Mem[pe][slot])
+					}
+				}
+			}
+		})
+	}
+}
+
+// compileProgram2 mirrors compileProgram but takes explicit options.
+func compileProgram2(t *testing.T, src string, conf msc.Options, code codegen.Options) (*cfg.Graph, string) {
+	t.Helper()
+	return compileProgram(t, src, conf, code)
+}
+
+// TestEmittedDivergentBarrier: the native program must release barrier
+// waiters that were stranded by threads ending elsewhere — the global
+// release() path.
+func TestEmittedDivergentBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain invocation skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	src := `
+poly int x;
+void main()
+{
+    if (iproc % 2) {
+        wait;
+        x = 100;
+    } else {
+        x = iproc;
+    }
+    x = x + 1;
+    return;
+}
+`
+	g, out := compileProgram(t, src, msc.DefaultOptions(false), codegen.Options{Hash: true})
+	if !strings.Contains(out, "func release(") {
+		t.Fatalf("generated code missing release()")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gen.go")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", path, "-n", "6")
+	cmd.Env = append(os.Environ(), "GO111MODULE=off", "GOFLAGS=")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, raw)
+	}
+	ref, err := mimdsim.Run(g, mimdsim.Config{N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseDump(t, string(raw))
+	slot := g.VarSlot["x"]
+	for pe := 0; pe < 6; pe++ {
+		if got["x"][pe] != int64(ref.Mem[pe][slot]) {
+			t.Fatalf("PE %d: native %d != reference %d", pe, got["x"][pe], ref.Mem[pe][slot])
+		}
+	}
+}
+
+// TestEmittedOpZoo pushes every opcode family through the backend and
+// runs the result natively: arrays, bitwise ops, shifts, floats,
+// conversions, mono broadcast, remote writes, ternary, and unary ops.
+func TestEmittedOpZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("toolchain invocation skipped in -short")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	src := `
+mono int scale;
+poly int a[4], bits, outv;
+poly float f;
+void main()
+{
+    poly int i, t;
+    if (iproc == 0) { scale = 3; }
+    wait;
+    for (i = 0; i < 4; i = i + 1) { a[i] = (i * scale) ^ 5; }
+    bits = ((a[1] << 2) | (a[2] >> 1)) & 255;
+    bits = ~bits % 97;
+    f = bits * 1.5 + 0.25;
+    t = f;
+    outv = t > 0 ? t : -t;
+    outv = outv + !bits;
+    outv[[iproc + 1]] = outv;
+    wait;
+    return;
+}
+`
+	g, out := compileProgram(t, src, msc.DefaultOptions(true), codegen.Options{CSI: true})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gen.go")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", path, "-n", "4")
+	cmd.Env = append(os.Environ(), "GO111MODULE=off", "GOFLAGS=")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, raw)
+	}
+	ref, err := mimdsim.Run(g, mimdsim.Config{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parseDump(t, string(raw))
+	for name, slot := range g.VarSlot {
+		for pe := 0; pe < 4; pe++ {
+			if got[name][pe] != int64(ref.Mem[pe][slot]) {
+				t.Fatalf("%s PE %d: native %d != reference %d",
+					name, pe, got[name][pe], ref.Mem[pe][slot])
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"msc"
+	metastate "msc/internal/msc"
+)
+
+// Ablations returns the design-choice studies: not paper artifacts, but
+// measurements of the alternatives DESIGN.md calls out.
+func Ablations() []Experiment {
+	return []Experiment{
+		{"A1", "Call treatment: in-line expansion vs shared copy with return tokens", "§2.2 design choice", runA1},
+		{"A2", "Barrier handling: §2.6 filtering vs exact occupancy", "§2.6 design choice", runA2},
+		{"A3", "Subset merging in compressed automata", "§2.5 design choice", runA3},
+		{"A4", "Hash function forms found across switch widths", "[Die92a] search order", runA4},
+	}
+}
+
+// AllWithAblations returns the paper experiments followed by the
+// ablation studies.
+func AllWithAblations() []Experiment {
+	return append(All(), Ablations()...)
+}
+
+// callHeavy calls one helper from several sites — the case where the
+// §2.2 treatments diverge most.
+const callHeavy = `
+poly int a, b, c;
+int step(int v) { return (v * 3 + 1) % 97; }
+void main()
+{
+    a = step(iproc);
+    b = step(a) + step(a + 1);
+    c = step(b) + step(step(c));
+    return;
+}
+`
+
+func runA1(w io.Writer) error {
+	shared, err := msc.Compile(callHeavy, msc.Config{Compress: true, CSI: true})
+	if err != nil {
+		return err
+	}
+	expanded, err := msc.Compile(callHeavy, msc.Config{Compress: true, CSI: true, ExpandCalls: true})
+	if err != nil {
+		return err
+	}
+	retWidth := func(c *msc.Compiled) int {
+		max := 0
+		for _, b := range c.Graph.Blocks {
+			if b != nil && len(b.RetTargets) > max {
+				max = len(b.RetTargets)
+			}
+		}
+		return max
+	}
+	rc := msc.RunConfig{N: 8}
+	rs, err := shared.RunSIMD(rc)
+	if err != nil {
+		return err
+	}
+	re, err := expanded.RunSIMD(rc)
+	if err != nil {
+		return err
+	}
+	// Same answers either way.
+	for _, name := range []string{"a", "b", "c"} {
+		ss, _ := shared.Slot(name)
+		es, _ := expanded.Slot(name)
+		for pe := 0; pe < 8; pe++ {
+			if rs.Mem[pe][ss] != re.Mem[pe][es] {
+				return fmt.Errorf("treatments disagree on %s at PE %d", name, pe)
+			}
+		}
+	}
+	if retWidth(expanded) != 0 {
+		return fmt.Errorf("expansion left a multiway return (width %d)", retWidth(expanded))
+	}
+	table(w, []string{"treatment", "MIMD states", "meta states", "widest return branch", "run cycles"},
+		[][]string{
+			{"shared copy + return tokens", fmt.Sprint(shared.MIMDStates()),
+				fmt.Sprint(shared.MetaStates()), fmt.Sprint(retWidth(shared)), fmt.Sprint(rs.Time)},
+			{"per-site in-line expansion", fmt.Sprint(expanded.MIMDStates()),
+				fmt.Sprint(expanded.MetaStates()), "0", fmt.Sprint(re.Time)},
+		})
+	fmt.Fprintf(w, "\nExpansion (the paper's literal §2.2) eliminates multiway returns; the shared copy keeps the graph smaller but every return dispatches over all sites.\n")
+	return nil
+}
+
+func runA2(w io.Writer) error {
+	var rows [][]string
+	for _, phases := range []int{2, 4, 6} {
+		src := BarrierPhases(phases)
+		paper, err := msc.Compile(src, msc.Config{})
+		if err != nil {
+			return err
+		}
+		exact, err := msc.Compile(src, msc.Config{BarrierExact: true})
+		if err != nil {
+			return err
+		}
+		if exact.MetaStates() < paper.MetaStates() {
+			return fmt.Errorf("exact mode produced fewer states than filtering at %d phases", phases)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(phases),
+			fmt.Sprint(paper.MetaStates()),
+			fmt.Sprint(exact.MetaStates()),
+		})
+	}
+	table(w, []string{"barrier phases", "meta states (§2.6 filtering)", "meta states (exact occupancy)"}, rows)
+	fmt.Fprintf(w, "\nThe §2.6 filter hides waiting PEs from the automaton; exact mode keeps them, staying sound when several distinct barriers can be occupied at once, at the cost of state space.\n")
+	return nil
+}
+
+func runA3(w io.Writer) error {
+	var rows [][]string
+	for _, k := range []int{2, 4, 6} {
+		src := SeqLoops(k, false)
+		g := msc.MustCompile(src, msc.Config{}).Graph
+		merged, err := metastate.Convert(g, metastate.DefaultOptions(true))
+		if err != nil {
+			return err
+		}
+		opts := metastate.DefaultOptions(true)
+		opts.MergeSubsets = false
+		plain, err := metastate.Convert(g, opts)
+		if err != nil {
+			return err
+		}
+		if merged.NumStates() > plain.NumStates() {
+			return fmt.Errorf("k=%d: merging increased states", k)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprint(plain.NumStates()),
+			fmt.Sprint(merged.NumStates()),
+		})
+	}
+	table(w, []string{"sequential loops k", "compressed, no merge", "compressed + subset merge"}, rows)
+	fmt.Fprintf(w, "\nFigure 5's two-state result needs the merge: a meta state that is a subset of another is emulated by the superset (\"it has the code for both\").\n")
+	return nil
+}
+
+func runA4(w io.Writer) error {
+	// Count which hash form wins across the dispatch switches of the
+	// workload suite (base automata have the interesting multiway
+	// branches).
+	counts := map[int]int{}
+	total := 0
+	for _, wl := range Suite() {
+		c, err := msc.Compile(wl.Source, msc.Config{Hash: true})
+		if err != nil {
+			return err
+		}
+		for _, mc := range c.Program.Meta {
+			if h := mc.Trans.Hash; h != nil {
+				counts[h.EvalCost]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("no hashed dispatches in the suite")
+	}
+	table(w, []string{"hash form", "eval cycles", "switches using it"},
+		[][]string{
+			{"(apc >> a) & m", "2", fmt.Sprint(counts[2])},
+			{"((apc >> a) ^ (apc >> b)) & m", "4", fmt.Sprint(counts[4])},
+			{"((apc * M) >> s) & m", "8", fmt.Sprint(counts[8])},
+		})
+	fmt.Fprintf(w, "\nThe search tries cheap forms first; Listing 5's xor-of-shifts form appears only when a plain shift cannot separate the aggregates.\n")
+	return nil
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msc"
+)
+
+// TestAllExperiments runs every paper-artifact reproduction end to end;
+// each experiment carries its own internal assertions (state counts,
+// balance improvements, engine agreement, overhead ordering).
+func TestAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s (%s): %v\noutput so far:\n%s", e.ID, e.Paper, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no report output", e.ID)
+			}
+		})
+	}
+}
+
+func TestReportIsCompleteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "## "+e.ID+" — ") {
+			t.Errorf("report missing section %s", e.ID)
+		}
+	}
+	if !strings.Contains(out, "| --- |") {
+		t.Errorf("report contains no markdown tables")
+	}
+}
+
+func TestWorkloadsCompileAndRun(t *testing.T) {
+	for _, wl := range Suite() {
+		c, err := msc.Compile(wl.Source, msc.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		res, err := c.RunSIMD(msc.RunConfig{N: wl.Width, InitialActive: wl.InitialActive})
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%s: no cycles executed", wl.Name)
+		}
+	}
+}
+
+func TestCollatzResults(t *testing.T) {
+	c := msc.MustCompile(Collatz, msc.DefaultConfig())
+	res, err := c.RunSIMD(msc.RunConfig{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotN, _ := c.Slot("n")
+	slotSteps, _ := c.Slot("steps")
+	// Collatz steps for seeds 27, 34, 41, 48.
+	wantSteps := []int64{111, 13, 109, 11}
+	for pe := 0; pe < 4; pe++ {
+		if got := res.Mem[pe][slotN]; got != 1 {
+			t.Errorf("PE %d: n = %d, want 1", pe, got)
+		}
+		if got := int64(res.Mem[pe][slotSteps]); got != wantSteps[pe] {
+			t.Errorf("PE %d: steps = %d, want %d", pe, got, wantSteps[pe])
+		}
+	}
+}
+
+func TestStencilConverges(t *testing.T) {
+	c := msc.MustCompile(Stencil, msc.DefaultConfig())
+	res, err := c.RunSIMD(msc.RunConfig{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.RunMIMD(msc.RunConfig{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := c.Slot("cell")
+	for pe := 0; pe < 8; pe++ {
+		if res.Mem[pe][slot] != ref.Mem[pe][slot] {
+			t.Fatalf("PE %d: stencil disagreement simd %d vs mimd %d",
+				pe, res.Mem[pe][slot], ref.Mem[pe][slot])
+		}
+	}
+}
+
+func TestPrimesCorrect(t *testing.T) {
+	c := msc.MustCompile(Primes, msc.DefaultConfig())
+	res, err := c.RunSIMD(msc.RunConfig{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primes in [0,20), [20,40), [40,60): 8, 4, 5.
+	wants := []int64{8, 4, 5}
+	slot, _ := c.Slot("count")
+	for pe, want := range wants {
+		if got := int64(res.Mem[pe][slot]); got != want {
+			t.Errorf("PE %d: primes = %d, want %d", pe, got, want)
+		}
+	}
+}
+
+func TestOddEvenSortSorts(t *testing.T) {
+	const n = 12
+	c := msc.MustCompile(OddEvenSort, msc.DefaultConfig())
+	res, err := c.RunSIMD(msc.RunConfig{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.RunMIMD(msc.RunConfig{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := c.Slot("v")
+	for pe := 0; pe < n; pe++ {
+		if res.Mem[pe][slot] != ref.Mem[pe][slot] {
+			t.Fatalf("PE %d: simd %d != mimd %d", pe, res.Mem[pe][slot], ref.Mem[pe][slot])
+		}
+		if pe > 0 && res.Mem[pe-1][slot] > res.Mem[pe][slot] {
+			t.Fatalf("not sorted at PE %d: %d > %d", pe, res.Mem[pe-1][slot], res.Mem[pe][slot])
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package harness implements the evaluation: named SPMD workloads, the
+// per-figure/per-claim experiments of EXPERIMENTS.md, and the report
+// generator behind cmd/mscbench and the root-level benchmarks.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing4 is the paper's complete example program (its control
+// structure is Listing 1). Its loops are intentionally non-terminating
+// at run time — meta-state conversion is static — so it is used for
+// structural artifacts only (Figures 1, 2, 5 and Listing 5).
+const Listing4 = `
+void main()
+{
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    return;
+}
+`
+
+// Listing3 is Listing 1 plus the barrier synchronization of Listing 3.
+const Listing3 = `
+void main()
+{
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    wait;
+    return;
+}
+`
+
+// Divergent is a runnable Listing 1: processors take different branches
+// and loop different numbers of times before rejoining.
+const Divergent = `
+poly int x;
+void main()
+{
+    x = iproc % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x < 4);
+    }
+    x = x + 100;
+    return;
+}
+`
+
+// Collatz is the classic MIMD-friendly divergence workload: every PE
+// iterates 3n+1 from a different seed, with wildly different trip
+// counts and per-iteration branch outcomes.
+const Collatz = `
+poly int n, steps;
+void main()
+{
+    n = iproc * 7 + 27;
+    steps = 0;
+    while (n != 1) {
+        if (n % 2) {
+            n = 3 * n + 1;
+        } else {
+            n = n / 2;
+        }
+        steps = steps + 1;
+    }
+    return;
+}
+`
+
+// Reduction publishes a value per PE and folds every PE's value through
+// the router after a barrier (§4.1 parallel subscripting).
+const Reduction = `
+poly int val, sum;
+void main()
+{
+    poly int j;
+    val = iproc + 1;
+    wait;
+    sum = 0;
+    for (j = 0; j < nproc; j = j + 1) {
+        sum = sum + val[[j]];
+    }
+    return;
+}
+`
+
+// Stencil runs barrier-separated nearest-neighbor smoothing rounds over
+// a ring of PEs: the archetypal data-parallel-with-communication SPMD
+// kernel.
+const Stencil = `
+poly int cell, left, right;
+void main()
+{
+    poly int round;
+    cell = (iproc * 13) % 31;
+    for (round = 0; round < 4; round = round + 1) {
+        wait;
+        left = cell[[iproc - 1]];
+        right = cell[[iproc + 1]];
+        wait;
+        cell = (left + 2 * cell + right) / 4;
+    }
+    return;
+}
+`
+
+// Farm is the §3.2.5 restricted-dynamic-process-creation workload: a
+// coordinator PE spawns workers onto free processors; workers halt and
+// return to the pool.
+const Farm = `
+poly int result;
+void worker()
+{
+    poly int k;
+    result = 0;
+    for (k = 0; k < iproc + 2; k = k + 1) {
+        result = result + k * k;
+    }
+    halt;
+}
+void main()
+{
+    spawn worker();
+    spawn worker();
+    spawn worker();
+    return;
+}
+`
+
+// GCD exercises function calls and the §2.2 recursion treatment.
+const GCD = `
+poly int r;
+int gcd(int a, int b)
+{
+    if (b == 0) { return a; }
+    return gcd(b, a % b);
+}
+void main()
+{
+    r = gcd(iproc * 6 + 12, 18);
+    return;
+}
+`
+
+// Primes counts primes in a per-PE range by trial division: doubly
+// nested divergent loops whose inner trip counts depend on the data —
+// a "real program" in the sense of §5's future-work benchmark goal.
+const Primes = `
+poly int count;
+int isprime(int n)
+{
+    poly int d;
+    if (n < 2) { return 0; }
+    for (d = 2; d * d <= n; d = d + 1) {
+        if (n % d == 0) { return 0; }
+    }
+    return 1;
+}
+void main()
+{
+    poly int lo, hi, k;
+    lo = iproc * 20;
+    hi = lo + 20;
+    count = 0;
+    for (k = lo; k < hi; k = k + 1) {
+        count = count + isprime(k);
+    }
+    return;
+}
+`
+
+// Imbalance builds the Figure 3 situation: a cheap branch merged with a
+// branch roughly ratio times more expensive, followed by a modest join
+// tail. Without splitting, the cheap thread idles inside the wide meta
+// state waiting for the transition (§2.4); with splitting it proceeds
+// into the tail while the expensive thread works through its pieces.
+func Imbalance(ratio int) string {
+	var sb strings.Builder
+	sb.WriteString(`
+poly int y;
+void main()
+{
+    poly int x;
+    x = iproc % 2;
+    if (x) {
+        y = y + 1;
+    } else {
+`)
+	for i := 0; i < ratio; i++ {
+		sb.WriteString("        y = y * 3 + 1;\n")
+	}
+	sb.WriteString(`    }
+    y = y + x;
+    y = y * 2 + 1;
+    return;
+}
+`)
+	return sb.String()
+}
+
+// SeqLoops builds k sequential data-dependent loops: processors
+// desynchronize freely, so the base meta-state space grows
+// exponentially in k (the §1.2 explosion). With barrier set, a wait
+// between loops resynchronizes the processors and keeps it linear
+// (§2.6).
+func SeqLoops(k int, barrier bool) string {
+	var sb strings.Builder
+	sb.WriteString("void main() {\n    poly int x;\n    x = iproc % 4 + 1;\n")
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&sb, "    do { x = x - 1; } while (x > 0);\n")
+		if barrier {
+			sb.WriteString("    wait;\n")
+		}
+		fmt.Fprintf(&sb, "    x = iproc %% %d + 1;\n", i+2)
+	}
+	sb.WriteString("    return;\n}\n")
+	return sb.String()
+}
+
+// BarrierPhases builds k compute+barrier phases with divergent
+// per-phase work, for the barrier-cost experiment (E7).
+func BarrierPhases(k int) string {
+	var sb strings.Builder
+	sb.WriteString("poly int acc;\nvoid main() {\n    poly int i;\n    acc = iproc;\n")
+	for p := 0; p < k; p++ {
+		fmt.Fprintf(&sb, "    for (i = 0; i < iproc %% 3 + 1; i = i + 1) { acc = acc + i; }\n")
+		sb.WriteString("    wait;\n")
+	}
+	sb.WriteString("    return;\n}\n")
+	return sb.String()
+}
+
+// Workload pairs a name with MIMDC source, for sweep-style experiments.
+type Workload struct {
+	Name   string
+	Source string
+	// Width is the default machine width the workload is run at.
+	Width int
+	// InitialActive for spawn workloads (0 = all PEs in main).
+	InitialActive int
+}
+
+// Suite returns the standard runnable workload set used by E3/E5.
+func Suite() []Workload {
+	return []Workload{
+		{Name: "divergent", Source: Divergent, Width: 16},
+		{Name: "collatz", Source: Collatz, Width: 16},
+		{Name: "reduction", Source: Reduction, Width: 16},
+		{Name: "stencil", Source: Stencil, Width: 16},
+		{Name: "gcd", Source: GCD, Width: 16},
+		{Name: "primes", Source: Primes, Width: 16},
+		{Name: "oddeven-sort", Source: OddEvenSort, Width: 16},
+		{Name: "farm", Source: Farm, Width: 8, InitialActive: 1},
+	}
+}
+
+// OddEvenSort is odd-even transposition sort with one key per PE: the
+// classic distributed SPMD sorting network, alternating barrier-paced
+// exchange phases through the router. After nproc phases the ring holds
+// the keys in ascending PE order.
+const OddEvenSort = `
+poly int v, partner, tmp;
+void main()
+{
+    poly int phase;
+    v = (iproc * 31 + 17) % 97;
+    for (phase = 0; phase < nproc; phase = phase + 1) {
+        wait;
+        if ((iproc + phase) % 2 == 0) {
+            partner = iproc + 1;
+        } else {
+            partner = iproc - 1;
+        }
+        tmp = v[[partner]];
+        wait;
+        if (partner >= 0 && partner < nproc) {
+            if (partner > iproc) {
+                if (tmp < v) { v = tmp; }
+            } else {
+                if (tmp > v) { v = tmp; }
+            }
+        }
+    }
+    return;
+}
+`

@@ -1,0 +1,132 @@
+// Package hashgen searches for customized hash functions that map a
+// sparse set of aggregate-pc words to small, distinct indices, so that
+// the N-way branch at the end of each meta state compiles to a dense
+// jump table ("Coding Multiway Branches Using Customized Hash
+// Functions", Dietz TR-EE 92-31; §3.2 of the MSC paper — e.g. the
+// ((apc >> 6) ^ apc) & 15 switch of Listing 5).
+//
+// The search tries function forms in increasing evaluation-cost order
+// within increasing table sizes, so the first hit is the cheapest
+// perfect hash with the densest table:
+//
+//  1. (w >> a) & mask                      — 2 cycles
+//  2. ((w >> a) ^ (w >> b)) & mask         — 4 cycles
+//  3. ((w*M) >> s) & mask (Fibonacci mul)  — 8 cycles
+package hashgen
+
+import (
+	"fmt"
+	"math/bits"
+
+	"msc/internal/simd"
+)
+
+// Costs of the candidate forms in control-unit cycles.
+const (
+	costShift = 2
+	costXor   = 4
+	costMul   = 8
+)
+
+// fibonacci multipliers tried for the multiplicative form (2^64/φ and a
+// few standard mixers).
+var multipliers = []uint64{
+	0x9e3779b97f4a7c15,
+	0xff51afd7ed558ccd,
+	0xc4ceb9fe1a85ec53,
+	0xbf58476d1ce4e5b9,
+	0x94d049bb133111eb,
+}
+
+// Find returns the cheapest perfect hash over keys from the candidate
+// family. Keys must be non-empty and distinct.
+func Find(keys []uint64) (*simd.HashFn, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("hashgen: no keys")
+	}
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			return nil, fmt.Errorf("hashgen: duplicate key %#x", k)
+		}
+		seen[k] = true
+	}
+
+	minBits := bits.Len(uint(len(keys) - 1))
+	if len(keys) == 1 {
+		minBits = 0
+	}
+	for b := minBits; b <= minBits+4 && b <= 16; b++ {
+		mask := uint64(1)<<uint(b) - 1
+
+		// Form 1: single shift.
+		for a := 0; a < 64; a++ {
+			h := &simd.HashFn{ShiftA: a, Mask: mask, EvalCost: costShift}
+			if perfect(h, keys) {
+				return h, nil
+			}
+		}
+		// Form 2: xor of two shifts (the Listing 5 shape).
+		for a := 0; a < 64; a++ {
+			for c := a + 1; c < 64; c++ {
+				h := &simd.HashFn{ShiftA: a, ShiftB: c, UseB: true, Mask: mask, EvalCost: costXor}
+				if perfect(h, keys) {
+					return h, nil
+				}
+			}
+		}
+		// Form 3: multiplicative. ShiftA=64 zeroes the plain term.
+		for _, m := range multipliers {
+			for s := 64 - b; s >= 32; s -= 4 {
+				h := &simd.HashFn{
+					ShiftA: 64, UseMul: true, Mul: m, ShiftM: s,
+					Mask: mask, EvalCost: costMul,
+				}
+				if perfect(h, keys) {
+					return h, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("hashgen: no perfect hash found for %d keys within table size 2^%d",
+		len(keys), minBits+4)
+}
+
+// perfect reports whether h maps every key to a distinct index.
+func perfect(h *simd.HashFn, keys []uint64) bool {
+	var small [64]bool
+	var used map[uint64]bool
+	if h.Mask >= uint64(len(small)) {
+		used = make(map[uint64]bool, len(keys))
+	}
+	for _, k := range keys {
+		idx := h.Index(k)
+		if used != nil {
+			if used[idx] {
+				return false
+			}
+			used[idx] = true
+		} else {
+			if small[idx] {
+				return false
+			}
+			small[idx] = true
+		}
+	}
+	return true
+}
+
+// TableDensity reports how full the jump table is: keys / table size.
+func TableDensity(h *simd.HashFn, nkeys int) float64 {
+	return float64(nkeys) / float64(h.Mask+1)
+}
+
+// LinearDispatchCost models the naive alternative the hash replaces:
+// a chain of compare-and-branch over n keys costs 2 cycles per probe
+// and on average probes half the chain.
+func LinearDispatchCost(n int) int {
+	if n <= 1 {
+		return 2
+	}
+	return 2 * ((n + 1) / 2)
+}

@@ -1,0 +1,120 @@
+package ir
+
+import "fmt"
+
+// The ALU helpers give every execution engine (the MIMD reference
+// simulator, the MIMD-on-SIMD interpreter, and the SIMD VM) identical
+// arithmetic semantics, so cross-engine equivalence is exact:
+//
+//   - integer division/modulo by zero yields 0 (the machine is total;
+//     SIMD lockstep cannot trap a single PE);
+//   - shift counts are masked to 6 bits;
+//   - float comparisons produce int 0/1.
+
+// EvalBinary applies a two-operand opcode to (a, b) = (lhs, rhs).
+func EvalBinary(op Op, a, b Word) Word {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case Mod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case BitAnd:
+		return a & b
+	case BitOr:
+		return a | b
+	case BitXor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return a >> (uint64(b) & 63)
+	case CmpLt:
+		return Bool(a < b)
+	case CmpLe:
+		return Bool(a <= b)
+	case CmpGt:
+		return Bool(a > b)
+	case CmpGe:
+		return Bool(a >= b)
+	case CmpEq:
+		return Bool(a == b)
+	case CmpNe:
+		return Bool(a != b)
+	case FAdd:
+		return FloatWord(a.Float() + b.Float())
+	case FSub:
+		return FloatWord(a.Float() - b.Float())
+	case FMul:
+		return FloatWord(a.Float() * b.Float())
+	case FDiv:
+		return FloatWord(a.Float() / b.Float())
+	case FCmpLt:
+		return Bool(a.Float() < b.Float())
+	case FCmpLe:
+		return Bool(a.Float() <= b.Float())
+	case FCmpGt:
+		return Bool(a.Float() > b.Float())
+	case FCmpGe:
+		return Bool(a.Float() >= b.Float())
+	case FCmpEq:
+		return Bool(a.Float() == b.Float())
+	case FCmpNe:
+		return Bool(a.Float() != b.Float())
+	}
+	panic(fmt.Sprintf("ir: EvalBinary of non-binary op %v", op))
+}
+
+// IsBinary reports whether op is a two-operand ALU opcode.
+func IsBinary(op Op) bool {
+	switch op {
+	case Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr,
+		CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+		FAdd, FSub, FMul, FDiv,
+		FCmpLt, FCmpLe, FCmpGt, FCmpGe, FCmpEq, FCmpNe:
+		return true
+	}
+	return false
+}
+
+// EvalUnary applies a one-operand opcode.
+func EvalUnary(op Op, a Word) Word {
+	switch op {
+	case Neg:
+		return -a
+	case BitNot:
+		return ^a
+	case LNot:
+		return Bool(a == 0)
+	case FNeg:
+		return FloatWord(-a.Float())
+	case I2F:
+		return FloatWord(float64(a))
+	case F2I:
+		return Word(int64(a.Float()))
+	}
+	panic(fmt.Sprintf("ir: EvalUnary of non-unary op %v", op))
+}
+
+// IsUnary reports whether op is a one-operand ALU opcode.
+func IsUnary(op Op) bool {
+	switch op {
+	case Neg, BitNot, LNot, FNeg, I2F, F2I:
+		return true
+	}
+	return false
+}
+
+// Truth reports the branch interpretation of a condition word.
+func Truth(w Word) bool { return w != 0 }

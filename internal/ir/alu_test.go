@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalBinaryIntOps(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w Word
+	}{
+		{Add, 3, 4, 7},
+		{Sub, 3, 4, -1},
+		{Mul, -3, 4, -12},
+		{Div, 13, 4, 3},
+		{Div, -13, 4, -3}, // Go truncated division
+		{Div, 13, 0, 0},   // total machine: /0 = 0
+		{Mod, 13, 4, 1},
+		{Mod, -13, 4, -1},
+		{Mod, 13, 0, 0},
+		{BitAnd, 0b1100, 0b1010, 0b1000},
+		{BitOr, 0b1100, 0b1010, 0b1110},
+		{BitXor, 0b1100, 0b1010, 0b0110},
+		{Shl, 1, 4, 16},
+		{Shl, 1, 64, 1}, // shift counts masked to 6 bits
+		{Shl, 1, 65, 2},
+		{Shr, 16, 2, 4},
+		{Shr, -1, 63, -1}, // arithmetic shift: sign bit replicates
+		{CmpLt, 1, 2, 1},
+		{CmpLt, 2, 1, 0},
+		{CmpLe, 2, 2, 1},
+		{CmpGt, 3, 2, 1},
+		{CmpGe, 2, 3, 0},
+		{CmpEq, 5, 5, 1},
+		{CmpNe, 5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := EvalBinary(c.op, c.a, c.b); got != c.w {
+			t.Errorf("%v(%d, %d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestShrIsArithmetic(t *testing.T) {
+	// Word is int64, so Shr replicates the sign bit.
+	if got := EvalBinary(Shr, -8, 1); got != -4 {
+		t.Fatalf("Shr(-8, 1) = %d, want -4 (arithmetic shift)", got)
+	}
+}
+
+func TestEvalBinaryFloatOps(t *testing.T) {
+	f := func(x float64) Word { return FloatWord(x) }
+	cases := []struct {
+		op   Op
+		a, b Word
+		want Word
+	}{
+		{FAdd, f(1.5), f(2.25), f(3.75)},
+		{FSub, f(1.5), f(2.25), f(-0.75)},
+		{FMul, f(1.5), f(4), f(6)},
+		{FDiv, f(3), f(2), f(1.5)},
+		{FCmpLt, f(1), f(2), 1},
+		{FCmpLe, f(2), f(2), 1},
+		{FCmpGt, f(1), f(2), 0},
+		{FCmpGe, f(2), f(2), 1},
+		{FCmpEq, f(2), f(2), 1},
+		{FCmpNe, f(2), f(2), 0},
+	}
+	for _, c := range cases {
+		if got := EvalBinary(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%v = %v, want %v", c.op, got, c.want)
+		}
+	}
+	// Float division by zero follows IEEE (inf), not the integer rule.
+	if got := EvalBinary(FDiv, f(1), f(0)).Float(); got <= 0 || got == got-1 {
+		_ = got // +Inf: got > 0 and got-1 == got
+	}
+}
+
+func TestEvalUnary(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, want Word
+	}{
+		{Neg, 5, -5},
+		{BitNot, 0, -1},
+		{LNot, 0, 1},
+		{LNot, 7, 0},
+		{FNeg, FloatWord(2.5), FloatWord(-2.5)},
+		{I2F, 3, FloatWord(3)},
+		{F2I, FloatWord(3.9), 3},
+		{F2I, FloatWord(-3.9), -3},
+	}
+	for _, c := range cases {
+		if got := EvalUnary(c.op, c.a); got != c.want {
+			t.Errorf("%v(%d) = %d, want %d", c.op, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnWrongArity(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("EvalBinary(Neg)", func() { EvalBinary(Neg, 1, 2) })
+	assertPanic("EvalUnary(Add)", func() { EvalUnary(Add, 1) })
+}
+
+func TestIsBinaryIsUnaryPartition(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		if IsBinary(op) && IsUnary(op) {
+			t.Errorf("%v is both binary and unary", op)
+		}
+	}
+	// Every ALU op is classified.
+	for _, op := range []Op{Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor,
+		Shl, Shr, CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+		FAdd, FSub, FMul, FDiv, FCmpLt, FCmpLe, FCmpGt, FCmpGe, FCmpEq, FCmpNe} {
+		if !IsBinary(op) {
+			t.Errorf("%v not IsBinary", op)
+		}
+	}
+	for _, op := range []Op{Neg, BitNot, LNot, FNeg, I2F, F2I} {
+		if !IsUnary(op) {
+			t.Errorf("%v not IsUnary", op)
+		}
+	}
+	for _, op := range []Op{PushC, LdLocal, StLocal, Pop, Dup, PushRet, Nop} {
+		if IsBinary(op) || IsUnary(op) {
+			t.Errorf("%v misclassified as ALU", op)
+		}
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if Truth(0) || !Truth(1) || !Truth(-5) {
+		t.Fatal("Truth wrong")
+	}
+}
+
+func TestQuickDivModIdentity(t *testing.T) {
+	// For b != 0: a == (a/b)*b + a%b (Go semantics shared by all engines).
+	f := func(a, b int64) bool {
+		if b == 0 {
+			return EvalBinary(Div, Word(a), 0) == 0 && EvalBinary(Mod, Word(a), 0) == 0
+		}
+		q := EvalBinary(Div, Word(a), Word(b))
+		r := EvalBinary(Mod, Word(a), Word(b))
+		return int64(q)*b+int64(r) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComparisonTrichotomy(t *testing.T) {
+	f := func(a, b int64) bool {
+		lt := EvalBinary(CmpLt, Word(a), Word(b))
+		eq := EvalBinary(CmpEq, Word(a), Word(b))
+		gt := EvalBinary(CmpGt, Word(a), Word(b))
+		return lt+eq+gt == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloatRoundTripOps(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b {
+			return true // skip NaN inputs
+		}
+		sum := EvalBinary(FAdd, FloatWord(a), FloatWord(b)).Float()
+		return sum == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsFloatClassifier(t *testing.T) {
+	if !FAdd.IsFloat() || !FCmpNe.IsFloat() {
+		t.Error("float ops not classified")
+	}
+	if Add.IsFloat() || CmpEq.IsFloat() || I2F.IsFloat() {
+		t.Error("int/conversion ops classified as float")
+	}
+}

@@ -1,0 +1,427 @@
+package mimdc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"msc/internal/ir"
+)
+
+// Program is a parsed (and, after Analyze, semantically checked) MIMDC
+// translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+
+	// Filled in by Analyze:
+	MonoSlots int // words of replicated mono storage (slots [0,MonoSlots))
+	PolySlots int // words of per-PE private storage (slots [MonoSlots,MonoSlots+PolySlots))
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// VarDecl declares a global, local, or parameter variable.
+type VarDecl struct {
+	Pos      Pos
+	Mono     bool // mono (shared/replicated) vs poly (private)
+	Ty       ir.Type
+	Name     string
+	ArrayLen int  // 0 for scalars
+	Init     Expr // optional initializer (globals: constant)
+	Slot     int  // memory slot, assigned by Analyze
+	IsParam  bool
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Ret    ir.Type
+	Name   string
+	Params []*VarDecl
+	Body   *BlockStmt
+	Locals []*VarDecl // params + all block-local decls, set by Analyze
+}
+
+// Stmt is the statement interface.
+type Stmt interface{ stmtNode() }
+
+type (
+	// BlockStmt is { ... }.
+	BlockStmt struct {
+		Pos   Pos
+		Stmts []Stmt
+	}
+	// DeclStmt is a local variable declaration statement.
+	DeclStmt struct {
+		Pos   Pos
+		Decls []*VarDecl
+	}
+	// ExprStmt is an expression evaluated for effect.
+	ExprStmt struct {
+		Pos Pos
+		X   Expr
+	}
+	// IfStmt is if (Cond) Then [else Else].
+	IfStmt struct {
+		Pos        Pos
+		Cond       Expr
+		Then, Else Stmt
+	}
+	// WhileStmt is while (Cond) Body.
+	WhileStmt struct {
+		Pos  Pos
+		Cond Expr
+		Body Stmt
+	}
+	// DoWhileStmt is do Body while (Cond);.
+	DoWhileStmt struct {
+		Pos  Pos
+		Body Stmt
+		Cond Expr
+	}
+	// ForStmt is for (Init; Cond; Post) Body; any clause may be nil.
+	ForStmt struct {
+		Pos              Pos
+		Init, Cond, Post Expr
+		Body             Stmt
+	}
+	// ReturnStmt is return [X];.
+	ReturnStmt struct {
+		Pos Pos
+		X   Expr
+	}
+	// WaitStmt is the barrier statement wait;.
+	WaitStmt struct{ Pos Pos }
+	// SpawnStmt is spawn f(); — restricted dynamic process creation.
+	SpawnStmt struct {
+		Pos  Pos
+		Name string
+		Decl *FuncDecl // resolved by Analyze
+	}
+	// HaltStmt releases this PE back to the free pool.
+	HaltStmt struct{ Pos Pos }
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Pos Pos }
+	// ContinueStmt continues the innermost loop.
+	ContinueStmt struct{ Pos Pos }
+	// EmptyStmt is a lone semicolon.
+	EmptyStmt struct{ Pos Pos }
+)
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*WaitStmt) stmtNode()     {}
+func (*SpawnStmt) stmtNode()    {}
+func (*HaltStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*EmptyStmt) stmtNode()    {}
+
+// Expr is the expression interface. Type() is ir.Void until Analyze runs.
+type Expr interface {
+	exprNode()
+	Type() ir.Type
+}
+
+type typed struct{ Ty ir.Type }
+
+func (t typed) Type() ir.Type { return t.Ty }
+
+type (
+	// IntLit is an integer literal.
+	IntLit struct {
+		typed
+		Pos Pos
+		Val int64
+	}
+	// FloatLit is a float literal.
+	FloatLit struct {
+		typed
+		Pos Pos
+		Val float64
+	}
+	// VarRef names a scalar variable.
+	VarRef struct {
+		typed
+		Pos  Pos
+		Name string
+		Decl *VarDecl // resolved by Analyze
+	}
+	// IndexRef is arr[idx].
+	IndexRef struct {
+		typed
+		Pos  Pos
+		Name string
+		Decl *VarDecl
+		Idx  Expr
+	}
+	// RemoteRef is the parallel subscript y[[pe]] (§4.1): the value of
+	// poly variable y on processor pe.
+	RemoteRef struct {
+		typed
+		Pos  Pos
+		Name string
+		Decl *VarDecl
+		PE   Expr
+	}
+	// IProc is the builtin processor index.
+	IProc struct {
+		typed
+		Pos Pos
+	}
+	// NProc is the builtin machine width.
+	NProc struct {
+		typed
+		Pos Pos
+	}
+	// Call is f(args). Calls are expanded in-line before conversion (§2.2).
+	Call struct {
+		typed
+		Pos  Pos
+		Name string
+		Decl *FuncDecl
+		Args []Expr
+	}
+	// Unary is -x, !x, ~x, +x.
+	Unary struct {
+		typed
+		Pos Pos
+		Op  Kind
+		X   Expr
+	}
+	// Binary is L op R. && and || are short-circuit (lowered to control
+	// flow by the CFG builder).
+	Binary struct {
+		typed
+		Pos  Pos
+		Op   Kind
+		L, R Expr
+	}
+	// Assign is LHS = RHS; LHS is a VarRef, IndexRef, or RemoteRef.
+	Assign struct {
+		typed
+		Pos Pos
+		LHS Expr
+		RHS Expr
+	}
+	// Cond is the C conditional expression c ? t : f, lowered to
+	// control flow like the short-circuit operators.
+	Cond struct {
+		typed
+		Pos     Pos
+		C, T, F Expr
+	}
+	// Conv is an implicit numeric conversion inserted by Analyze.
+	Conv struct {
+		typed
+		X Expr
+	}
+)
+
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*VarRef) exprNode()    {}
+func (*IndexRef) exprNode()  {}
+func (*RemoteRef) exprNode() {}
+func (*IProc) exprNode()     {}
+func (*NProc) exprNode()     {}
+func (*Call) exprNode()      {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Assign) exprNode()    {}
+func (*Cond) exprNode()      {}
+func (*Conv) exprNode()      {}
+
+// ---- Printer -------------------------------------------------------------
+
+// Format renders the program as parseable MIMDC source.
+func (p *Program) Format() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		b.WriteString(formatVarDecl(g))
+		b.WriteString(";\n")
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "%s %s(", f.Ret, f.Name)
+		for i, prm := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", prm.Ty, prm.Name)
+		}
+		b.WriteString(")\n")
+		formatStmt(&b, f.Body, 0)
+	}
+	return b.String()
+}
+
+func formatVarDecl(v *VarDecl) string {
+	cls := "poly"
+	if v.Mono {
+		cls = "mono"
+	}
+	s := fmt.Sprintf("%s %s %s", cls, v.Ty, v.Name)
+	if v.ArrayLen > 0 {
+		s += fmt.Sprintf("[%d]", v.ArrayLen)
+	}
+	if v.Init != nil {
+		s += " = " + FormatExpr(v.Init)
+	}
+	return s
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		indent(b, depth)
+		b.WriteString("{\n")
+		for _, inner := range s.Stmts {
+			formatStmt(b, inner, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			indent(b, depth)
+			b.WriteString(formatVarDecl(d))
+			b.WriteString(";\n")
+		}
+	case *ExprStmt:
+		indent(b, depth)
+		b.WriteString(FormatExpr(s.X))
+		b.WriteString(";\n")
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s)\n", FormatExpr(s.Cond))
+		formatStmt(b, blockify(s.Then), depth)
+		if s.Else != nil {
+			indent(b, depth)
+			b.WriteString("else\n")
+			formatStmt(b, blockify(s.Else), depth)
+		}
+	case *WhileStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s)\n", FormatExpr(s.Cond))
+		formatStmt(b, blockify(s.Body), depth)
+	case *DoWhileStmt:
+		indent(b, depth)
+		b.WriteString("do\n")
+		formatStmt(b, blockify(s.Body), depth)
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s);\n", FormatExpr(s.Cond))
+	case *ForStmt:
+		indent(b, depth)
+		b.WriteString("for (")
+		if s.Init != nil {
+			b.WriteString(FormatExpr(s.Init))
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(FormatExpr(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			b.WriteString(FormatExpr(s.Post))
+		}
+		b.WriteString(")\n")
+		formatStmt(b, blockify(s.Body), depth)
+	case *ReturnStmt:
+		indent(b, depth)
+		if s.X != nil {
+			fmt.Fprintf(b, "return %s;\n", FormatExpr(s.X))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *WaitStmt:
+		indent(b, depth)
+		b.WriteString("wait;\n")
+	case *SpawnStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "spawn %s();\n", s.Name)
+	case *HaltStmt:
+		indent(b, depth)
+		b.WriteString("halt;\n")
+	case *BreakStmt:
+		indent(b, depth)
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("continue;\n")
+	case *EmptyStmt:
+		indent(b, depth)
+		b.WriteString(";\n")
+	default:
+		panic(fmt.Sprintf("formatStmt: unknown statement %T", s))
+	}
+}
+
+func blockify(s Stmt) Stmt {
+	if _, ok := s.(*BlockStmt); ok {
+		return s
+	}
+	return &BlockStmt{Stmts: []Stmt{s}}
+}
+
+// FormatExpr renders an expression with full parenthesization (always
+// reparseable; precedence-faithful by construction).
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.Val, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Val, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		return e.Name
+	case *IndexRef:
+		return fmt.Sprintf("%s[%s]", e.Name, FormatExpr(e.Idx))
+	case *RemoteRef:
+		return fmt.Sprintf("%s[[%s]]", e.Name, FormatExpr(e.PE))
+	case *IProc:
+		return "iproc"
+	case *NProc:
+		return "nproc"
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case *Unary:
+		return fmt.Sprintf("(%s%s)", e.Op, FormatExpr(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.L), e.Op, FormatExpr(e.R))
+	case *Assign:
+		return fmt.Sprintf("%s = %s", FormatExpr(e.LHS), FormatExpr(e.RHS))
+	case *Cond:
+		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(e.C), FormatExpr(e.T), FormatExpr(e.F))
+	case *Conv:
+		return FormatExpr(e.X) // conversions are implicit in source
+	default:
+		panic(fmt.Sprintf("FormatExpr: unknown expression %T", e))
+	}
+}

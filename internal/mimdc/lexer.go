@@ -1,0 +1,255 @@
+package mimdc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer scans MIMDC source into tokens. It supports // line comments and
+// /* block */ comments, decimal integer and float literals.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs *ErrorList
+}
+
+// ErrorList accumulates front-end diagnostics.
+type ErrorList struct {
+	Errs []error
+}
+
+// Addf records a formatted diagnostic at pos.
+func (el *ErrorList) Addf(pos Pos, format string, args ...any) {
+	el.Errs = append(el.Errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// Err returns the accumulated diagnostics as a single error, or nil.
+func (el *ErrorList) Err() error {
+	if len(el.Errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(el.Errs))
+	for i, e := range el.Errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "\n"))
+}
+
+// NewLexer returns a lexer over src reporting errors into errs.
+func NewLexer(src string, errs *ErrorList) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, errs: errs}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off < len(lx.src) {
+		return lx.src[lx.off]
+	}
+	return 0
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 < len(lx.src) {
+		return lx.src[lx.off+1]
+	}
+	return 0
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{lx.line, lx.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errs.Addf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	c := lx.advance()
+	switch {
+	case isAlpha(c):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}
+		}
+		return Token{Kind: Ident, Text: text, Pos: pos}
+	case isDigit(c) || (c == '.' && isDigit(lx.peek())):
+		start := lx.off - 1
+		isFloat := c == '.'
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if !isFloat && lx.peek() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			save := lx.off
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			if isDigit(lx.peek()) {
+				isFloat = true
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			} else {
+				// Not an exponent after all; un-consume (no newline can
+				// appear inside a number, so column math is safe).
+				lx.col -= lx.off - save
+				lx.off = save
+			}
+		}
+		kind := IntLiteral
+		if isFloat {
+			kind = FloatLiteral
+		}
+		return Token{Kind: kind, Text: lx.src[start:lx.off], Pos: pos}
+	}
+
+	two := func(next byte, with, without Kind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: with, Pos: pos}
+		}
+		return Token{Kind: without, Pos: pos}
+	}
+
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}
+	case ')':
+		return Token{Kind: RParen, Pos: pos}
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}
+	case ';':
+		return Token{Kind: Semi, Pos: pos}
+	case ',':
+		return Token{Kind: Comma, Pos: pos}
+	case '=':
+		return two('=', EqEq, AssignTok)
+	case '|':
+		return two('|', OrOr, Or)
+	case '&':
+		return two('&', AndAnd, And)
+	case '^':
+		return Token{Kind: Xor, Pos: pos}
+	case '!':
+		return two('=', NotEq, Not)
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: Shl, Pos: pos}
+		}
+		return two('=', LtEq, Lt)
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: Shr, Pos: pos}
+		}
+		return two('=', GtEq, Gt)
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: PlusPlus, Pos: pos}
+		}
+		return two('=', PlusAssign, Plus)
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: MinusMinus, Pos: pos}
+		}
+		return two('=', MinusAssign, Minus)
+	case '*':
+		return two('=', StarAssign, Star)
+	case '/':
+		return two('=', SlashAssign, Slash)
+	case '%':
+		return two('=', PercentAssign, Percent)
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}
+	case '?':
+		return Token{Kind: Question, Pos: pos}
+	case ':':
+		return Token{Kind: Colon, Pos: pos}
+	}
+	lx.errs.Addf(pos, "unexpected character %q", c)
+	return lx.Next()
+}
+
+// Tokenize scans all of src and returns the token stream ending in EOF.
+func Tokenize(src string, errs *ErrorList) []Token {
+	lx := NewLexer(src, errs)
+	var out []Token
+	for {
+		t := lx.Next()
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package mimdc
+
+import (
+	"strings"
+	"testing"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	var errs ErrorList
+	toks := Tokenize(src, &errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("lex error: %v", err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	toks := lex(t, "mono poly int float void if else while do for return wait spawn halt break continue iproc nproc foo _bar x9")
+	want := []Kind{KwMono, KwPoly, KwInt, KwFloat, KwVoid, KwIf, KwElse, KwWhile,
+		KwDo, KwFor, KwReturn, KwWait, KwSpawn, KwHalt, KwBreak, KwContinue,
+		KwIProc, KwNProc, Ident, Ident, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lex(t, "|| | && & == = != ! <= << < >= >> > + - * / % ^ ~ ; , ( ) { } [ ]")
+	want := []Kind{OrOr, Or, AndAnd, And, EqEq, AssignTok, NotEq, Not,
+		LtEq, Shl, Lt, GtEq, Shr, Gt, Plus, Minus, Star, Slash, Percent,
+		Xor, Tilde, Semi, Comma, LParen, RParen, LBrace, RBrace,
+		LBracket, RBracket, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		text string
+	}{
+		{"0", IntLiteral, "0"},
+		{"12345", IntLiteral, "12345"},
+		{"1.5", FloatLiteral, "1.5"},
+		{".5", FloatLiteral, ".5"},
+		{"2.", FloatLiteral, "2."},
+		{"1e9", FloatLiteral, "1e9"},
+		{"1.5e-3", FloatLiteral, "1.5e-3"},
+		{"2E+4", FloatLiteral, "2E+4"},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		if toks[0].Kind != c.kind || toks[0].Text != c.text {
+			t.Errorf("lex(%q) = %v %q, want %v %q", c.src, toks[0].Kind, toks[0].Text, c.kind, c.text)
+		}
+	}
+}
+
+func TestLexNonExponentE(t *testing.T) {
+	// "3e" is int 3 followed by identifier e — the lexer must back off.
+	toks := lex(t, "3e + 1")
+	want := []Kind{IntLiteral, Ident, Plus, IntLiteral, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lex(3e + 1) = %v", toks)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "a // line comment\nb /* block\n comment */ c")
+	want := []Kind{Ident, Ident, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("lex with comments = %v", toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Errorf("token c at line %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	var errs ErrorList
+	Tokenize("a /* never closed", &errs)
+	if errs.Err() == nil {
+		t.Fatalf("unterminated comment not diagnosed")
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	var errs ErrorList
+	toks := Tokenize("a @ b", &errs)
+	if errs.Err() == nil || !strings.Contains(errs.Err().Error(), "unexpected character") {
+		t.Fatalf("bad char not diagnosed: %v", errs.Err())
+	}
+	// Lexing continues past the error.
+	if len(toks) != 3 || toks[1].Text != "b" {
+		t.Fatalf("recovery failed: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "ab\n  cd")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("ab at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("cd at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "2:3" {
+		t.Errorf("Pos.String = %q", toks[1].Pos.String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if got := (Token{Kind: Ident, Text: "x"}).String(); got != `identifier "x"` {
+		t.Errorf("Token.String = %q", got)
+	}
+	if got := (Token{Kind: Plus}).String(); got != "+" {
+		t.Errorf("Token.String = %q", got)
+	}
+}

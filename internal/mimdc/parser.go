@@ -1,0 +1,472 @@
+package mimdc
+
+import (
+	"fmt"
+	"strconv"
+
+	"msc/internal/ir"
+)
+
+// Parser is a recursive-descent parser for MIMDC.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs *ErrorList
+}
+
+// Parse parses src into a Program. The returned error aggregates all
+// lexical and syntactic diagnostics.
+func Parse(src string) (*Program, error) {
+	var errs ErrorList
+	toks := Tokenize(src, &errs)
+	p := &Parser{toks: toks, errs: &errs}
+	prog := p.parseProgram()
+	return prog, errs.Err()
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errs.Addf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// sync skips tokens until a likely statement boundary, for error recovery.
+func (p *Parser) sync() {
+	for !p.at(EOF) {
+		if p.accept(Semi) {
+			return
+		}
+		if p.at(RBrace) || p.at(LBrace) {
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseProgram() *Program {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwMono, KwPoly:
+			decls := p.parseVarDecl()
+			prog.Globals = append(prog.Globals, decls...)
+		case KwInt, KwFloat, KwVoid:
+			prog.Funcs = append(prog.Funcs, p.parseFunc())
+		default:
+			p.errs.Addf(p.cur().Pos, "expected declaration, found %s", p.cur())
+			p.next() // always make progress before resyncing
+			p.sync()
+		}
+	}
+	return prog
+}
+
+func (p *Parser) parseType() ir.Type {
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		return ir.Int
+	case KwFloat:
+		p.next()
+		return ir.Float
+	case KwVoid:
+		p.next()
+		return ir.Void
+	}
+	p.errs.Addf(p.cur().Pos, "expected type, found %s", p.cur())
+	p.next()
+	return ir.Int
+}
+
+// parseVarDecl parses ("mono"|"poly") type declarator ("," declarator)* ";".
+func (p *Parser) parseVarDecl() []*VarDecl {
+	mono := p.cur().Kind == KwMono
+	pos := p.next().Pos
+	ty := p.parseType()
+	if ty == ir.Void {
+		p.errs.Addf(pos, "variables cannot have type void")
+		ty = ir.Int
+	}
+	var out []*VarDecl
+	for {
+		name := p.expect(Ident)
+		d := &VarDecl{Pos: name.Pos, Mono: mono, Ty: ty, Name: name.Text}
+		if p.accept(LBracket) {
+			lenTok := p.expect(IntLiteral)
+			n, err := strconv.ParseInt(lenTok.Text, 10, 32)
+			if err != nil || n <= 0 {
+				p.errs.Addf(lenTok.Pos, "invalid array length %q", lenTok.Text)
+				n = 1
+			}
+			d.ArrayLen = int(n)
+			p.expect(RBracket)
+		}
+		if p.accept(AssignTok) {
+			if d.ArrayLen > 0 {
+				p.errs.Addf(d.Pos, "array %s cannot have an initializer", d.Name)
+			}
+			d.Init = p.parseAssignExpr()
+		}
+		out = append(out, d)
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	p.expect(Semi)
+	return out
+}
+
+func (p *Parser) parseFunc() *FuncDecl {
+	pos := p.cur().Pos
+	ret := p.parseType()
+	name := p.expect(Ident)
+	f := &FuncDecl{Pos: pos, Ret: ret, Name: name.Text}
+	p.expect(LParen)
+	if !p.at(RParen) {
+		for {
+			pty := p.parseType()
+			if pty == ir.Void {
+				p.errs.Addf(p.cur().Pos, "parameters cannot have type void")
+				pty = ir.Int
+			}
+			pname := p.expect(Ident)
+			f.Params = append(f.Params, &VarDecl{
+				Pos: pname.Pos, Ty: pty, Name: pname.Text, IsParam: true,
+			})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	p.expect(RParen)
+	f.Body = p.parseBlock()
+	return f
+}
+
+func (p *Parser) parseBlock() *BlockStmt {
+	pos := p.expect(LBrace).Pos
+	blk := &BlockStmt{Pos: pos}
+	for !p.at(RBrace) && !p.at(EOF) {
+		blk.Stmts = append(blk.Stmts, p.parseStmt())
+	}
+	p.expect(RBrace)
+	return blk
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwMono, KwPoly:
+		pos := p.cur().Pos
+		return &DeclStmt{Pos: pos, Decls: p.parseVarDecl()}
+	case Semi:
+		pos := p.next().Pos
+		return &EmptyStmt{Pos: pos}
+	case KwIf:
+		pos := p.next().Pos
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		then := p.parseStmt()
+		var els Stmt
+		if p.accept(KwElse) {
+			els = p.parseStmt()
+		}
+		return &IfStmt{Pos: pos, Cond: cond, Then: then, Else: els}
+	case KwWhile:
+		pos := p.next().Pos
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		body := p.parseStmt()
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}
+	case KwDo:
+		pos := p.next().Pos
+		body := p.parseStmt()
+		p.expect(KwWhile)
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		p.expect(Semi)
+		return &DoWhileStmt{Pos: pos, Body: body, Cond: cond}
+	case KwFor:
+		pos := p.next().Pos
+		p.expect(LParen)
+		var init, cond, post Expr
+		if !p.at(Semi) {
+			init = p.parseExpr()
+		}
+		p.expect(Semi)
+		if !p.at(Semi) {
+			cond = p.parseExpr()
+		}
+		p.expect(Semi)
+		if !p.at(RParen) {
+			post = p.parseExpr()
+		}
+		p.expect(RParen)
+		body := p.parseStmt()
+		return &ForStmt{Pos: pos, Init: init, Cond: cond, Post: post, Body: body}
+	case KwReturn:
+		pos := p.next().Pos
+		var x Expr
+		if !p.at(Semi) {
+			x = p.parseExpr()
+		}
+		p.expect(Semi)
+		return &ReturnStmt{Pos: pos, X: x}
+	case KwWait:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return &WaitStmt{Pos: pos}
+	case KwSpawn:
+		pos := p.next().Pos
+		name := p.expect(Ident)
+		p.expect(LParen)
+		p.expect(RParen)
+		p.expect(Semi)
+		return &SpawnStmt{Pos: pos, Name: name.Text}
+	case KwHalt:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return &HaltStmt{Pos: pos}
+	case KwBreak:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return &BreakStmt{Pos: pos}
+	case KwContinue:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return &ContinueStmt{Pos: pos}
+	default:
+		pos := p.cur().Pos
+		x := p.parseExpr()
+		p.expect(Semi)
+		return &ExprStmt{Pos: pos, X: x}
+	}
+}
+
+// ---- Expressions ----------------------------------------------------------
+
+func (p *Parser) parseExpr() Expr { return p.parseAssignExpr() }
+
+// compoundOps maps compound-assignment tokens to their binary operator.
+var compoundOps = map[Kind]Kind{
+	PlusAssign: Plus, MinusAssign: Minus, StarAssign: Star,
+	SlashAssign: Slash, PercentAssign: Percent,
+}
+
+func (p *Parser) parseAssignExpr() Expr {
+	lhs := p.parseTernary()
+	switch {
+	case p.at(AssignTok):
+		pos := p.next().Pos
+		switch lhs.(type) {
+		case *VarRef, *IndexRef, *RemoteRef:
+		default:
+			p.errs.Addf(pos, "left side of = is not assignable")
+		}
+		rhs := p.parseAssignExpr()
+		return &Assign{Pos: pos, LHS: lhs, RHS: rhs}
+	case compoundOps[p.cur().Kind] != 0:
+		// x op= e desugars to x = x op e. The left side is re-read, so
+		// only scalar variables are allowed (subscripts would evaluate
+		// their index twice).
+		tok := p.next()
+		if _, ok := lhs.(*VarRef); !ok {
+			p.errs.Addf(tok.Pos, "left side of %s must be a scalar variable", tok.Kind)
+		}
+		rhs := p.parseAssignExpr()
+		return &Assign{Pos: tok.Pos, LHS: lhs,
+			RHS: &Binary{Pos: tok.Pos, Op: compoundOps[tok.Kind], L: lhs, R: rhs}}
+	case p.at(PlusPlus) || p.at(MinusMinus):
+		tok := p.next()
+		if _, ok := lhs.(*VarRef); !ok {
+			p.errs.Addf(tok.Pos, "operand of %s must be a scalar variable", tok.Kind)
+		}
+		op := Plus
+		if tok.Kind == MinusMinus {
+			op = Minus
+		}
+		return &Assign{Pos: tok.Pos, LHS: lhs,
+			RHS: &Binary{Pos: tok.Pos, Op: op, L: lhs, R: &IntLit{Pos: tok.Pos, Val: 1}}}
+	}
+	return lhs
+}
+
+// parseTernary parses c ? t : f (right-associative).
+func (p *Parser) parseTernary() Expr {
+	c := p.parseBinary(0)
+	if !p.at(Question) {
+		return c
+	}
+	pos := p.next().Pos
+	t := p.parseExpr()
+	p.expect(Colon)
+	f := p.parseTernary()
+	return &Cond{Pos: pos, C: c, T: t, F: f}
+}
+
+// binaryPrec returns the precedence of k as a binary operator (higher
+// binds tighter), or -1 if k is not a binary operator.
+func binaryPrec(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Or:
+		return 3
+	case Xor:
+		return 4
+	case And:
+		return 5
+	case EqEq, NotEq:
+		return 6
+	case Lt, LtEq, Gt, GtEq:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return -1
+}
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		prec := binaryPrec(p.cur().Kind)
+		if prec < 0 || prec < minPrec {
+			return lhs
+		}
+		op := p.next()
+		rhs := p.parseBinary(prec + 1) // all binary ops left-associative
+		lhs = &Binary{Pos: op.Pos, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.cur().Kind {
+	case Minus:
+		pos := p.next().Pos
+		return &Unary{Pos: pos, Op: Minus, X: p.parseUnary()}
+	case Not:
+		pos := p.next().Pos
+		return &Unary{Pos: pos, Op: Not, X: p.parseUnary()}
+	case Tilde:
+		pos := p.next().Pos
+		return &Unary{Pos: pos, Op: Tilde, X: p.parseUnary()}
+	case Plus:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case IntLiteral:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errs.Addf(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &IntLit{Pos: t.Pos, Val: v}
+	case FloatLiteral:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errs.Addf(t.Pos, "invalid float literal %q", t.Text)
+		}
+		return &FloatLit{Pos: t.Pos, Val: v}
+	case KwIProc:
+		p.next()
+		return &IProc{Pos: t.Pos}
+	case KwNProc:
+		p.next()
+		return &NProc{Pos: t.Pos}
+	case LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RParen)
+		return x
+	case Ident:
+		p.next()
+		switch {
+		case p.at(LParen):
+			p.next()
+			call := &Call{Pos: t.Pos, Name: t.Text}
+			if !p.at(RParen) {
+				for {
+					call.Args = append(call.Args, p.parseAssignExpr())
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			p.expect(RParen)
+			return call
+		case p.at(LBracket) && p.peek().Kind == LBracket:
+			// Parallel subscript y[[j]] — two consecutive brackets.
+			p.next()
+			p.next()
+			pe := p.parseExpr()
+			p.expect(RBracket)
+			p.expect(RBracket)
+			return &RemoteRef{Pos: t.Pos, Name: t.Text, PE: pe}
+		case p.at(LBracket):
+			p.next()
+			idx := p.parseExpr()
+			p.expect(RBracket)
+			return &IndexRef{Pos: t.Pos, Name: t.Text, Idx: idx}
+		default:
+			return &VarRef{Pos: t.Pos, Name: t.Text}
+		}
+	}
+	p.errs.Addf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &IntLit{Pos: t.Pos, Val: 0}
+}
+
+// MustParse parses src and panics on error; intended for tests and
+// embedded example programs.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("mimdc.MustParse: %v", err))
+	}
+	return prog
+}

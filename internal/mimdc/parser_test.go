@@ -1,0 +1,274 @@
+package mimdc
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/ir"
+)
+
+// listing1 is the paper's Listing 1 control skeleton as a full program
+// (its Listing 4 realization).
+const listing1 = `
+void main()
+{
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    return;
+}
+`
+
+func TestParseListing1(t *testing.T) {
+	prog, err := Parse(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Fatalf("funcs = %v", prog.Funcs)
+	}
+	body := prog.Funcs[0].Body.Stmts
+	if len(body) != 3 {
+		t.Fatalf("body has %d statements, want 3", len(body))
+	}
+	ifs, ok := body[1].(*IfStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T, want *IfStmt", body[1])
+	}
+	if _, ok := ifs.Then.(*BlockStmt); !ok {
+		t.Fatalf("then branch is %T", ifs.Then)
+	}
+	if ifs.Else == nil {
+		t.Fatalf("else branch missing")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`void main() { poly int a, b, c; a = b + c * 2 == 1 || a << 3 & 7; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Funcs[0].Body.Stmts[1].(*ExprStmt)
+	// Fully parenthesized rendering exposes the tree shape.
+	got := FormatExpr(stmt.X)
+	want := "a = (((b + (c * 2)) == 1) || ((a << 3) & 7))"
+	if got != want {
+		t.Fatalf("precedence tree = %s, want %s", got, want)
+	}
+}
+
+func TestParseAssociativity(t *testing.T) {
+	prog := MustParse(`void main() { poly int a; a = a - 1 - 2; }`)
+	got := FormatExpr(prog.Funcs[0].Body.Stmts[1].(*ExprStmt).X)
+	if got != "a = ((a - 1) - 2)" {
+		t.Fatalf("associativity = %s", got)
+	}
+}
+
+func TestParseAssignRightAssoc(t *testing.T) {
+	prog := MustParse(`void main() { poly int a, b; a = b = 3; }`)
+	x := prog.Funcs[0].Body.Stmts[1].(*ExprStmt).X
+	outer, ok := x.(*Assign)
+	if !ok {
+		t.Fatalf("not an assignment: %T", x)
+	}
+	if _, ok := outer.RHS.(*Assign); !ok {
+		t.Fatalf("a = b = 3 not right-associative: rhs is %T", outer.RHS)
+	}
+}
+
+func TestParseRemoteSubscript(t *testing.T) {
+	prog := MustParse(`void main() { poly int x, y, i, j, z; x[[i]] = y[[j]] + z; }`)
+	x := prog.Funcs[0].Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	if _, ok := x.LHS.(*RemoteRef); !ok {
+		t.Fatalf("lhs is %T, want *RemoteRef", x.LHS)
+	}
+	bin := x.RHS.(*Binary)
+	if _, ok := bin.L.(*RemoteRef); !ok {
+		t.Fatalf("rhs.L is %T, want *RemoteRef", bin.L)
+	}
+}
+
+func TestParseNestedIndexNotRemote(t *testing.T) {
+	// a[b[0]] ends in "]]" which must NOT lex/parse as a remote close.
+	prog := MustParse(`void main() { poly int a[4], b[4]; a[b[0]] = 1; }`)
+	x := prog.Funcs[0].Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	outer, ok := x.LHS.(*IndexRef)
+	if !ok {
+		t.Fatalf("lhs is %T, want *IndexRef", x.LHS)
+	}
+	if _, ok := outer.Idx.(*IndexRef); !ok {
+		t.Fatalf("index is %T, want *IndexRef", outer.Idx)
+	}
+}
+
+func TestParseAllStatementForms(t *testing.T) {
+	src := `
+mono int total;
+poly float w = 1.5;
+void worker() { halt; }
+int f(int a, float b) { return a; }
+void main()
+{
+    poly int i, x;
+    for (i = 0; i < 10; i = i + 1) { x = x + i; }
+    while (x) { x = x - 1; if (x == 3) break; else continue; }
+    do { x = f(x, w); } while (x > 0);
+    wait;
+    spawn worker();
+    ;
+    return;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 3 || len(prog.Globals) != 2 {
+		t.Fatalf("funcs=%d globals=%d", len(prog.Funcs), len(prog.Globals))
+	}
+	if prog.Globals[0].Name != "total" || !prog.Globals[0].Mono {
+		t.Fatalf("global 0 = %+v", prog.Globals[0])
+	}
+	if prog.Globals[1].Ty != ir.Float || prog.Globals[1].Init == nil {
+		t.Fatalf("global 1 = %+v", prog.Globals[1])
+	}
+	f := prog.Func("f")
+	if f == nil || len(f.Params) != 2 || f.Params[1].Ty != ir.Float {
+		t.Fatalf("func f = %+v", f)
+	}
+	if prog.Func("missing") != nil {
+		t.Fatalf("Func(missing) should be nil")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{`void main() { 3 = x; }`, "not assignable"},
+		{`void main() { if x) {} }`, "expected ("},
+		{`void main() { poly int a[0]; }`, "invalid array length"},
+		{`void main() { poly int a[2] = 3; }`, "cannot have an initializer"},
+		{`void main() { return }`, "expected ;"},
+		{`poly void v;`, "cannot have type void"},
+		{`void f(void x) {}`, "parameters cannot have type void"},
+		{`int`, "expected identifier, found EOF"},
+		{`@`, "unexpected character"},
+		{`void main() {`, "expected }"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantMsg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestParseFormatReparse(t *testing.T) {
+	// Format must emit source that reparses to an identical rendering.
+	srcs := []string{
+		listing1,
+		`mono int m = 4;
+poly float y;
+void helper() { y = y * 2.0; halt; }
+int add(int a, int b) { return a + b; }
+void main()
+{
+    poly int i;
+    for (i = 0; i < m; i = i + 1) { y = y + 0.25; }
+    if (i == 4 && m > 1 || !i) { wait; } else { spawn helper(); }
+    do { i = add(i, -1); } while (i > 0);
+    while (i < 3) { i = i + 1; continue; }
+    y = y / (2.0 + i);
+    y[[i % 4]] = y;
+    return;
+}
+`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1 := p1.Format()
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nsource:\n%s", err, f1)
+		}
+		if f2 := p2.Format(); f1 != f2 {
+			t.Fatalf("format not a fixed point:\n--- first\n%s\n--- second\n%s", f1, f2)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of invalid source did not panic")
+		}
+	}()
+	MustParse("not a program @@")
+}
+
+func TestParseTernary(t *testing.T) {
+	prog := MustParse(`void main() { poly int a, b; a = b > 0 ? b : -b; }`)
+	x := prog.Funcs[0].Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	c, ok := x.RHS.(*Cond)
+	if !ok {
+		t.Fatalf("rhs is %T, want *Cond", x.RHS)
+	}
+	if FormatExpr(c) != "((b > 0) ? b : (-b))" {
+		t.Fatalf("ternary tree = %s", FormatExpr(c))
+	}
+	// Right associativity: a ? b : c ? d : e == a ? b : (c ? d : e).
+	prog2 := MustParse(`void main() { poly int a; a = a ? 1 : a ? 2 : 3; }`)
+	outer := prog2.Funcs[0].Body.Stmts[1].(*ExprStmt).X.(*Assign).RHS.(*Cond)
+	if _, ok := outer.F.(*Cond); !ok {
+		t.Fatalf("ternary not right-associative: F is %T", outer.F)
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	prog := MustParse(`void main() { poly int x; x += 2; x -= 1; x *= 3; x /= 2; x %= 5; }`)
+	for i, wantOp := range []Kind{Plus, Minus, Star, Slash, Percent} {
+		asg, ok := prog.Funcs[0].Body.Stmts[1+i].(*ExprStmt).X.(*Assign)
+		if !ok {
+			t.Fatalf("stmt %d not an assignment", i)
+		}
+		bin, ok := asg.RHS.(*Binary)
+		if !ok || bin.Op != wantOp {
+			t.Fatalf("stmt %d: rhs = %v, want binary %v", i, asg.RHS, wantOp)
+		}
+	}
+}
+
+func TestParseIncDec(t *testing.T) {
+	prog := MustParse(`void main() { poly int x; x++; x--; }`)
+	inc := prog.Funcs[0].Body.Stmts[1].(*ExprStmt).X.(*Assign).RHS.(*Binary)
+	dec := prog.Funcs[0].Body.Stmts[2].(*ExprStmt).X.(*Assign).RHS.(*Binary)
+	if inc.Op != Plus || dec.Op != Minus {
+		t.Fatalf("inc/dec ops = %v, %v", inc.Op, dec.Op)
+	}
+}
+
+func TestCompoundAssignRequiresScalar(t *testing.T) {
+	for _, src := range []string{
+		`poly int a[3]; void main() { a[0] += 1; }`,
+		`poly int v; void main() { v[[0]] += 1; }`,
+		`poly int a[3]; void main() { a[0]++; }`,
+	} {
+		if _, err := Parse(src); err == nil ||
+			!strings.Contains(err.Error(), "scalar variable") {
+			t.Errorf("Parse(%q) err = %v, want scalar restriction", src, err)
+		}
+	}
+}

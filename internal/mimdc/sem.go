@@ -1,0 +1,435 @@
+package mimdc
+
+import (
+	"msc/internal/ir"
+)
+
+// Analyze resolves names, type-checks the program, inserts implicit
+// numeric conversions, and assigns memory slots: mono (replicated)
+// variables occupy slots [0, MonoSlots), poly (private) variables and
+// all function locals occupy slots [MonoSlots, MonoSlots+PolySlots).
+//
+// Function parameters and locals get static slots (the classic
+// pre-stack-frame discipline): recursion is supported for control flow
+// via the §2.2 return-token trick, but each function has one set of
+// local storage shared by all simultaneously live activations. The
+// analyzer does not reject recursion; programs that need per-activation
+// locals must manage them explicitly.
+func Analyze(prog *Program) error {
+	a := &analyzer{prog: prog, errs: &ErrorList{}}
+	a.run()
+	return a.errs.Err()
+}
+
+// MustAnalyze parses and analyzes src, panicking on any diagnostic.
+func MustAnalyze(src string) *Program {
+	prog := MustParse(src)
+	if err := Analyze(prog); err != nil {
+		panic("mimdc.MustAnalyze: " + err.Error())
+	}
+	return prog
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]*VarDecl
+}
+
+func (s *scope) lookup(name string) *VarDecl {
+	for sc := s; sc != nil; sc = sc.parent {
+		if d, ok := sc.vars[name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+type analyzer struct {
+	prog      *Program
+	errs      *ErrorList
+	funcs     map[string]*FuncDecl
+	globals   *scope
+	cur       *FuncDecl
+	curScope  *scope
+	loopDepth int
+	nextMono  int
+	nextPoly  int
+}
+
+func (a *analyzer) run() {
+	a.funcs = make(map[string]*FuncDecl, len(a.prog.Funcs))
+	for _, f := range a.prog.Funcs {
+		if prev, dup := a.funcs[f.Name]; dup {
+			a.errs.Addf(f.Pos, "function %s redeclared (previous at %s)", f.Name, prev.Pos)
+			continue
+		}
+		a.funcs[f.Name] = f
+	}
+
+	a.globals = &scope{vars: make(map[string]*VarDecl)}
+	for _, g := range a.prog.Globals {
+		a.declare(a.globals, g)
+		if g.Init != nil {
+			g.Init = a.checkExpr(g.Init)
+			if !isConstExpr(g.Init) {
+				a.errs.Addf(g.Pos, "initializer of global %s is not constant", g.Name)
+			}
+			g.Init = a.convert(g.Init, g.Ty, g.Pos)
+		}
+	}
+
+	for _, f := range a.prog.Funcs {
+		a.checkFunc(f)
+	}
+
+	// Slot counts are finalized only after every declaration is placed.
+	// Mono slots were assigned in [0, nextMono); poly slots were assigned
+	// relative and are now offset past the mono region.
+	a.prog.MonoSlots = a.nextMono
+	a.prog.PolySlots = a.nextPoly
+	var shift func(d *VarDecl)
+	shift = func(d *VarDecl) {
+		if !d.Mono {
+			d.Slot += a.nextMono
+		}
+	}
+	for _, g := range a.prog.Globals {
+		shift(g)
+	}
+	for _, f := range a.prog.Funcs {
+		for _, d := range f.Locals {
+			shift(d)
+		}
+	}
+}
+
+// declare places d into sc and assigns its slot.
+func (a *analyzer) declare(sc *scope, d *VarDecl) {
+	if prev, dup := sc.vars[d.Name]; dup {
+		a.errs.Addf(d.Pos, "%s redeclared in this scope (previous at %s)", d.Name, prev.Pos)
+	}
+	sc.vars[d.Name] = d
+	size := 1
+	if d.ArrayLen > 0 {
+		size = d.ArrayLen
+	}
+	if d.Mono {
+		d.Slot = a.nextMono
+		a.nextMono += size
+	} else {
+		d.Slot = a.nextPoly // offset by MonoSlots at the end of run()
+		a.nextPoly += size
+	}
+}
+
+func (a *analyzer) checkFunc(f *FuncDecl) {
+	a.cur = f
+	fnScope := &scope{parent: a.globals, vars: make(map[string]*VarDecl)}
+	for _, prm := range f.Params {
+		a.declare(fnScope, prm)
+		f.Locals = append(f.Locals, prm)
+	}
+	a.curScope = fnScope
+	a.checkBlock(f.Body)
+	a.cur = nil
+}
+
+func (a *analyzer) checkBlock(b *BlockStmt) {
+	saved := a.curScope
+	a.curScope = &scope{parent: saved, vars: make(map[string]*VarDecl)}
+	for _, s := range b.Stmts {
+		a.checkStmt(s)
+	}
+	a.curScope = saved
+}
+
+func (a *analyzer) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		a.checkBlock(s)
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			a.declare(a.curScope, d)
+			a.cur.Locals = append(a.cur.Locals, d)
+			if d.Init != nil {
+				d.Init = a.convert(a.checkExpr(d.Init), d.Ty, d.Pos)
+			}
+		}
+	case *ExprStmt:
+		s.X = a.checkExpr(s.X)
+	case *IfStmt:
+		s.Cond = a.checkCond(s.Cond, s.Pos)
+		a.checkStmt(s.Then)
+		if s.Else != nil {
+			a.checkStmt(s.Else)
+		}
+	case *WhileStmt:
+		s.Cond = a.checkCond(s.Cond, s.Pos)
+		a.loopDepth++
+		a.checkStmt(s.Body)
+		a.loopDepth--
+	case *DoWhileStmt:
+		a.loopDepth++
+		a.checkStmt(s.Body)
+		a.loopDepth--
+		s.Cond = a.checkCond(s.Cond, s.Pos)
+	case *ForStmt:
+		if s.Init != nil {
+			s.Init = a.checkExpr(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = a.checkCond(s.Cond, s.Pos)
+		}
+		if s.Post != nil {
+			s.Post = a.checkExpr(s.Post)
+		}
+		a.loopDepth++
+		a.checkStmt(s.Body)
+		a.loopDepth--
+	case *ReturnStmt:
+		if s.X != nil {
+			if a.cur.Ret == ir.Void {
+				a.errs.Addf(s.Pos, "return with value in void function %s", a.cur.Name)
+				s.X = a.checkExpr(s.X)
+			} else {
+				s.X = a.convert(a.checkExpr(s.X), a.cur.Ret, s.Pos)
+			}
+		} else if a.cur.Ret != ir.Void {
+			a.errs.Addf(s.Pos, "return without value in %s function %s", a.cur.Ret, a.cur.Name)
+		}
+	case *WaitStmt, *HaltStmt, *EmptyStmt:
+	case *SpawnStmt:
+		f, ok := a.funcs[s.Name]
+		if !ok {
+			a.errs.Addf(s.Pos, "spawn of undefined function %s", s.Name)
+			return
+		}
+		if f.Ret != ir.Void || len(f.Params) != 0 {
+			a.errs.Addf(s.Pos, "spawn target %s must be void with no parameters", s.Name)
+		}
+		s.Decl = f
+	case *BreakStmt:
+		if a.loopDepth == 0 {
+			a.errs.Addf(s.Pos, "break outside loop")
+		}
+	case *ContinueStmt:
+		if a.loopDepth == 0 {
+			a.errs.Addf(s.Pos, "continue outside loop")
+		}
+	}
+}
+
+// checkCond checks a condition expression; any numeric type is allowed
+// (the CFG builder lowers float truthiness to a != 0.0 comparison).
+func (a *analyzer) checkCond(e Expr, pos Pos) Expr {
+	e = a.checkExpr(e)
+	if e.Type() == ir.Void {
+		a.errs.Addf(pos, "condition has no value")
+	}
+	return e
+}
+
+// convert coerces e to ty, inserting an implicit Conv if needed.
+func (a *analyzer) convert(e Expr, ty ir.Type, pos Pos) Expr {
+	from := e.Type()
+	if from == ty || from == ir.Void || ty == ir.Void {
+		if from == ir.Void && ty != ir.Void {
+			a.errs.Addf(pos, "void value used where %s is required", ty)
+		}
+		return e
+	}
+	return &Conv{typed: typed{Ty: ty}, X: e}
+}
+
+func isConstExpr(e Expr) bool {
+	switch e := e.(type) {
+	case *IntLit, *FloatLit:
+		return true
+	case *Unary:
+		return e.Op == Minus && isConstExpr(e.X)
+	case *Conv:
+		return isConstExpr(e.X)
+	}
+	return false
+}
+
+func (a *analyzer) checkExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		e.Ty = ir.Int
+	case *FloatLit:
+		e.Ty = ir.Float
+	case *IProc, *NProc:
+		setType(e, ir.Int)
+	case *VarRef:
+		d := a.lookupVar(e.Name, e.Pos)
+		if d == nil {
+			e.Ty = ir.Int
+			return e
+		}
+		if d.ArrayLen > 0 {
+			a.errs.Addf(e.Pos, "array %s used without subscript", e.Name)
+		}
+		e.Decl = d
+		e.Ty = d.Ty
+	case *IndexRef:
+		d := a.lookupVar(e.Name, e.Pos)
+		e.Idx = a.convert(a.checkExpr(e.Idx), ir.Int, e.Pos)
+		if d == nil {
+			e.Ty = ir.Int
+			return e
+		}
+		if d.ArrayLen == 0 {
+			a.errs.Addf(e.Pos, "%s is not an array", e.Name)
+		}
+		e.Decl = d
+		e.Ty = d.Ty
+	case *RemoteRef:
+		d := a.lookupVar(e.Name, e.Pos)
+		e.PE = a.convert(a.checkExpr(e.PE), ir.Int, e.Pos)
+		if d == nil {
+			e.Ty = ir.Int
+			return e
+		}
+		if d.Mono {
+			a.errs.Addf(e.Pos, "parallel subscript of mono variable %s (mono values are identical everywhere)", e.Name)
+		}
+		if d.ArrayLen > 0 {
+			a.errs.Addf(e.Pos, "parallel subscript of array %s is not supported", e.Name)
+		}
+		e.Decl = d
+		e.Ty = d.Ty
+	case *Call:
+		f, ok := a.funcs[e.Name]
+		if !ok {
+			a.errs.Addf(e.Pos, "call of undefined function %s", e.Name)
+			e.Ty = ir.Int
+			for i := range e.Args {
+				e.Args[i] = a.checkExpr(e.Args[i])
+			}
+			return e
+		}
+		e.Decl = f
+		e.Ty = f.Ret
+		if len(e.Args) != len(f.Params) {
+			a.errs.Addf(e.Pos, "call of %s with %d arguments, want %d",
+				e.Name, len(e.Args), len(f.Params))
+		}
+		for i := range e.Args {
+			e.Args[i] = a.checkExpr(e.Args[i])
+			if i < len(f.Params) {
+				e.Args[i] = a.convert(e.Args[i], f.Params[i].Ty, e.Pos)
+			}
+		}
+	case *Unary:
+		e.X = a.checkExpr(e.X)
+		switch e.Op {
+		case Minus:
+			e.Ty = e.X.Type()
+			if e.Ty == ir.Void {
+				a.errs.Addf(e.Pos, "operand of - has no value")
+				e.Ty = ir.Int
+			}
+		case Not:
+			if e.X.Type() == ir.Void {
+				a.errs.Addf(e.Pos, "operand of ! has no value")
+			}
+			e.Ty = ir.Int
+		case Tilde:
+			if e.X.Type() == ir.Float {
+				a.errs.Addf(e.Pos, "operand of ~ must be int")
+				e.X = a.convert(e.X, ir.Int, e.Pos)
+			}
+			e.Ty = ir.Int
+		}
+	case *Binary:
+		e.L = a.checkExpr(e.L)
+		e.R = a.checkExpr(e.R)
+		lt, rt := e.L.Type(), e.R.Type()
+		if lt == ir.Void || rt == ir.Void {
+			a.errs.Addf(e.Pos, "operand of %s has no value", e.Op)
+			e.Ty = ir.Int
+			return e
+		}
+		switch e.Op {
+		case Plus, Minus, Star, Slash:
+			if lt == ir.Float || rt == ir.Float {
+				e.L = a.convert(e.L, ir.Float, e.Pos)
+				e.R = a.convert(e.R, ir.Float, e.Pos)
+				e.Ty = ir.Float
+			} else {
+				e.Ty = ir.Int
+			}
+		case Percent, Shl, Shr, And, Or, Xor:
+			if lt == ir.Float || rt == ir.Float {
+				a.errs.Addf(e.Pos, "operands of %s must be int", e.Op)
+			}
+			e.L = a.convert(e.L, ir.Int, e.Pos)
+			e.R = a.convert(e.R, ir.Int, e.Pos)
+			e.Ty = ir.Int
+		case EqEq, NotEq, Lt, LtEq, Gt, GtEq:
+			if lt == ir.Float || rt == ir.Float {
+				e.L = a.convert(e.L, ir.Float, e.Pos)
+				e.R = a.convert(e.R, ir.Float, e.Pos)
+			}
+			e.Ty = ir.Int
+		case AndAnd, OrOr:
+			e.Ty = ir.Int // truthiness handled at lowering
+		default:
+			a.errs.Addf(e.Pos, "unknown binary operator %s", e.Op)
+			e.Ty = ir.Int
+		}
+	case *Assign:
+		e.LHS = a.checkExpr(e.LHS)
+		e.RHS = a.checkExpr(e.RHS)
+		switch e.LHS.(type) {
+		case *VarRef, *IndexRef, *RemoteRef:
+			e.RHS = a.convert(e.RHS, e.LHS.Type(), e.Pos)
+			e.Ty = e.LHS.Type()
+		default:
+			a.errs.Addf(e.Pos, "left side of = is not assignable")
+			e.Ty = ir.Int
+		}
+	case *Cond:
+		e.C = a.checkCond(e.C, e.Pos)
+		e.T = a.checkExpr(e.T)
+		e.F = a.checkExpr(e.F)
+		tt, ft := e.T.Type(), e.F.Type()
+		if tt == ir.Void || ft == ir.Void {
+			a.errs.Addf(e.Pos, "arm of ?: has no value")
+			e.Ty = ir.Int
+			return e
+		}
+		if tt == ir.Float || ft == ir.Float {
+			e.T = a.convert(e.T, ir.Float, e.Pos)
+			e.F = a.convert(e.F, ir.Float, e.Pos)
+			e.Ty = ir.Float
+		} else {
+			e.Ty = ir.Int
+		}
+	case *Conv:
+		e.X = a.checkExpr(e.X)
+	}
+	return e
+}
+
+func (a *analyzer) lookupVar(name string, pos Pos) *VarDecl {
+	sc := a.curScope
+	if sc == nil {
+		sc = a.globals // global initializers are checked before any function
+	}
+	if d := sc.lookup(name); d != nil {
+		return d
+	}
+	a.errs.Addf(pos, "undefined variable %s", name)
+	return nil
+}
+
+func setType(e Expr, ty ir.Type) {
+	switch e := e.(type) {
+	case *IProc:
+		e.Ty = ty
+	case *NProc:
+		e.Ty = ty
+	}
+}

@@ -1,0 +1,197 @@
+package mimdc
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/ir"
+)
+
+func analyze(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Analyze(prog); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return prog
+}
+
+func TestAnalyzeSlotLayout(t *testing.T) {
+	prog := analyze(t, `
+mono int m1;
+poly int p1;
+mono float m2[3];
+poly float p2[2];
+void main() { poly int local; local = p1; }
+`)
+	// Mono region first: m1 at 0, m2 at 1..3 → MonoSlots = 4.
+	if prog.MonoSlots != 4 {
+		t.Fatalf("MonoSlots = %d, want 4", prog.MonoSlots)
+	}
+	// Poly region: p1, p2[2], local → 4 slots, offset by MonoSlots.
+	if prog.PolySlots != 4 {
+		t.Fatalf("PolySlots = %d, want 4", prog.PolySlots)
+	}
+	g := prog.Globals
+	if g[0].Slot != 0 || g[2].Slot != 1 {
+		t.Errorf("mono slots = %d, %d; want 0, 1", g[0].Slot, g[2].Slot)
+	}
+	if g[1].Slot != 4 || g[3].Slot != 5 {
+		t.Errorf("poly slots = %d, %d; want 4, 5", g[1].Slot, g[3].Slot)
+	}
+	local := prog.Func("main").Locals[0]
+	if local.Slot != 7 {
+		t.Errorf("local slot = %d, want 7", local.Slot)
+	}
+}
+
+func TestAnalyzeTypeAnnotation(t *testing.T) {
+	prog := analyze(t, `
+poly float f;
+poly int i;
+void main() { f = i + 1; i = f > 0.5; }
+`)
+	asg := prog.Func("main").Body.Stmts[0].(*ExprStmt).X.(*Assign)
+	if asg.Type() != ir.Float {
+		t.Fatalf("f = i+1 has type %v, want float", asg.Type())
+	}
+	// RHS must be wrapped in a Conv to float.
+	if _, ok := asg.RHS.(*Conv); !ok {
+		t.Fatalf("rhs is %T, want *Conv", asg.RHS)
+	}
+	asg2 := prog.Func("main").Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	// f > 0.5 is an int (0/1); no conversion needed on assignment to i.
+	if asg2.RHS.Type() != ir.Int {
+		t.Fatalf("f > 0.5 has type %v, want int", asg2.RHS.Type())
+	}
+	cmp := asg2.RHS.(*Binary)
+	if cmp.L.Type() != ir.Float || cmp.R.Type() != ir.Float {
+		t.Fatalf("comparison operands not unified to float: %v, %v", cmp.L.Type(), cmp.R.Type())
+	}
+}
+
+func TestAnalyzeCallConversion(t *testing.T) {
+	prog := analyze(t, `
+float half(float x) { return x / 2.0; }
+void main() { poly float r; r = half(3); }
+`)
+	call := prog.Func("main").Body.Stmts[1].(*ExprStmt).X.(*Assign).RHS.(*Call)
+	if call.Decl == nil || call.Decl.Name != "half" {
+		t.Fatalf("call not resolved: %+v", call)
+	}
+	if _, ok := call.Args[0].(*Conv); !ok {
+		t.Fatalf("int arg to float param not converted: %T", call.Args[0])
+	}
+}
+
+func TestAnalyzeShadowing(t *testing.T) {
+	prog := analyze(t, `
+poly int x;
+void main()
+{
+    poly int y;
+    y = x;
+    {
+        poly float x;
+        x = 1.5;
+    }
+    y = x;
+}
+`)
+	main := prog.Func("main")
+	outer := main.Body.Stmts[1].(*ExprStmt).X.(*Assign).RHS.(*VarRef)
+	if outer.Decl.Ty != ir.Int || outer.Decl.Mono {
+		t.Fatalf("outer x resolved wrong: %+v", outer.Decl)
+	}
+	inner := main.Body.Stmts[2].(*BlockStmt).Stmts[1].(*ExprStmt).X.(*Assign).LHS.(*VarRef)
+	if inner.Decl.Ty != ir.Float {
+		t.Fatalf("inner x resolved to outer decl")
+	}
+	after := main.Body.Stmts[3].(*ExprStmt).X.(*Assign).RHS.(*VarRef)
+	if after.Decl != outer.Decl {
+		t.Fatalf("x after block resolved to inner decl")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{`void main() { x = 1; }`, "undefined variable x"},
+		{`void main() { poly int x, x; }`, "redeclared"},
+		{`poly int g; poly float g;`, "redeclared"},
+		{`void f() {} void f() {}`, "function f redeclared"},
+		{`void main() { f(); }`, "undefined function f"},
+		{`int f(int a) { return a; } void main() { f(); }`, "0 arguments, want 1"},
+		{`void main() { break; }`, "break outside loop"},
+		{`void main() { continue; }`, "continue outside loop"},
+		{`int f() { return; }`, "return without value"},
+		{`void f() { return 3; }`, "return with value in void function"},
+		{`mono int g; void main() { g[[0]] = 1; }`, "parallel subscript of mono variable"},
+		{`poly int a[2]; void main() { a[[0]] = 1; }`, "parallel subscript of array"},
+		{`poly int a[2]; void main() { a = 1; }`, "array a used without subscript"},
+		{`poly int x; void main() { x[0] = 1; }`, "x is not an array"},
+		{`poly float f; void main() { f = f % 2.0; }`, "operands of % must be int"},
+		{`poly float f; void main() { f = ~f; }`, "operand of ~ must be int"},
+		{`void v() {} void main() { poly int x; x = v(); }`, "void value used"},
+		{`poly int x; mono int g = x;`, "not constant"},
+		{`void main() { spawn nosuch(); }`, "spawn of undefined function"},
+		{`int f(int a) { return a; } void main() { spawn f(); }`, "must be void with no parameters"},
+		{`void v() {} void main() { if (v()) {} }`, "condition has no value"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed: %v", c.src, err)
+			continue
+		}
+		err = Analyze(prog)
+		if err == nil {
+			t.Errorf("Analyze(%q) succeeded, want error containing %q", c.src, c.wantMsg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("Analyze(%q) error = %v, want containing %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestAnalyzeSpawnResolved(t *testing.T) {
+	prog := analyze(t, `
+void worker() { halt; }
+void main() { spawn worker(); }
+`)
+	sp := prog.Func("main").Body.Stmts[0].(*SpawnStmt)
+	if sp.Decl == nil || sp.Decl.Name != "worker" {
+		t.Fatalf("spawn not resolved: %+v", sp)
+	}
+}
+
+func TestAnalyzeGlobalConstInit(t *testing.T) {
+	prog := analyze(t, `
+mono int a = -3;
+mono float b = 2.5;
+poly float c = 1;
+void main() {}
+`)
+	if prog.Globals[0].Init == nil || prog.Globals[1].Init == nil {
+		t.Fatalf("inits dropped")
+	}
+	// int literal 1 assigned to float c must be wrapped in Conv.
+	if _, ok := prog.Globals[2].Init.(*Conv); !ok {
+		t.Fatalf("poly float c = 1 not converted: %T", prog.Globals[2].Init)
+	}
+}
+
+func TestMustAnalyzePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAnalyze of bad program did not panic")
+		}
+	}()
+	MustAnalyze(`void main() { undefined = 1; }`)
+}

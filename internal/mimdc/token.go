@@ -1,0 +1,134 @@
+// Package mimdc implements the front end for MIMDC, the parallel C
+// dialect accepted by the meta-state converter (§4.1 of the paper):
+// mono (shared, replicated) and poly (private) int/float variables,
+// parallel subscripting y[[j]], barrier synchronization via the wait
+// statement, and restricted dynamic process creation via spawn/halt.
+package mimdc
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLiteral
+	FloatLiteral
+
+	// Keywords.
+	KwMono
+	KwPoly
+	KwInt
+	KwFloat
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwReturn
+	KwWait
+	KwSpawn
+	KwHalt
+	KwBreak
+	KwContinue
+	KwIProc
+	KwNProc
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semi
+	Comma
+	AssignTok
+	OrOr
+	AndAnd
+	Or
+	Xor
+	And
+	EqEq
+	NotEq
+	Lt
+	LtEq
+	Gt
+	GtEq
+	Shl
+	Shr
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Not
+	Tilde
+	Question
+	Colon
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	PlusPlus
+	MinusMinus
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EOF: "EOF", Ident: "identifier", IntLiteral: "int literal", FloatLiteral: "float literal",
+	KwMono: "mono", KwPoly: "poly", KwInt: "int", KwFloat: "float", KwVoid: "void",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwDo: "do", KwFor: "for",
+	KwReturn: "return", KwWait: "wait", KwSpawn: "spawn", KwHalt: "halt",
+	KwBreak: "break", KwContinue: "continue", KwIProc: "iproc", KwNProc: "nproc",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", AssignTok: "=",
+	OrOr: "||", AndAnd: "&&", Or: "|", Xor: "^", And: "&",
+	EqEq: "==", NotEq: "!=", Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+	Shl: "<<", Shr: ">>", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Not: "!", Tilde: "~", Question: "?", Colon: ":",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", PlusPlus: "++", MinusMinus: "--",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"mono": KwMono, "poly": KwPoly, "int": KwInt, "float": KwFloat,
+	"void": KwVoid, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"do": KwDo, "for": KwFor, "return": KwReturn, "wait": KwWait,
+	"spawn": KwSpawn, "halt": KwHalt, "break": KwBreak, "continue": KwContinue,
+	"iproc": KwIProc, "nproc": KwNProc,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for Ident and literals
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLiteral, FloatLiteral:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,392 @@
+// Package mimdsim is the MIMD reference machine: it executes a MIMD
+// state graph with one independent program counter per processor, the
+// execution model the paper's meta-state conversion must reproduce on
+// SIMD hardware. It provides golden outputs for cross-engine
+// equivalence tests and the ideal-MIMD timing baseline (per-PE clocks,
+// explicit runtime barrier cost) that the evaluation compares against.
+package mimdsim
+
+import (
+	"fmt"
+
+	"msc/internal/cfg"
+	"msc/internal/ir"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// N is the machine width (number of processors). Must be >= 1.
+	N int
+	// InitialActive is how many PEs begin executing at the program
+	// entry; the rest are idle in the free pool until spawned into use
+	// (§3.2.5). Zero means all N.
+	InitialActive int
+	// BarrierCost is the runtime cost in cycles a MIMD machine pays to
+	// synchronize at each barrier episode (the cost meta-state converted
+	// code avoids, §5). Defaults to DefaultBarrierCost when zero.
+	BarrierCost int
+	// MaxBlocks bounds the number of blocks a single PE may execute,
+	// guarding against non-terminating programs. Defaults to 1e6.
+	MaxBlocks int
+}
+
+// DefaultBarrierCost models a software barrier on a fine-grain MIMD
+// machine (the "cost of runtime synchronization" of §5).
+const DefaultBarrierCost = 32
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Mem is the final per-PE memory image.
+	Mem [][]ir.Word
+	// Time is the makespan: the largest per-PE completion clock.
+	Time int64
+	// Useful is the total cycles spent executing block code and
+	// terminators across all PEs (excludes barrier wait and barrier
+	// runtime cost).
+	Useful int64
+	// Clocks holds each PE's final clock.
+	Clocks []int64
+	// Blocks counts blocks executed across all PEs.
+	Blocks int64
+	// Barriers counts barrier release episodes.
+	Barriers int
+	// Done flags PEs that ran to End (as opposed to idle/halted).
+	Done []bool
+}
+
+type peStatus uint8
+
+const (
+	peIdle peStatus = iota
+	peActive
+	peAtBarrier
+	peDone
+)
+
+type pe struct {
+	status   peStatus
+	pc       int
+	clock    int64
+	stack    []ir.Word
+	retStack []int
+	released bool // barrier check suppressed once after release
+	blocks   int
+}
+
+type machine struct {
+	g   *cfg.Graph
+	cfg Config
+	mem [][]ir.Word
+	pes []pe
+	res *Result
+}
+
+// Run executes the graph to completion on the MIMD reference machine.
+func Run(g *cfg.Graph, conf Config) (*Result, error) {
+	if conf.N < 1 {
+		return nil, fmt.Errorf("mimdsim: N must be >= 1, got %d", conf.N)
+	}
+	if conf.InitialActive == 0 {
+		conf.InitialActive = conf.N
+	}
+	if conf.InitialActive < 1 || conf.InitialActive > conf.N {
+		return nil, fmt.Errorf("mimdsim: InitialActive %d out of range [1,%d]", conf.InitialActive, conf.N)
+	}
+	if conf.BarrierCost == 0 {
+		conf.BarrierCost = DefaultBarrierCost
+	}
+	if conf.MaxBlocks == 0 {
+		conf.MaxBlocks = 1_000_000
+	}
+
+	m := &machine{
+		g:   g,
+		cfg: conf,
+		mem: make([][]ir.Word, conf.N),
+		pes: make([]pe, conf.N),
+		res: &Result{Clocks: make([]int64, conf.N), Done: make([]bool, conf.N)},
+	}
+	for i := range m.mem {
+		m.mem[i] = make([]ir.Word, g.Words)
+	}
+	for i := 0; i < conf.InitialActive; i++ {
+		m.pes[i] = pe{status: peActive, pc: g.Entry}
+	}
+
+	for {
+		ran := false
+		for i := range m.pes {
+			if m.pes[i].status == peActive {
+				if err := m.runPE(i); err != nil {
+					return nil, err
+				}
+				ran = true
+			}
+		}
+		if ran {
+			continue
+		}
+		// Nobody is runnable: release a barrier episode or finish.
+		var waiting []int
+		for i := range m.pes {
+			if m.pes[i].status == peAtBarrier {
+				waiting = append(waiting, i)
+			}
+		}
+		if len(waiting) == 0 {
+			break
+		}
+		var release int64
+		for _, i := range waiting {
+			if m.pes[i].clock > release {
+				release = m.pes[i].clock
+			}
+		}
+		release += int64(m.cfg.BarrierCost)
+		for _, i := range waiting {
+			m.pes[i].clock = release
+			m.pes[i].status = peActive
+			m.pes[i].released = true
+		}
+		m.res.Barriers++
+	}
+
+	for i := range m.pes {
+		m.res.Clocks[i] = m.pes[i].clock
+		m.res.Done[i] = m.pes[i].status == peDone
+		if m.pes[i].clock > m.res.Time {
+			m.res.Time = m.pes[i].clock
+		}
+	}
+	m.res.Mem = m.mem
+	return m.res, nil
+}
+
+// runPE executes one PE until it blocks at a barrier, ends, or halts.
+func (m *machine) runPE(i int) error {
+	p := &m.pes[i]
+	for {
+		b := m.g.Block(p.pc)
+		if b == nil {
+			return fmt.Errorf("mimdsim: PE %d at nonexistent state %d", i, p.pc)
+		}
+		if b.Barrier && !p.released {
+			p.status = peAtBarrier
+			return nil
+		}
+		p.released = false
+		p.blocks++
+		if p.blocks > m.cfg.MaxBlocks {
+			return fmt.Errorf("mimdsim: PE %d exceeded %d blocks (non-terminating program?)", i, m.cfg.MaxBlocks)
+		}
+		m.res.Blocks++
+
+		for _, in := range b.Code {
+			if err := m.exec(i, in); err != nil {
+				return fmt.Errorf("mimdsim: PE %d state %d: %w", i, b.ID, err)
+			}
+		}
+		cost := int64(b.Cost())
+		p.clock += cost
+		m.res.Useful += cost
+
+		switch b.Term {
+		case cfg.End:
+			p.status = peDone
+			return nil
+		case cfg.Halt:
+			p.status = peIdle
+			p.stack = p.stack[:0]
+			p.retStack = p.retStack[:0]
+			return nil
+		case cfg.Goto:
+			p.pc = b.Next
+		case cfg.Branch:
+			c, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			if ir.Truth(c) {
+				p.pc = b.Next
+			} else {
+				p.pc = b.FNext
+			}
+		case cfg.RetBr:
+			if len(p.retStack) == 0 {
+				return fmt.Errorf("mimdsim: PE %d return with empty return stack", i)
+			}
+			p.pc = p.retStack[len(p.retStack)-1]
+			p.retStack = p.retStack[:len(p.retStack)-1]
+		case cfg.Spawn:
+			child := -1
+			for j := range m.pes {
+				if m.pes[j].status == peIdle {
+					child = j
+					break
+				}
+			}
+			if child < 0 {
+				return fmt.Errorf("mimdsim: spawn with no free processor (width %d)", m.cfg.N)
+			}
+			m.pes[child] = pe{status: peActive, pc: b.SpawnNext, clock: p.clock}
+			p.pc = b.Next
+		}
+	}
+}
+
+func (m *machine) push(i int, w ir.Word) {
+	m.pes[i].stack = append(m.pes[i].stack, w)
+}
+
+func (m *machine) pop(i int) (ir.Word, error) {
+	s := m.pes[i].stack
+	if len(s) == 0 {
+		return 0, fmt.Errorf("evaluation stack underflow")
+	}
+	w := s[len(s)-1]
+	m.pes[i].stack = s[:len(s)-1]
+	return w, nil
+}
+
+// slot validates a memory address.
+func (m *machine) slot(addr int64) (int, error) {
+	if addr < 0 || addr >= int64(m.g.Words) {
+		return 0, fmt.Errorf("memory address %d out of range [0,%d)", addr, m.g.Words)
+	}
+	return int(addr), nil
+}
+
+// peIndex normalizes a parallel-subscript processor index by wrapping
+// modulo the machine width (identical in every engine).
+func peIndex(p ir.Word, n int) int {
+	v := int(p) % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+func (m *machine) exec(i int, in ir.Instr) error {
+	switch in.Op {
+	case ir.Nop:
+	case ir.PushC:
+		m.push(i, ir.Word(in.Imm))
+	case ir.Dup:
+		w, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		m.push(i, w)
+		m.push(i, w)
+	case ir.Pop:
+		for k := int64(0); k < in.Imm; k++ {
+			if _, err := m.pop(i); err != nil {
+				return err
+			}
+		}
+	case ir.LdLocal, ir.LdMono:
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		m.push(i, m.mem[i][a])
+	case ir.StLocal:
+		w, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		m.mem[i][a] = w
+	case ir.StMono:
+		w, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		for q := range m.mem {
+			m.mem[q][a] = w
+		}
+	case ir.LdIndex:
+		idx, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		a, err := m.slot(in.Imm + int64(idx))
+		if err != nil {
+			return err
+		}
+		m.push(i, m.mem[i][a])
+	case ir.StIndex:
+		w, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		idx, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		a, err := m.slot(in.Imm + int64(idx))
+		if err != nil {
+			return err
+		}
+		m.mem[i][a] = w
+	case ir.LdRemote:
+		pw, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		m.push(i, m.mem[peIndex(pw, m.cfg.N)][a])
+	case ir.StRemote:
+		w, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		pw, err := m.pop(i)
+		if err != nil {
+			return err
+		}
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		m.mem[peIndex(pw, m.cfg.N)][a] = w
+	case ir.IProc:
+		m.push(i, ir.Word(i))
+	case ir.NProc:
+		m.push(i, ir.Word(m.cfg.N))
+	case ir.PushRet:
+		m.pes[i].retStack = append(m.pes[i].retStack, int(in.Imm))
+	default:
+		switch {
+		case ir.IsBinary(in.Op):
+			b, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			a, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			m.push(i, ir.EvalBinary(in.Op, a, b))
+		case ir.IsUnary(in.Op):
+			a, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			m.push(i, ir.EvalUnary(in.Op, a))
+		default:
+			return fmt.Errorf("unknown opcode %v", in.Op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package msc implements Meta-State Conversion (Dietz, TR-EE 93-6): it
+// converts a MIMD state graph into a single finite automaton over meta
+// states — aggregate sets of simultaneously occupied MIMD states — so
+// that the program can execute on SIMD hardware with one program
+// counter. The package provides the base conversion algorithm (§2.3),
+// MIMD-state time splitting (§2.4), meta-state compression (§2.5), and
+// barrier-synchronization state filtering (§2.6).
+package msc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+)
+
+// MetaState is one state of the meta-state automaton: the set of MIMD
+// states that may be simultaneously occupied, plus the transitions out.
+//
+// Each transition's dispatch key is exactly the destination meta state's
+// Set: at run time the aggregate program counter (the §3.2.3 "apc"
+// global-or) is reduced by the §3.2.4 barrier rule — if it is not
+// contained in the set of all barrier states, the barrier states are
+// subtracted — and the result selects the destination whose Set matches.
+type MetaState struct {
+	ID  int
+	Set *bitset.Set
+	// Trans lists the destination meta state IDs, sorted by their sets'
+	// canonical keys and deduplicated.
+	Trans []int
+	// Exit reports that execution may complete here (every PE reaches a
+	// no-exit MIMD state, §3.2.1).
+	Exit bool
+}
+
+// Automaton is the meta-state automaton for a program.
+type Automaton struct {
+	// G is the MIMD state graph the automaton was built from. When time
+	// splitting ran, this is the split copy, not the graph passed in.
+	G *cfg.Graph
+	// States holds the meta states; States[i].ID == i. Start is the meta
+	// state formed from the set of MIMD start states (§2.3).
+	States []*MetaState
+	Start  int
+	// Barriers is the set of barrier-wait MIMD states (§2.6).
+	Barriers *bitset.Set
+	// Opt records the options the conversion ran with.
+	Opt Options
+	// Splits counts MIMD states split by the §2.4 timing heuristic;
+	// Restarts counts conversion restarts those splits forced.
+	Splits   int
+	Restarts int
+	// OverApprox reports that some contribution was over-approximated
+	// (a return branch wider than Options.MaxRetSubsets used the
+	// all-targets rule), so runtime aggregates may be strict subsets of
+	// meta-state sets and dispatch must accept covering supersets.
+	OverApprox bool
+
+	byKey map[string]int
+}
+
+// State returns the meta state with the given ID, or nil.
+func (a *Automaton) State(id int) *MetaState {
+	if id < 0 || id >= len(a.States) {
+		return nil
+	}
+	return a.States[id]
+}
+
+// Find returns the meta state with exactly the given MIMD state set, or
+// nil.
+func (a *Automaton) Find(set *bitset.Set) *MetaState {
+	if id, ok := a.byKey[set.Key()]; ok {
+		return a.States[id]
+	}
+	return nil
+}
+
+// Lookup dispatches an aggregate program counter to the next meta state,
+// applying the §3.2.4 barrier rule: if the aggregate is contained in the
+// set of all barrier states the transition proceeds normally; otherwise
+// the barrier states are subtracted first (those PEs wait). An empty
+// aggregate means the program has completed: Lookup returns (nil, nil).
+func (a *Automaton) Lookup(apc *bitset.Set) (*MetaState, error) {
+	if apc.Empty() {
+		return nil, nil
+	}
+	key := apc
+	if !a.Opt.BarrierExact && !apc.Subset(a.Barriers) {
+		key = apc.Minus(a.Barriers)
+		if key.Empty() {
+			return nil, fmt.Errorf("msc: aggregate %s empties after barrier subtraction", apc)
+		}
+	}
+	ms := a.Find(key)
+	if ms == nil && (a.Opt.Compress || a.Opt.MergeSubsets || a.OverApprox) {
+		// Compressed/merged automata over-approximate occupancy: the
+		// realizable aggregate may be a strict subset of the meta state
+		// that covers it ("the case of both successors can always
+		// emulate either successor", §2.5). Dispatch to the smallest
+		// covering state.
+		for _, s := range a.States {
+			if key.Subset(s.Set) && (ms == nil || s.Set.Len() < ms.Set.Len()) {
+				ms = s
+			}
+		}
+	}
+	if ms == nil {
+		return nil, fmt.Errorf("msc: no meta state for aggregate %s (dispatch key %s)", apc, key)
+	}
+	return ms, nil
+}
+
+// NumStates returns the number of meta states.
+func (a *Automaton) NumStates() int { return len(a.States) }
+
+// NumTransitions returns the total number of transition arcs.
+func (a *Automaton) NumTransitions() int {
+	n := 0
+	for _, s := range a.States {
+		n += len(s.Trans)
+	}
+	return n
+}
+
+// Succs returns the destination meta states of s.
+func (a *Automaton) Succs(s *MetaState) []*MetaState {
+	out := make([]*MetaState, len(s.Trans))
+	for i, to := range s.Trans {
+		out[i] = a.States[to]
+	}
+	return out
+}
+
+// MaxWidth returns the widest meta state (most MIMD states merged); the
+// §2.5 compression trade-off makes meta states wider in exchange for
+// fewer of them.
+func (a *Automaton) MaxWidth() int {
+	w := 0
+	for _, s := range a.States {
+		if n := s.Set.Len(); n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// String renders the automaton as readable text.
+func (a *Automaton) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "start: ms%d %s\n", a.Start, a.States[a.Start].Set)
+	for _, s := range a.States {
+		fmt.Fprintf(&sb, "ms%d %s:\n", s.ID, s.Set)
+		for _, to := range s.Trans {
+			fmt.Fprintf(&sb, "    -> ms%d %s\n", to, a.States[to].Set)
+		}
+		if s.Exit {
+			sb.WriteString("    -> exit\n")
+		}
+	}
+	return sb.String()
+}
+
+// Dot renders the automaton in Graphviz format (Figures 2, 5, 6 style).
+func (a *Automaton) Dot(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=ellipse];\n", title)
+	for _, s := range a.States {
+		fmt.Fprintf(&sb, "  m%d [label=\"%s\"];\n", s.ID, strings.Trim(s.Set.String(), "{}"))
+	}
+	anyExit := false
+	for _, s := range a.States {
+		for _, to := range s.Trans {
+			fmt.Fprintf(&sb, "  m%d -> m%d;\n", s.ID, to)
+		}
+		if s.Exit {
+			fmt.Fprintf(&sb, "  m%d -> exit;\n", s.ID)
+			anyExit = true
+		}
+	}
+	fmt.Fprintf(&sb, "  start [shape=point];\n  start -> m%d;\n", a.Start)
+	if anyExit {
+		sb.WriteString("  exit [shape=doublecircle label=\"\"];\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// sortSuccs orders a transition list deterministically by the
+// destination sets' canonical keys and removes duplicates.
+func (a *Automaton) sortSuccs(ts []int) []int {
+	sort.Slice(ts, func(i, j int) bool {
+		return a.States[ts[i]].Set.Key() < a.States[ts[j]].Set.Key()
+	})
+	out := ts[:0]
+	for i, t := range ts {
+		if i > 0 && t == out[len(out)-1] {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package msc
+
+import "fmt"
+
+// Check validates the structural invariants of a converted automaton:
+//
+//   - IDs are dense and the set index is consistent;
+//   - every transition target exists;
+//   - in paper barrier mode (§2.6) every meta state is either entirely
+//     barrier states (a release state) or contains none;
+//   - compressed automata have at most one exit arc per meta state
+//     (transitions into compressed regions are unconditional, §2.5);
+//   - the successor sets recomputed from the MIMD graph are covered by
+//     the recorded transitions (dispatch closure).
+func Check(a *Automaton) error {
+	if a.State(a.Start) == nil {
+		return fmt.Errorf("msc: start state %d missing", a.Start)
+	}
+	for i, s := range a.States {
+		if s.ID != i {
+			return fmt.Errorf("msc: state %d has ID %d", i, s.ID)
+		}
+		if got := a.Find(s.Set); got != s && !a.Opt.MergeSubsets {
+			return fmt.Errorf("msc: set index inconsistent for ms%d %s", i, s.Set)
+		}
+		if s.Set.Empty() {
+			return fmt.Errorf("msc: ms%d has empty MIMD state set", i)
+		}
+		for _, to := range s.Trans {
+			if a.State(to) == nil {
+				return fmt.Errorf("msc: ms%d has dangling transition to %d", i, to)
+			}
+		}
+		if !a.Opt.BarrierExact && !a.Barriers.Empty() {
+			inter := s.Set.Intersect(a.Barriers)
+			if !inter.Empty() && !inter.Equal(s.Set) {
+				return fmt.Errorf("msc: ms%d %s mixes barrier and non-barrier states in paper mode", i, s.Set)
+			}
+		}
+		if a.Opt.Compress {
+			// Unconditional except for barrier-release arcs (§3.2.4): at
+			// most one arc may lead to a state holding non-barrier work.
+			normal := 0
+			for _, to := range s.Trans {
+				if !a.States[to].Set.Subset(a.Barriers) {
+					normal++
+				}
+			}
+			if normal > 1 {
+				return fmt.Errorf("msc: compressed ms%d has %d non-release exit arcs, want <= 1", i, normal)
+			}
+		}
+	}
+
+	// Dispatch closure: recompute each state's successor aggregates and
+	// confirm each filtered target is a recorded transition. With
+	// MergeSubsets, a superset target is acceptable.
+	for _, s := range a.States {
+		for _, raw := range successors(a.G, a, s.Set, a.Opt) {
+			if raw.Empty() {
+				if !s.Exit && !a.Opt.MergeSubsets {
+					return fmt.Errorf("msc: ms%d can complete but has no exit flag", s.ID)
+				}
+				continue
+			}
+			target := raw
+			if !a.Opt.BarrierExact {
+				target = barrierSync(raw, a.Barriers)
+			}
+			found := false
+			for _, to := range s.Trans {
+				tset := a.States[to].Set
+				if tset.Equal(target) || (a.Opt.MergeSubsets && target.Subset(tset)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("msc: ms%d %s has uncovered successor aggregate %s (target %s)",
+					s.ID, s.Set, raw, target)
+			}
+		}
+	}
+	return nil
+}

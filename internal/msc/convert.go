@@ -1,0 +1,393 @@
+package msc
+
+import (
+	"fmt"
+	"sort"
+
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+)
+
+// Options configures a conversion.
+type Options struct {
+	// Compress applies §2.5: a two-exit MIMD state always contributes
+	// both successors, collapsing the 3^n successor explosion to a
+	// single unconditional arc per meta state.
+	Compress bool
+	// MergeSubsets folds every meta state that is a subset of another
+	// into that superset (the superset "has the code for both" and can
+	// emulate it). §2.5's two-state result for Listing 1 requires it;
+	// it defaults on when Compress is set (see DefaultOptions).
+	MergeSubsets bool
+	// TimeSplit enables the §2.4 heuristic: MIMD states much more
+	// expensive than the cheapest state in the same meta state are split
+	// so threads need not idle. SplitDelta is the noise level below
+	// which imbalance is ignored; SplitPercent is the utilization
+	// percentage that is already acceptable.
+	TimeSplit    bool
+	SplitDelta   int
+	SplitPercent int
+	// BarrierExact disables the §2.6 filtering in favor of exact
+	// occupancy tracking: meta states keep barrier-wait members, which
+	// is sound even when distinct barriers are simultaneously occupied,
+	// at the price of more meta states. The default (paper) mode
+	// requires the usual SPMD discipline of one barrier active at a
+	// time.
+	BarrierExact bool
+	// MaxStates bounds the automaton size (the §1.2 S!/(S−N)! explosion
+	// guard). MaxRestarts bounds time-splitting restarts.
+	MaxStates   int
+	MaxRestarts int
+	// MaxRetSubsets bounds exact enumeration of return-site subsets for
+	// multiway return states; beyond it the converter falls back to the
+	// compressed all-targets contribution.
+	MaxRetSubsets int
+}
+
+// DefaultOptions returns the paper-faithful defaults for the given
+// conversion flavor.
+func DefaultOptions(compress bool) Options {
+	return Options{
+		Compress:      compress,
+		MergeSubsets:  compress,
+		SplitDelta:    4,
+		SplitPercent:  75,
+		MaxStates:     1 << 16,
+		MaxRestarts:   16384,
+		MaxRetSubsets: 10,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	if o.SplitDelta == 0 {
+		o.SplitDelta = 4
+	}
+	if o.SplitPercent == 0 {
+		o.SplitPercent = 75
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 16
+	}
+	if o.MaxRestarts == 0 {
+		o.MaxRestarts = 1024
+	}
+	if o.MaxRetSubsets == 0 {
+		o.MaxRetSubsets = 10
+	}
+}
+
+// Convert builds the meta-state automaton for a MIMD state graph. The
+// graph is cloned first; when time splitting runs, the automaton's G
+// field holds the split copy.
+func Convert(g *cfg.Graph, opt Options) (*Automaton, error) {
+	opt.fillDefaults()
+	if opt.MergeSubsets && !opt.Compress {
+		// Without the both-successors rule, a superset state's dispatch
+		// does not cover the aggregates its subsumed subsets produced.
+		return nil, fmt.Errorf("msc: MergeSubsets requires Compress")
+	}
+	work := g.Clone()
+
+	restarts := 0
+	splits := 0
+	for {
+		a, didSplit, err := convertOnce(work, opt)
+		if err != nil {
+			return nil, err
+		}
+		if !didSplit {
+			a.Splits = splits
+			a.Restarts = restarts
+			if opt.MergeSubsets {
+				mergeSubsets(a)
+			}
+			return a, nil
+		}
+		// §2.4: splitting changed the MIMD graph, so the construction of
+		// the meta-state automaton is restarted to ensure consistency.
+		splits++
+		restarts++
+		if restarts > opt.MaxRestarts {
+			return nil, fmt.Errorf("msc: time splitting did not converge after %d restarts", restarts)
+		}
+	}
+}
+
+// MustConvert converts and panics on error; for tests and examples.
+func MustConvert(g *cfg.Graph, opt Options) *Automaton {
+	a, err := Convert(g, opt)
+	if err != nil {
+		panic("msc.MustConvert: " + err.Error())
+	}
+	return a
+}
+
+// convertOnce runs one pass of meta-state conversion. If time splitting
+// decides to split a MIMD state it mutates g and returns didSplit=true
+// (the caller restarts).
+func convertOnce(g *cfg.Graph, opt Options) (a *Automaton, didSplit bool, err error) {
+	barriers := bitset.New(len(g.Blocks))
+	for _, b := range g.Blocks {
+		if b != nil && b.Barrier {
+			barriers.Add(b.ID)
+		}
+	}
+
+	a = &Automaton{
+		G:        g,
+		Barriers: barriers,
+		Opt:      opt,
+		byKey:    make(map[string]int),
+	}
+
+	// intern returns the meta state ID for set, creating it if new and
+	// pushing it on the worklist.
+	var work []int
+	intern := func(set *bitset.Set) (int, error) {
+		key := set.Key()
+		if id, ok := a.byKey[key]; ok {
+			return id, nil
+		}
+		if len(a.States) >= opt.MaxStates {
+			return 0, fmt.Errorf("msc: meta-state space exceeded %d states (see Options.MaxStates)", opt.MaxStates)
+		}
+		ms := &MetaState{ID: len(a.States), Set: set.Clone()}
+		a.States = append(a.States, ms)
+		a.byKey[key] = ms.ID
+		work = append(work, ms.ID)
+		return ms.ID, nil
+	}
+
+	start, err := intern(bitset.Of(g.Entry))
+	if err != nil {
+		return nil, false, err
+	}
+	a.Start = start
+
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		ms := a.States[id]
+
+		if opt.TimeSplit {
+			if split := timeSplitState(g, ms.Set, opt); split {
+				return nil, true, nil
+			}
+		}
+
+		for _, raw := range successors(g, a, ms.Set, opt) {
+			if raw.Empty() {
+				ms.Exit = true
+				continue
+			}
+			target := raw
+			if !opt.BarrierExact {
+				target = barrierSync(raw, barriers)
+				// A mixed aggregate means the barrier may also release
+				// here: if at run time every still-live PE lands on the
+				// barrier, the all-barrier meta state is entered
+				// (§3.2.4). Base enumeration produces that candidate on
+				// its own; the compressed single-union candidate hides
+				// it, so the release state is interned explicitly.
+				if waits := raw.Intersect(barriers); !waits.Empty() && !waits.Equal(raw) {
+					rel, err := intern(waits)
+					if err != nil {
+						return nil, false, err
+					}
+					ms.Trans = append(ms.Trans, rel)
+				}
+			}
+			to, err := intern(target)
+			if err != nil {
+				return nil, false, err
+			}
+			ms.Trans = append(ms.Trans, to)
+		}
+		ms.Trans = a.sortSuccs(ms.Trans)
+	}
+	return a, false, nil
+}
+
+// barrierSync implements the §2.6 filter: if every MIMD state in s is a
+// barrier-wait state, all processors have arrived and the barrier
+// releases (the all-barrier meta state is entered); otherwise the
+// barrier states are removed — those PEs wait while the rest proceed.
+func barrierSync(s, barriers *bitset.Set) *bitset.Set {
+	waits := s.Intersect(barriers)
+	if waits.Equal(s) {
+		return waits
+	}
+	return s.Minus(waits)
+}
+
+// successors enumerates every distinct aggregate successor set of a
+// meta state: the §2.3 reach recursion expressed as a deduplicated
+// cartesian product of each member state's possible contributions.
+func successors(g *cfg.Graph, a *Automaton, set *bitset.Set, opt Options) []*bitset.Set {
+	partials := map[string]*bitset.Set{"": bitset.New(0)}
+	for _, id := range set.Elems() {
+		choices := contributions(g, a, id, set, opt)
+		next := make(map[string]*bitset.Set, len(partials)*len(choices))
+		for _, p := range partials {
+			for _, c := range choices {
+				u := p.Union(c)
+				next[u.Key()] = u
+			}
+		}
+		partials = next
+	}
+	out := make([]*bitset.Set, 0, len(partials))
+	for _, s := range partials {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// contributions returns the possible successor sets contributed by one
+// MIMD state within the meta state `within`.
+func contributions(g *cfg.Graph, a *Automaton, id int, within *bitset.Set, opt Options) []*bitset.Set {
+	b := g.Block(id)
+
+	// Exact barrier mode: a barrier state in a mixed meta state waits in
+	// place; only when every member is a barrier does it proceed.
+	if opt.BarrierExact && b.Barrier && !within.Subset(a.Barriers) {
+		return []*bitset.Set{bitset.Of(id)}
+	}
+
+	switch b.Term {
+	case cfg.End, cfg.Halt:
+		// No exit arcs: the process ends here and contributes nothing.
+		return []*bitset.Set{bitset.New(0)}
+	case cfg.Goto:
+		return []*bitset.Set{bitset.Of(b.Next)}
+	case cfg.Branch:
+		if b.Next == b.FNext {
+			return []*bitset.Set{bitset.Of(b.Next)}
+		}
+		if opt.Compress {
+			// §2.5: both successors are always assumed taken.
+			return []*bitset.Set{bitset.Of(b.Next, b.FNext)}
+		}
+		// §2.3: TRUE, FALSE, or (multiple processes) both.
+		return []*bitset.Set{
+			bitset.Of(b.Next),
+			bitset.Of(b.FNext),
+			bitset.Of(b.Next, b.FNext),
+		}
+	case cfg.RetBr:
+		if opt.Compress {
+			return []*bitset.Set{bitset.Of(b.RetTargets...)}
+		}
+		if len(b.RetTargets) > opt.MaxRetSubsets {
+			// Exact enumeration would need 2^k-1 subsets; fall back to
+			// the all-targets rule and mark the automaton so dispatch
+			// accepts covering supersets.
+			a.OverApprox = true
+			return []*bitset.Set{bitset.Of(b.RetTargets...)}
+		}
+		return nonEmptySubsets(b.RetTargets)
+	case cfg.Spawn:
+		// §3.2.5: a spawn looks like a conditional jump whose both paths
+		// must be taken (the compressed rule), one by the original
+		// processes and one by the created ones.
+		return []*bitset.Set{bitset.Of(b.Next, b.SpawnNext)}
+	}
+	return []*bitset.Set{bitset.New(0)}
+}
+
+// nonEmptySubsets enumerates every non-empty subset of ids.
+func nonEmptySubsets(ids []int) []*bitset.Set {
+	n := len(ids)
+	out := make([]*bitset.Set, 0, (1<<n)-1)
+	for mask := 1; mask < 1<<n; mask++ {
+		s := bitset.New(0)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(ids[i])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// mergeSubsets folds meta states that are strict subsets of other meta
+// states into the (smallest) superset, which can always emulate them
+// (§2.5). Transitions and the start state are redirected; unreachable
+// states are pruned and IDs are compacted.
+func mergeSubsets(a *Automaton) {
+	// For each state find the smallest strict superset, if any.
+	redirect := make([]int, len(a.States))
+	for i := range redirect {
+		redirect[i] = i
+	}
+	for _, s := range a.States {
+		best := -1
+		for _, t := range a.States {
+			if t.ID == s.ID || !s.Set.Subset(t.Set) {
+				continue
+			}
+			if best == -1 || t.Set.Len() < a.States[best].Set.Len() ||
+				(t.Set.Len() == a.States[best].Set.Len() && t.ID < best) {
+				best = t.ID
+			}
+		}
+		if best >= 0 {
+			redirect[s.ID] = best
+		}
+	}
+	// Chase chains (subset of a subset of ...).
+	resolve := func(id int) int {
+		for redirect[id] != id {
+			id = redirect[id]
+		}
+		return id
+	}
+
+	a.Start = resolve(a.Start)
+	for _, s := range a.States {
+		for i := range s.Trans {
+			s.Trans[i] = resolve(s.Trans[i])
+		}
+	}
+
+	// Keep only states reachable from the start.
+	seen := make([]bool, len(a.States))
+	stack := []int{a.Start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, to := range a.States[id].Trans {
+			if !seen[to] {
+				stack = append(stack, to)
+			}
+		}
+	}
+
+	remap := make([]int, len(a.States))
+	var live []*MetaState
+	for i, s := range a.States {
+		if seen[i] {
+			remap[i] = len(live)
+			live = append(live, s)
+		}
+	}
+	a.byKey = make(map[string]int, len(live))
+	for _, s := range live {
+		s.ID = remap[s.ID]
+		for i := range s.Trans {
+			s.Trans[i] = remap[s.Trans[i]]
+		}
+		a.byKey[s.Set.Key()] = s.ID
+	}
+	a.States = live
+	a.Start = remap[a.Start]
+	for _, s := range a.States {
+		s.Trans = a.sortSuccs(s.Trans)
+	}
+}

@@ -1,0 +1,441 @@
+package msc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+)
+
+// listing4 is the paper's running example (Listings 1 and 4).
+const listing4 = `
+void main()
+{
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    return;
+}
+`
+
+// listing3 adds the barrier before F (the paper's Listing 3).
+const listing3 = `
+void main()
+{
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    wait;
+    return;
+}
+`
+
+func graph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g := cfg.Simplify(cfg.MustBuild(src))
+	if err := cfg.Verify(g); err != nil {
+		t.Fatalf("cfg verify: %v", err)
+	}
+	return g
+}
+
+func convert(t *testing.T, src string, opt Options) (*cfg.Graph, *Automaton) {
+	t.Helper()
+	g := graph(t, src)
+	a, err := Convert(g, opt)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if err := Check(a); err != nil {
+		t.Fatalf("check: %v\n%s", err, a)
+	}
+	return g, a
+}
+
+// figure1Roles returns the block IDs playing the paper's state roles
+// 0 (A), 2 (B;C), 6 (D;E), 9 (F) in the simplified Listing 1 graph.
+func figure1Roles(t *testing.T, g *cfg.Graph) (sA, sB, sD, sF int) {
+	t.Helper()
+	a := g.Block(g.Entry)
+	if a.Term != cfg.Branch {
+		t.Fatalf("entry is not a branch")
+	}
+	return a.ID, a.Next, a.FNext, g.Block(a.Next).FNext
+}
+
+// TestFigure2 reproduces Figure 2: the base conversion of Listing 1
+// yields exactly eight meta states with the figure's arc structure.
+func TestFigure2(t *testing.T) {
+	g, a := convert(t, listing4, DefaultOptions(false))
+	if got := a.NumStates(); got != 8 {
+		t.Fatalf("meta states = %d, want 8 (Figure 2)\n%s", got, a)
+	}
+	sA, sB, sD, sF := figure1Roles(t, g)
+	wantSets := []*bitset.Set{
+		bitset.Of(sA), bitset.Of(sB), bitset.Of(sD), bitset.Of(sB, sD),
+		bitset.Of(sF), bitset.Of(sB, sF), bitset.Of(sD, sF), bitset.Of(sB, sD, sF),
+	}
+	for _, set := range wantSets {
+		if a.Find(set) == nil {
+			t.Errorf("missing meta state %s", set)
+		}
+	}
+
+	succs := func(set *bitset.Set) map[string]bool {
+		ms := a.Find(set)
+		out := map[string]bool{}
+		for _, to := range ms.Trans {
+			out[a.States[to].Set.String()] = true
+		}
+		return out
+	}
+	// Start {A} -> {B}, {D}, {B,D}.
+	start := succs(bitset.Of(sA))
+	for _, w := range []*bitset.Set{bitset.Of(sB), bitset.Of(sD), bitset.Of(sB, sD)} {
+		if !start[w.String()] {
+			t.Errorf("start lacks arc to %s; has %v", w, start)
+		}
+	}
+	if len(start) != 3 {
+		t.Errorf("start has %d arcs, want 3", len(start))
+	}
+	// {B,D} -> {B,D}, {B,F}, {D,F}, {F}, {B,D,F}: five arcs.
+	bd := succs(bitset.Of(sB, sD))
+	if len(bd) != 5 {
+		t.Errorf("{B,D} has %d arcs, want 5: %v", len(bd), bd)
+	}
+	// {F} is terminal: exit only.
+	f := a.Find(bitset.Of(sF))
+	if len(f.Trans) != 0 || !f.Exit {
+		t.Errorf("{F} should be exit-only; trans=%v exit=%v", f.Trans, f.Exit)
+	}
+	if a.MaxWidth() != 3 {
+		t.Errorf("max width = %d, want 3", a.MaxWidth())
+	}
+}
+
+// TestFigure5 reproduces Figure 5: compression collapses Listing 1's
+// automaton to two meta states with unconditional transitions.
+func TestFigure5(t *testing.T) {
+	g, a := convert(t, listing4, DefaultOptions(true))
+	if got := a.NumStates(); got != 2 {
+		t.Fatalf("meta states = %d, want 2 (Figure 5)\n%s", got, a)
+	}
+	sA, sB, sD, sF := figure1Roles(t, g)
+	start := a.State(a.Start)
+	if !start.Set.Equal(bitset.Of(sA)) {
+		t.Fatalf("start = %s, want {%d}", start.Set, sA)
+	}
+	big := a.Find(bitset.Of(sB, sD, sF))
+	if big == nil {
+		t.Fatalf("missing wide meta state {B,D,F}\n%s", a)
+	}
+	// Both transitions are unconditional: start -> big, big -> big.
+	if len(start.Trans) != 1 || start.Trans[0] != big.ID {
+		t.Fatalf("start trans = %v, want [%d]", start.Trans, big.ID)
+	}
+	if len(big.Trans) != 1 || big.Trans[0] != big.ID {
+		t.Fatalf("big trans = %v, want self-loop", big.Trans)
+	}
+}
+
+// TestFigure6 reproduces Figure 6: with the barrier of Listing 3, the
+// base conversion yields five meta states — barrier-wait states are
+// filtered from mixed aggregates and the all-barrier state releases.
+func TestFigure6(t *testing.T) {
+	g, a := convert(t, listing3, DefaultOptions(false))
+	if got := a.NumStates(); got != 5 {
+		t.Fatalf("meta states = %d, want 5 (Figure 6)\n%s", got, a)
+	}
+	sA, sB, sD, _ := figure1Roles(t, g)
+	// The barrier state W absorbed F by straightening.
+	var sW int
+	for _, b := range g.Blocks {
+		if b.Barrier {
+			sW = b.ID
+		}
+	}
+	for _, set := range []*bitset.Set{
+		bitset.Of(sA), bitset.Of(sB), bitset.Of(sD), bitset.Of(sB, sD), bitset.Of(sW),
+	} {
+		if a.Find(set) == nil {
+			t.Errorf("missing meta state %s\n%s", set, a)
+		}
+	}
+	// {B} transitions: to {B} (keep looping) and to {W} (everyone at the
+	// barrier); the mixed {B,W} aggregate filters back to {B}.
+	b := a.Find(bitset.Of(sB))
+	if len(b.Trans) != 2 {
+		t.Fatalf("{B} arcs = %d, want 2\n%s", len(b.Trans), a)
+	}
+	// The release state {W} runs F and exits.
+	w := a.Find(bitset.Of(sW))
+	if !w.Exit || len(w.Trans) != 0 {
+		t.Fatalf("{W} should exit; trans=%v exit=%v", w.Trans, w.Exit)
+	}
+}
+
+func TestBarrierLookupDispatch(t *testing.T) {
+	g, a := convert(t, listing3, DefaultOptions(false))
+	sA, sB, _, _ := figure1Roles(t, g)
+	var sW int
+	for _, b := range g.Blocks {
+		if b.Barrier {
+			sW = b.ID
+		}
+	}
+	// Mixed aggregate {B,W}: barrier subtracted -> {B}.
+	ms, err := a.Lookup(bitset.Of(sB, sW))
+	if err != nil || !ms.Set.Equal(bitset.Of(sB)) {
+		t.Fatalf("Lookup({B,W}) = %v, %v; want {B}", ms, err)
+	}
+	// All-barrier aggregate releases.
+	ms, err = a.Lookup(bitset.Of(sW))
+	if err != nil || !ms.Set.Equal(bitset.Of(sW)) {
+		t.Fatalf("Lookup({W}) = %v, %v; want {W}", ms, err)
+	}
+	// Empty aggregate: program complete.
+	ms, err = a.Lookup(bitset.New(0))
+	if ms != nil || err != nil {
+		t.Fatalf("Lookup({}) = %v, %v; want nil, nil", ms, err)
+	}
+	// Unknown aggregate errors.
+	if _, err := a.Lookup(bitset.Of(sA, sB)); err == nil {
+		t.Fatalf("Lookup of unrealizable aggregate succeeded")
+	}
+}
+
+func TestBarrierExactMode(t *testing.T) {
+	opt := DefaultOptions(false)
+	opt.BarrierExact = true
+	_, a := convert(t, listing3, opt)
+	// Exact mode tracks waiter occupancy: more states than Figure 6's 5.
+	if a.NumStates() <= 5 {
+		t.Fatalf("exact mode states = %d, want > 5", a.NumStates())
+	}
+	// Mixed barrier meta states exist and are legal in exact mode.
+	mixed := false
+	for _, s := range a.States {
+		in := s.Set.Intersect(a.Barriers)
+		if !in.Empty() && !in.Equal(s.Set) {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Fatalf("exact mode produced no mixed barrier states")
+	}
+}
+
+func TestCompressedBarrier(t *testing.T) {
+	_, a := convert(t, listing3, DefaultOptions(true))
+	// Compression plus barrier: the loops collapse to one wide state,
+	// the barrier still forces a separate release state.
+	if a.NumStates() > 4 {
+		t.Fatalf("compressed+barrier states = %d, want <= 4\n%s", a.NumStates(), a)
+	}
+	found := false
+	for _, s := range a.States {
+		if !s.Set.Intersect(a.Barriers).Empty() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no release state in compressed+barrier automaton\n%s", a)
+	}
+}
+
+func TestMergeSubsetsRequiresCompress(t *testing.T) {
+	g := graph(t, listing4)
+	_, err := Convert(g, Options{MergeSubsets: true})
+	if err == nil || !strings.Contains(err.Error(), "MergeSubsets requires Compress") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpawnContributesBothPaths(t *testing.T) {
+	_, a := convert(t, `
+void worker() { poly int w; w = 1; halt; }
+void main()
+{
+    spawn worker();
+    return;
+}
+`, DefaultOptions(false))
+	// The meta state containing the spawn block must have a successor
+	// containing both the continuation and the worker entry.
+	start := a.State(a.Start)
+	if len(start.Trans) != 1 {
+		t.Fatalf("spawn state arcs = %d, want 1 (both paths always)\n%s", len(start.Trans), a)
+	}
+	if a.States[start.Trans[0]].Set.Len() != 2 {
+		t.Fatalf("spawn successor = %s, want width 2", a.States[start.Trans[0]].Set)
+	}
+}
+
+func TestReturnMultiwaySubsets(t *testing.T) {
+	// Two call sites: the shared exit's RetBr contributes every
+	// non-empty subset of its return targets in base mode.
+	_, a := convert(t, `
+int id(int v) { return v; }
+void main()
+{
+    poly int a;
+    if (a) { a = id(1); } else { a = id(2); }
+    return;
+}
+`, DefaultOptions(false))
+	// Find the meta state containing only the RetBr block.
+	var retID int = -1
+	for _, b := range a.G.Blocks {
+		if b != nil && b.Term == cfg.RetBr {
+			retID = b.ID
+		}
+	}
+	if retID < 0 {
+		t.Fatalf("no RetBr block")
+	}
+	ms := a.Find(bitset.Of(retID))
+	if ms == nil {
+		t.Skipf("RetBr state never isolated in a singleton meta state")
+	}
+	if len(ms.Trans) != 3 {
+		t.Fatalf("RetBr meta state arcs = %d, want 3 (both sites, either site)", len(ms.Trans))
+	}
+}
+
+func TestStateExplosionGuard(t *testing.T) {
+	// Sequential loops desynchronize processors: PEs can occupy any
+	// combination of the loop states simultaneously, so the base state
+	// space grows exponentially (§1.2); the guard must stop it cleanly.
+	var sb strings.Builder
+	sb.WriteString("void main() {\n    poly int x;\n")
+	for i := 0; i < 12; i++ {
+		sb.WriteString("    do { x = x - 1; } while (x);\n")
+	}
+	sb.WriteString("    return;\n}\n")
+	g := graph(t, sb.String())
+	opt := DefaultOptions(false)
+	opt.MaxStates = 50
+	_, err := Convert(g, opt)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want state-space guard", err)
+	}
+	// Compression tames the same program.
+	a, err := Convert(g, DefaultOptions(true))
+	if err != nil {
+		t.Fatalf("compressed convert: %v", err)
+	}
+	if a.NumStates() > 30 {
+		t.Fatalf("compressed states = %d, want small", a.NumStates())
+	}
+}
+
+func TestConvertDoesNotMutateInput(t *testing.T) {
+	g := graph(t, listing4)
+	before := g.String()
+	opt := DefaultOptions(false)
+	opt.TimeSplit = true
+	if _, err := Convert(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != before {
+		t.Fatalf("Convert mutated the input graph")
+	}
+}
+
+func TestStringAndDot(t *testing.T) {
+	_, a := convert(t, listing4, DefaultOptions(false))
+	s := a.String()
+	if !strings.Contains(s, "start: ms0") || !strings.Contains(s, "-> exit") {
+		t.Fatalf("String output unexpected:\n%s", s)
+	}
+	d := a.Dot("fig2")
+	if !strings.Contains(d, "digraph") || !strings.Contains(d, "-> exit") {
+		t.Fatalf("Dot output unexpected:\n%s", d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph(t, listing3)
+	a1 := MustConvert(g, DefaultOptions(false))
+	a2 := MustConvert(g, DefaultOptions(false))
+	if a1.String() != a2.String() {
+		t.Fatalf("conversion not deterministic")
+	}
+}
+
+func TestRetSubsetFallbackOverApprox(t *testing.T) {
+	// Twelve call sites exceed a tiny MaxRetSubsets: conversion must
+	// mark the automaton over-approximated instead of enumerating 2^12
+	// return-site subsets.
+	var sb strings.Builder
+	sb.WriteString("poly int r;\nint id(int v) { return v; }\nvoid main() {\n")
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&sb, "    r = r + id(%d);\n", i)
+	}
+	sb.WriteString("    return;\n}\n")
+	g := graph(t, sb.String())
+	opt := DefaultOptions(false)
+	opt.MaxRetSubsets = 2
+	opt.MaxStates = 1 << 17
+	a, err := Convert(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OverApprox {
+		t.Fatalf("fallback did not mark the automaton over-approximated")
+	}
+}
+
+func TestSuccsAndDotExitFree(t *testing.T) {
+	g := graph(t, `void main() { poly int x; for (;;) { x = x + 1; } }`)
+	a := MustConvert(g, DefaultOptions(false))
+	// Infinite loop: no state exits, the dot has no exit node.
+	if strings.Contains(a.Dot("loop"), "exit") {
+		t.Fatalf("exit node rendered for exit-free automaton")
+	}
+	for _, s := range a.States {
+		succs := a.Succs(s)
+		if len(succs) != len(s.Trans) {
+			t.Fatalf("Succs length mismatch")
+		}
+		for i, to := range s.Trans {
+			if succs[i].ID != to {
+				t.Fatalf("Succs order mismatch")
+			}
+		}
+	}
+}
+
+func TestMustConvertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustConvert did not panic")
+		}
+	}()
+	g := graph(t, SeqLoopsSrc(10))
+	opt := DefaultOptions(false)
+	opt.MaxStates = 10
+	MustConvert(g, opt)
+}
+
+// SeqLoopsSrc builds k sequential divergent loops (local copy to avoid
+// importing the harness from an internal package it imports).
+func SeqLoopsSrc(k int) string {
+	var sb strings.Builder
+	sb.WriteString("void main() {\n    poly int x;\n    x = iproc % 4 + 1;\n")
+	for i := 0; i < k; i++ {
+		sb.WriteString("    do { x = x - 1; } while (x > 0);\n")
+		fmt.Fprintf(&sb, "    x = iproc %% %d + 1;\n", i+2)
+	}
+	sb.WriteString("    return;\n}\n")
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+package msc
+
+import (
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+	"msc/internal/ir"
+)
+
+// timeSplitState implements the §2.4 heuristic on one meta state. The
+// meta-state automaton embodies an execution-time schedule: if MIMD
+// states of widely varying cost are merged into one meta state, cheap
+// threads idle while expensive ones run. The fix is to break each
+// too-expensive MIMD state into a prefix of approximately the minimum
+// cost, unconditionally followed by the remainder, and restart the
+// conversion. Reports whether any state was split (mutating g).
+func timeSplitState(g *cfg.Graph, set *bitset.Set, opt Options) bool {
+	// Ignore zero-execution-time components: "you can't do anything
+	// about them anyway".
+	var members []*cfg.Block
+	min, max := 0, 0
+	for _, id := range set.Elems() {
+		b := g.Block(id)
+		t := b.Cost()
+		if t == 0 {
+			continue
+		}
+		if len(members) == 0 || t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+		members = append(members, b)
+	}
+	if len(members) < 2 {
+		return false
+	}
+
+	// Is enough time wasted to be worth splitting? Not if the difference
+	// is at noise level (split_delta), nor if utilization is already
+	// above the acceptable percentage (split_percent).
+	if min+opt.SplitDelta > max {
+		return false
+	}
+	if min > (opt.SplitPercent*max)/100 {
+		return false
+	}
+
+	didSplit := false
+	for _, b := range members {
+		if b.Cost() > min && splitBlock(g, b, min) {
+			didSplit = true
+		}
+	}
+	return didSplit
+}
+
+// splitBlock breaks b into a head of at most budget cycles followed
+// unconditionally by a tail holding the remainder (Figure 4: β becomes
+// β′ → β″). When the cut lands mid-expression, the evaluation stack is
+// spilled to fresh temp slots in the head and reloaded in the tail, so
+// both pieces remain self-contained balanced blocks — the invariant the
+// verifier and the CSI pass rely on. Returns false when no instruction
+// boundary allows a non-empty head and a non-trivial tail.
+func splitBlock(g *cfg.Graph, b *cfg.Block, budget int) bool {
+	cut, cost := 0, 0
+	for i, in := range b.Code {
+		if cost+in.Cost() > budget {
+			break
+		}
+		cost += in.Cost()
+		cut = i + 1
+	}
+	if cut == 0 && len(b.Code) > 1 {
+		// Even the first instruction exceeds the budget; instruction
+		// granularity is the floor, so peel it off alone (the SplitDelta
+		// tolerance absorbs the overshoot on the next pass).
+		cut = 1
+	}
+	if cut == 0 || cut == len(b.Code) {
+		// Either there is at most one instruction (nothing to split) or
+		// everything fits and the cost excess is all in the terminator,
+		// which cannot be split.
+		return false
+	}
+
+	// Evaluation-stack depth at the cut: values pending across it are
+	// spilled to fresh per-PE slots. Splitting must make progress — the
+	// tail must get strictly cheaper than the original block even after
+	// the reloads — or the restart loop would never converge; advance
+	// the cut until the prefix outweighs the spill traffic.
+	depthAt := func(n int) int {
+		d := 0
+		for _, in := range b.Code[:n] {
+			d += in.Op.StackDelta(in.Imm)
+		}
+		return d
+	}
+	costAt := func(n int) int { return ir.CodeCost(b.Code[:n]) }
+	total := ir.CodeCost(b.Code)
+	progress := func(cut int) bool {
+		d := depthAt(cut)
+		if d < 0 {
+			return false
+		}
+		// Tail must shrink: the prefix removed outweighs the reloads.
+		// Head must shrink: prefix plus spill stores stays under the
+		// original. Otherwise the piece is an irreducible unit and
+		// re-splitting it would loop forever.
+		return costAt(cut) > d*ir.LdLocal.Cost() &&
+			costAt(cut)+d*ir.StLocal.Cost() < total
+	}
+	for cut < len(b.Code) && !progress(cut) {
+		cut++
+	}
+	if cut >= len(b.Code) {
+		return false
+	}
+	depth := depthAt(cut)
+	spills := make([]int, depth)
+	for i := range spills {
+		spills[i] = g.Words
+		g.Words++
+	}
+
+	head := append([]ir.Instr(nil), b.Code[:cut]...)
+	for i := depth - 1; i >= 0; i-- { // pop order: top of stack first
+		head = append(head, ir.Instr{Op: ir.StLocal, Imm: int64(spills[i]), Sym: "$split"})
+	}
+	tailCode := make([]ir.Instr, 0, depth+len(b.Code)-cut)
+	for i := 0; i < depth; i++ {
+		tailCode = append(tailCode, ir.Instr{Op: ir.LdLocal, Imm: int64(spills[i]), Sym: "$split"})
+	}
+	tailCode = append(tailCode, b.Code[cut:]...)
+
+	tail := &cfg.Block{
+		ID:         len(g.Blocks),
+		Code:       tailCode,
+		Term:       b.Term,
+		Next:       b.Next,
+		FNext:      b.FNext,
+		RetTargets: b.RetTargets,
+		SpawnNext:  b.SpawnNext,
+		Label:      b.Label + "/tail",
+	}
+	g.Blocks = append(g.Blocks, tail)
+
+	b.Code = head
+	b.Term = cfg.Goto
+	b.Next = tail.ID
+	b.FNext = cfg.None
+	b.RetTargets = nil
+	b.SpawnNext = cfg.None
+	b.Label += "/head"
+	return true
+}

@@ -1,0 +1,193 @@
+package msc
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/cfg"
+)
+
+// imbalancedSrc produces a meta state merging a cheap block with a much
+// more expensive one: the Figure 3 α/β situation.
+func imbalancedSrc(muls int) string {
+	var sb strings.Builder
+	sb.WriteString(`
+void main()
+{
+    poly int x, y;
+    if (x) {
+        y = y + 1;
+    } else {
+`)
+	for i := 0; i < muls; i++ {
+		sb.WriteString("        y = y * 3;\n")
+	}
+	sb.WriteString(`    }
+    x = y;
+    return;
+}
+`)
+	return sb.String()
+}
+
+// TestFigure4Splitting checks the §2.4 transformation: the expensive β
+// state is broken into β′ (≈ the cheap α's cost) followed by β″, so α
+// and β′ merge without idle time.
+func TestFigure4Splitting(t *testing.T) {
+	g := graph(t, imbalancedSrc(40))
+	opt := DefaultOptions(false)
+	opt.TimeSplit = true
+	a, err := Convert(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(a); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if a.Splits == 0 || a.Restarts == 0 {
+		t.Fatalf("splits = %d, restarts = %d; want > 0", a.Splits, a.Restarts)
+	}
+	// The split graph has more MIMD states than the input.
+	if a.G.NumBlocks() <= g.NumBlocks() {
+		t.Fatalf("split graph has %d states, input had %d", a.G.NumBlocks(), g.NumBlocks())
+	}
+	// Post-condition: no meta state still wants splitting.
+	for _, s := range a.States {
+		if timeSplitState(a.G.Clone(), s.Set, opt) {
+			t.Fatalf("ms%d %s still imbalanced after conversion", s.ID, s.Set)
+		}
+	}
+	// The input graph itself is untouched.
+	if gg := graph(t, imbalancedSrc(40)); gg.NumBlocks() != g.NumBlocks() {
+		t.Fatalf("input graph mutated")
+	}
+}
+
+func TestTimeSplitImprovesBalance(t *testing.T) {
+	g := graph(t, imbalancedSrc(40))
+	balance := func(a *Automaton) (worst float64) {
+		worst = 1
+		for _, s := range a.States {
+			min, max := 0, 0
+			for _, id := range s.Set.Elems() {
+				c := a.G.Block(id).Cost()
+				if c == 0 {
+					continue
+				}
+				if min == 0 || c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max > 0 && min > 0 {
+				if r := float64(min) / float64(max); r < worst {
+					worst = r
+				}
+			}
+		}
+		return worst
+	}
+	plain := MustConvert(g, DefaultOptions(false))
+	opt := DefaultOptions(false)
+	opt.TimeSplit = true
+	split := MustConvert(g, opt)
+	if balance(split) <= balance(plain) {
+		t.Fatalf("balance not improved: plain %.3f, split %.3f", balance(plain), balance(split))
+	}
+	// §2.4's example: a 5-cycle and a 100-cycle state in one meta state
+	// wastes up to 95%% of cycles; after splitting, the worst ratio must
+	// respect the split-percent threshold wherever splitting is possible.
+	if balance(split) < 0.25 {
+		t.Fatalf("worst balance after splitting = %.3f, want >= 0.25", balance(split))
+	}
+}
+
+func TestTimeSplitRespectsDelta(t *testing.T) {
+	// With a huge delta nothing is worth splitting.
+	g := graph(t, imbalancedSrc(40))
+	opt := DefaultOptions(false)
+	opt.TimeSplit = true
+	opt.SplitDelta = 10_000
+	a := MustConvert(g, opt)
+	if a.Splits != 0 {
+		t.Fatalf("splits = %d with delta %d, want 0", a.Splits, opt.SplitDelta)
+	}
+}
+
+func TestTimeSplitRespectsPercent(t *testing.T) {
+	// Nearly balanced branches: min > percent*max/100 suppresses splits.
+	g := graph(t, `
+void main()
+{
+    poly int x, y;
+    if (x) { y = y + 1; y = y + 2; } else { y = y + 3; y = y + 4; y = y + 5; }
+    x = y;
+    return;
+}
+`)
+	opt := DefaultOptions(false)
+	opt.TimeSplit = true
+	opt.SplitDelta = 1
+	opt.SplitPercent = 50
+	a := MustConvert(g, opt)
+	if a.Splits != 0 {
+		t.Fatalf("splits = %d for nearly balanced states, want 0", a.Splits)
+	}
+}
+
+func TestSplitBlockBoundaries(t *testing.T) {
+	g := graph(t, imbalancedSrc(8))
+	var big *cfg.Block
+	for _, b := range g.Blocks {
+		if big == nil || b.Cost() > big.Cost() {
+			big = b
+		}
+	}
+	n := len(g.Blocks)
+	if !splitBlock(g, big, big.Cost()/2) {
+		t.Fatalf("splitBlock refused a feasible split")
+	}
+	if len(g.Blocks) != n+1 {
+		t.Fatalf("no tail block appended")
+	}
+	head := big
+	tail := g.Blocks[n]
+	if head.Term != cfg.Goto || head.Next != tail.ID {
+		t.Fatalf("head does not fall through to tail")
+	}
+	if err := cfg.Verify(g); err != nil {
+		t.Fatalf("split graph invalid: %v", err)
+	}
+	// A tiny budget still peels one instruction off (granularity floor).
+	if !splitBlock(g, tail, 0) {
+		t.Fatalf("splitBlock refused the granularity-floor split")
+	}
+	// But a single-instruction block cannot split.
+	single := &cfg.Block{ID: len(g.Blocks), Code: tail.Code[:1], Term: cfg.Goto, Next: tail.ID, FNext: cfg.None, SpawnNext: cfg.None}
+	g.Blocks = append(g.Blocks, single)
+	if splitBlock(g, single, 0) {
+		t.Fatalf("splitBlock split a single-instruction block")
+	}
+	// A block whose cost excess sits in the terminator cannot split.
+	if splitBlock(g, head, head.Cost()*2) {
+		t.Fatalf("splitBlock split when everything fits the budget")
+	}
+}
+
+func TestTimeSplitEquivalentAutomatonSemantics(t *testing.T) {
+	// Splitting must not change which source-level states are reachable:
+	// the split automaton simulates the plain one (every plain block is
+	// a head block or unchanged).
+	g := graph(t, imbalancedSrc(20))
+	opt := DefaultOptions(false)
+	opt.TimeSplit = true
+	a := MustConvert(g, opt)
+	// All original block IDs still exist in the split graph.
+	for _, b := range g.Blocks {
+		if a.G.Block(b.ID) == nil {
+			t.Fatalf("original state %d vanished from split graph", b.ID)
+		}
+	}
+}

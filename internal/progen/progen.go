@@ -1,0 +1,263 @@
+// Package progen generates random race-free SPMD programs in MIMDC,
+// used by cross-engine equivalence tests (MIMD reference == interpreter
+// == meta-state SIMD) and as workload generators for the benchmark
+// harness.
+//
+// Race freedom by construction: programs only write private (poly)
+// state, except in dedicated communication phases — bracketed by wait
+// barriers — where receive variables (written by parallel-subscript
+// reads) are disjoint from the data variables being read, so no engine
+// ordering can observe a torn value.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Params controls generation. Zero values get sensible defaults.
+type Params struct {
+	Seed int64
+	// Vars is the number of poly int data variables (v0..); Recv the
+	// number of receive-only variables (r0..). Defaults 4 and 2.
+	Vars, Recv int
+	// MaxDepth bounds statement nesting; MaxStmts bounds block length.
+	// Defaults 3 and 5.
+	MaxDepth, MaxStmts int
+	// Barriers enables wait/communication phases; Floats adds a float
+	// variable and mixed arithmetic; Calls adds helper functions.
+	Barriers bool
+	Floats   bool
+	Calls    bool
+	// LoopTrip bounds generated loop trip counts. Default 3.
+	LoopTrip int
+}
+
+func (p *Params) fill() {
+	if p.Vars == 0 {
+		p.Vars = 4
+	}
+	if p.Recv == 0 {
+		p.Recv = 2
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 3
+	}
+	if p.MaxStmts == 0 {
+		p.MaxStmts = 5
+	}
+	if p.LoopTrip == 0 {
+		p.LoopTrip = 3
+	}
+}
+
+type gen struct {
+	Params
+	r       *rand.Rand
+	sb      strings.Builder
+	indent  int
+	loopVar int
+}
+
+// Source generates a complete MIMDC program.
+func Source(p Params) string {
+	p.fill()
+	g := &gen{Params: p, r: rand.New(rand.NewSource(p.Seed))}
+	return g.program()
+}
+
+func (g *gen) line(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	var decls []string
+	for i := 0; i < g.Vars; i++ {
+		decls = append(decls, fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < g.Recv; i++ {
+		decls = append(decls, fmt.Sprintf("r%d", i))
+	}
+	g.line("poly int %s;", strings.Join(decls, ", "))
+	if g.Floats {
+		g.line("poly float f0, f1;")
+	}
+	if g.Calls {
+		g.line("int helper1(int a) { return a * 3 + 1; }")
+		g.line("int helper2(int a, int b) { if (a > b) { return a - b; } return b - a; }")
+	}
+	g.line("void main()")
+	g.line("{")
+	g.indent++
+	g.line("poly int li0, li1, li2, li3, li4, li5, li6, li7;")
+	// Seed state from the processor index so PEs diverge.
+	for i := 0; i < g.Vars; i++ {
+		g.line("v%d = (iproc + %d) %% %d;", i, g.r.Intn(7), g.r.Intn(5)+2)
+	}
+	if g.Floats {
+		g.line("f0 = iproc + 0.5;")
+		g.line("f1 = 1.25;")
+	}
+	g.block(0)
+	g.line("return;")
+	g.indent--
+	g.line("}")
+	return g.sb.String()
+}
+
+func (g *gen) block(depth int) {
+	n := g.r.Intn(g.MaxStmts) + 1
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *gen) stmt(depth int) {
+	roll := g.r.Intn(100)
+	switch {
+	case depth < g.MaxDepth && roll < 20:
+		g.line("if (%s) {", g.cond())
+		g.indent++
+		g.block(depth + 1)
+		g.indent--
+		if g.r.Intn(2) == 0 {
+			g.line("} else {")
+			g.indent++
+			g.block(depth + 1)
+			g.indent--
+		}
+		g.line("}")
+	case depth < g.MaxDepth && roll < 35 && g.loopVar < 8:
+		lv := g.loopVar
+		g.loopVar++
+		trip := g.r.Intn(g.LoopTrip) + 1
+		switch g.r.Intn(3) {
+		case 0:
+			g.line("li%d = %d + iproc %% 2;", lv, trip)
+			g.line("do {")
+			g.indent++
+			g.block(depth + 1)
+			g.line("li%d = li%d - 1;", lv, lv)
+			g.indent--
+			g.line("} while (li%d > 0);", lv)
+		case 1:
+			g.line("li%d = %d;", lv, trip)
+			g.line("while (li%d > 0) {", lv)
+			g.indent++
+			g.block(depth + 1)
+			g.line("li%d = li%d - 1;", lv, lv)
+			g.indent--
+			g.line("}")
+		default:
+			g.line("for (li%d = 0; li%d < %d; li%d = li%d + 1) {", lv, lv, trip, lv, lv)
+			g.indent++
+			g.block(depth + 1)
+			g.indent--
+			g.line("}")
+		}
+		g.loopVar--
+	case g.Barriers && roll < 45 && depth == 0:
+		// Communication only at the top level, where control flow is
+		// uniform across PEs: every PE reaches the same barrier sequence
+		// and the remote reads are cleanly phase-separated from writes.
+		g.commPhase()
+	case g.Floats && roll < 55:
+		g.line("f%d = f%d %s %s;", g.r.Intn(2), g.r.Intn(2),
+			[]string{"+", "-", "*"}[g.r.Intn(3)], g.fexpr())
+		g.line("v%d = v%d + f%d;", g.r.Intn(g.Vars), g.r.Intn(g.Vars), g.r.Intn(2))
+	case roll < 62:
+		g.line("v%d += %s;", g.r.Intn(g.Vars), g.atom())
+	case roll < 68:
+		g.line("v%d = %s ? %s : %s;", g.r.Intn(g.Vars), g.cond(), g.expr(1), g.expr(1))
+	default:
+		g.line("v%d = %s;", g.r.Intn(g.Vars), g.expr(0))
+	}
+}
+
+// commPhase emits a race-free communication phase: barrier, receive
+// remote values into r-variables only, barrier, then fold them in.
+func (g *gen) commPhase() {
+	g.line("wait;")
+	n := g.r.Intn(g.Recv) + 1
+	for i := 0; i < n; i++ {
+		g.line("r%d = v%d[[iproc + %d]];", i, g.r.Intn(g.Vars), g.r.Intn(3)+1)
+	}
+	g.line("wait;")
+	for i := 0; i < n; i++ {
+		g.line("v%d = (v%d + r%d) %% 1000;", g.r.Intn(g.Vars), g.r.Intn(g.Vars), i)
+	}
+}
+
+func (g *gen) cond() string {
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("v%d %s v%d", g.r.Intn(g.Vars),
+			[]string{"<", ">", "==", "!=", "<=", ">="}[g.r.Intn(6)], g.r.Intn(g.Vars))
+	case 1:
+		return fmt.Sprintf("v%d %% %d == %d", g.r.Intn(g.Vars), g.r.Intn(3)+2, g.r.Intn(2))
+	case 2:
+		return fmt.Sprintf("v%d > %d && v%d < %d",
+			g.r.Intn(g.Vars), g.r.Intn(4), g.r.Intn(g.Vars), g.r.Intn(20)+5)
+	case 3:
+		return fmt.Sprintf("v%d == %d || v%d != %d",
+			g.r.Intn(g.Vars), g.r.Intn(4), g.r.Intn(g.Vars), g.r.Intn(4))
+	default:
+		return fmt.Sprintf("!(v%d < %d)", g.r.Intn(g.Vars), g.r.Intn(5))
+	}
+}
+
+func (g *gen) expr(depth int) string {
+	if depth >= 2 {
+		return g.atom()
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1),
+			[]string{"+", "-", "*"}[g.r.Intn(3)], g.expr(depth+1))
+	case 2:
+		// Keep values bounded so long runs stay in range.
+		return fmt.Sprintf("((%s) %% %d)", g.expr(depth+1), g.r.Intn(97)+3)
+	case 3:
+		return fmt.Sprintf("(%s %s %d)", g.atom(),
+			[]string{"&", "|", "^", ">>", "<<"}[g.r.Intn(5)], g.r.Intn(4))
+	case 4:
+		if g.Calls {
+			if g.r.Intn(2) == 0 {
+				return fmt.Sprintf("helper1(%s)", g.atom())
+			}
+			return fmt.Sprintf("helper2(%s, %s)", g.atom(), g.atom())
+		}
+		return fmt.Sprintf("(-%s)", g.atom())
+	default:
+		return fmt.Sprintf("(%s / %d)", g.atom(), g.r.Intn(5)+1)
+	}
+}
+
+func (g *gen) atom() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("v%d", g.r.Intn(g.Vars))
+	case 1:
+		return fmt.Sprintf("%d", g.r.Intn(10))
+	case 2:
+		return "iproc"
+	default:
+		return fmt.Sprintf("v%d", g.r.Intn(g.Vars))
+	}
+}
+
+func (g *gen) fexpr() string {
+	switch g.r.Intn(3) {
+	case 0:
+		return "f0"
+	case 1:
+		return "f1"
+	default:
+		return fmt.Sprintf("%d.%d", g.r.Intn(3), g.r.Intn(10))
+	}
+}

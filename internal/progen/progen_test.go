@@ -1,0 +1,76 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/cfg"
+	"msc/internal/mimdc"
+)
+
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, p := range []Params{
+			{Seed: seed},
+			{Seed: seed, Barriers: true, Floats: true, Calls: true},
+		} {
+			src := Source(p)
+			prog, err := mimdc.Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+			}
+			if err := mimdc.Analyze(prog); err != nil {
+				t.Fatalf("seed %d: analyze: %v\n%s", seed, err, src)
+			}
+			g, err := cfg.Build(prog)
+			if err != nil {
+				t.Fatalf("seed %d: build: %v\n%s", seed, err, src)
+			}
+			cfg.Simplify(g)
+			if err := cfg.Verify(g); err != nil {
+				t.Fatalf("seed %d: verify: %v\n%s", seed, err, src)
+			}
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Source(Params{Seed: 7, Barriers: true})
+	b := Source(Params{Seed: 7, Barriers: true})
+	if a != b {
+		t.Fatalf("same seed produced different programs")
+	}
+	c := Source(Params{Seed: 8, Barriers: true})
+	if a == c {
+		t.Fatalf("different seeds produced identical programs")
+	}
+}
+
+func TestBarriersOnlyAtTopLevel(t *testing.T) {
+	// Race-freedom argument requires wait statements to appear only in
+	// the uniform top-level sequence: one level of indentation inside
+	// main (main's body is indented once).
+	for seed := int64(0); seed < 40; seed++ {
+		src := Source(Params{Seed: seed, Barriers: true})
+		for _, line := range strings.Split(src, "\n") {
+			if strings.HasSuffix(strings.TrimSpace(line), "wait;") {
+				if indent := len(line) - len(strings.TrimLeft(line, " ")); indent != 4 {
+					t.Fatalf("seed %d: wait at indent %d (not top level):\n%s", seed, indent, src)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantsProduceFeatures(t *testing.T) {
+	var sawWait, sawFloat, sawCall bool
+	for seed := int64(0); seed < 30; seed++ {
+		src := Source(Params{Seed: seed, Barriers: true, Floats: true, Calls: true})
+		sawWait = sawWait || strings.Contains(src, "wait;")
+		sawFloat = sawFloat || strings.Contains(src, "float")
+		sawCall = sawCall || strings.Contains(src, "helper1(")
+	}
+	if !sawWait || !sawFloat || !sawCall {
+		t.Fatalf("features never generated: wait=%v float=%v call=%v", sawWait, sawFloat, sawCall)
+	}
+}

@@ -1,0 +1,611 @@
+package simd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"msc/internal/bitset"
+	"msc/internal/ir"
+)
+
+// Reserved pc values: a done PE finished its process (End); an idle PE
+// is in the free pool (§3.2.5: "a pc value indicating that they are not
+// in any meta state"). Neither contributes an apc bit.
+const (
+	PCDone = -1
+	PCIdle = -2
+)
+
+// Config controls a SIMD run.
+type Config struct {
+	// N is the machine width. InitialActive PEs begin at the program
+	// entry (zero means all).
+	N             int
+	InitialActive int
+	// MaxMeta bounds meta-state executions (non-termination guard);
+	// defaults to 1e6.
+	MaxMeta int
+	// Trace, when non-nil, receives one line per meta-state execution:
+	// the state, its live/enabled census, and the aggregate that chose
+	// the next state.
+	Trace io.Writer
+	// Strict verifies the conversion's occupancy invariant before every
+	// meta state: each live PE's pc must be covered by the meta state's
+	// set or be waiting at a barrier. Used by the test suites.
+	Strict bool
+	// Timeline, when non-nil, receives one row per meta-state execution
+	// showing every PE's occupancy: its MIMD state number while active,
+	// 'w' while waiting at a barrier, '-' when done, '.' when idle.
+	Timeline io.Writer
+}
+
+// Result reports a SIMD execution.
+type Result struct {
+	Mem [][]ir.Word
+	// Time is the total control-unit cycle count: body slots plus
+	// transition dispatch. In SIMD every PE pays every cycle.
+	Time int64
+	// BodyCycles and DispatchCycles decompose Time.
+	BodyCycles     int64
+	DispatchCycles int64
+	// EnabledCycles sums slot cost × enabled PE count: the truly useful
+	// PE-cycles. Utilization() relates it to N × Time.
+	EnabledCycles int64
+	// LiveIdleCycles sums slot cost × (live − enabled) PE count: cycles
+	// live PEs spend disabled, "waiting for the transition to the next
+	// meta state" (§2.4).
+	LiveIdleCycles int64
+	// MetaExecs counts meta states executed; SlotExecs counts slots.
+	MetaExecs int64
+	SlotExecs int64
+	// Done flags PEs that reached End.
+	Done []bool
+}
+
+// Utilization is the fraction of total PE-cycles (including dispatch)
+// spent enabled on body slots.
+func (r *Result) Utilization(n int) float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return float64(r.EnabledCycles) / (float64(r.Time) * float64(n))
+}
+
+// BodyUtilization is the fraction of body PE-cycles spent enabled: the
+// §2.4 idle-time metric (a 5-cycle state merged with a 100-cycle state
+// idles the cheap thread ~95% of the body).
+func (r *Result) BodyUtilization(n int) float64 {
+	if r.BodyCycles == 0 {
+		return 0
+	}
+	return float64(r.EnabledCycles) / (float64(r.BodyCycles) * float64(n))
+}
+
+// WaitFraction is the §2.4 waiting metric: of the PE-cycles spent by
+// live processors inside meta-state bodies, the fraction spent disabled
+// — waiting for other threads' code to pass so the transition can
+// happen. The paper's 5-vs-100-cycle example wastes up to 95% of the
+// cheap thread's cycles this way.
+func (r *Result) WaitFraction() float64 {
+	total := r.EnabledCycles + r.LiveIdleCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(r.LiveIdleCycles) / float64(total)
+}
+
+type vmPE struct {
+	pc, npc  int
+	stack    []ir.Word
+	retStack []int
+}
+
+type vm struct {
+	p    *Program
+	conf Config
+	mem  [][]ir.Word
+	pes  []vmPE
+	res  *Result
+}
+
+// Run executes a compiled meta-state program on the SIMD machine.
+func Run(p *Program, conf Config) (*Result, error) {
+	if conf.N < 1 {
+		return nil, fmt.Errorf("simd: N must be >= 1, got %d", conf.N)
+	}
+	if conf.InitialActive == 0 {
+		conf.InitialActive = conf.N
+	}
+	if conf.InitialActive < 1 || conf.InitialActive > conf.N {
+		return nil, fmt.Errorf("simd: InitialActive %d out of range [1,%d]", conf.InitialActive, conf.N)
+	}
+	if conf.MaxMeta == 0 {
+		conf.MaxMeta = 1_000_000
+	}
+	start := p.Meta[p.Start]
+	if start.Set.Len() != 1 {
+		return nil, fmt.Errorf("simd: start meta state %s is not a single MIMD state", start.Set)
+	}
+	entry := start.Set.Min()
+
+	m := &vm{
+		p:    p,
+		conf: conf,
+		mem:  make([][]ir.Word, conf.N),
+		pes:  make([]vmPE, conf.N),
+		res:  &Result{Done: make([]bool, conf.N)},
+	}
+	for i := range m.pes {
+		m.mem[i] = make([]ir.Word, p.Words)
+		if i < conf.InitialActive {
+			m.pes[i] = vmPE{pc: entry, npc: entry}
+		} else {
+			m.pes[i] = vmPE{pc: PCIdle, npc: PCIdle}
+		}
+	}
+
+	cur := p.Start
+	for step := 0; ; step++ {
+		if step >= conf.MaxMeta {
+			return nil, fmt.Errorf("simd: exceeded %d meta-state executions (non-terminating program?)", conf.MaxMeta)
+		}
+		mc := p.Meta[cur]
+		m.res.MetaExecs++
+		if conf.Timeline != nil {
+			m.timelineRow(conf.Timeline, step, cur)
+		}
+		if conf.Strict {
+			for i := range m.pes {
+				if pc := m.pes[i].pc; pc >= 0 && !mc.Set.Has(pc) && !p.Barriers.Has(pc) {
+					return nil, fmt.Errorf("simd: ms%d %s: PE %d occupies uncovered state %d (conversion bug)",
+						cur, mc.Set, i, pc)
+				}
+			}
+		}
+		if err := m.execBody(mc); err != nil {
+			return nil, fmt.Errorf("simd: ms%d: %w", cur, err)
+		}
+		next, done, err := m.dispatch(mc)
+		if err != nil {
+			return nil, fmt.Errorf("simd: ms%d: %w", cur, err)
+		}
+		if conf.Trace != nil {
+			live := 0
+			for i := range m.pes {
+				if m.pes[i].pc >= 0 {
+					live++
+				}
+			}
+			if done {
+				fmt.Fprintf(conf.Trace, "[%6d] ms%-4d %-16s -> exit (all PEs done)\n",
+					m.res.Time, cur, mc.Set)
+			} else {
+				fmt.Fprintf(conf.Trace, "[%6d] ms%-4d %-16s apc=%-16s live=%-3d -> ms%d\n",
+					m.res.Time, cur, mc.Set, m.apc(), live, next)
+			}
+		}
+		if done {
+			break
+		}
+		cur = next
+	}
+
+	for i := range m.pes {
+		m.res.Done[i] = m.pes[i].pc == PCDone
+	}
+	m.res.Mem = m.mem
+	return m.res, nil
+}
+
+// execBody runs every slot of a meta state. Guards test the pc latched
+// at meta-state entry; pc updates land in npc and commit afterwards, so
+// a PE can never fall through into another MIMD state's code within the
+// same meta state.
+func (m *vm) execBody(mc *MetaCode) error {
+	for i := range m.pes {
+		m.pes[i].npc = m.pes[i].pc
+	}
+	live := int64(0)
+	for i := range m.pes {
+		if m.pes[i].pc >= 0 {
+			live++
+		}
+	}
+	for si := range mc.Slots {
+		s := &mc.Slots[si]
+		cost := int64(s.Cost())
+		m.res.Time += cost
+		m.res.BodyCycles += cost
+		m.res.SlotExecs++
+
+		enabled := enabledPEs(m.pes, s.Guard)
+		m.res.EnabledCycles += cost * int64(len(enabled))
+		m.res.LiveIdleCycles += cost * (live - int64(len(enabled)))
+		if len(enabled) == 0 {
+			continue
+		}
+		switch s.Kind {
+		case SlotExec:
+			if err := m.exec(enabled, s.Instr); err != nil {
+				return err
+			}
+		case SlotSetPC:
+			for _, i := range enabled {
+				m.pes[i].npc = s.To
+			}
+		case SlotJumpF:
+			for _, i := range enabled {
+				c, err := m.pop(i)
+				if err != nil {
+					return err
+				}
+				if ir.Truth(c) {
+					m.pes[i].npc = s.To
+				} else {
+					m.pes[i].npc = s.FTo
+				}
+			}
+		case SlotEnd:
+			for _, i := range enabled {
+				m.pes[i].npc = PCDone
+			}
+		case SlotHalt:
+			for _, i := range enabled {
+				m.pes[i].npc = PCIdle
+				m.pes[i].stack = m.pes[i].stack[:0]
+				m.pes[i].retStack = m.pes[i].retStack[:0]
+			}
+		case SlotRetBr:
+			for _, i := range enabled {
+				rs := m.pes[i].retStack
+				if len(rs) == 0 {
+					return fmt.Errorf("PE %d return with empty return stack", i)
+				}
+				m.pes[i].npc = rs[len(rs)-1]
+				m.pes[i].retStack = rs[:len(rs)-1]
+			}
+		case SlotSpawn:
+			for _, parent := range enabled {
+				child := -1
+				for j := range m.pes {
+					if m.pes[j].pc == PCIdle && m.pes[j].npc == PCIdle {
+						child = j
+						break
+					}
+				}
+				if child < 0 {
+					return fmt.Errorf("spawn with no free processor (width %d)", m.conf.N)
+				}
+				m.pes[child].npc = s.ChildTo
+				m.pes[parent].npc = s.To
+			}
+		}
+	}
+	for i := range m.pes {
+		m.pes[i].pc = m.pes[i].npc
+	}
+	return nil
+}
+
+// timelineRow renders one occupancy row: PE columns separated by
+// spaces, multi-digit states printed in full.
+func (m *vm) timelineRow(w io.Writer, step, ms int) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%5d] ms%-4d |", step, ms)
+	for i := range m.pes {
+		switch pc := m.pes[i].pc; {
+		case pc == PCDone:
+			sb.WriteString(" -")
+		case pc == PCIdle:
+			sb.WriteString(" .")
+		case m.p.Barriers.Has(pc):
+			sb.WriteString(" w")
+		default:
+			fmt.Fprintf(&sb, " %d", pc)
+		}
+	}
+	sb.WriteString(" |\n")
+	io.WriteString(w, sb.String())
+}
+
+// apc computes the aggregate program counter: the global-or of one bit
+// per live pc value (§3.2.3).
+func (m *vm) apc() *bitset.Set {
+	agg := bitset.New(m.p.NStates)
+	for i := range m.pes {
+		if m.pes[i].pc >= 0 {
+			agg.Add(m.pes[i].pc)
+		}
+	}
+	return agg
+}
+
+// dispatch selects the next meta state from the aggregate (§3.2).
+func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
+	tr := &mc.Trans
+	m.res.Time += int64(tr.Cost())
+	m.res.DispatchCycles += int64(tr.Cost())
+
+	agg := m.apc()
+	if agg.Empty() {
+		if tr.Kind == TransGoto && !tr.ExitCheck {
+			return 0, false, fmt.Errorf("aggregate went empty on an unconditional arc without exit check (compiler bug)")
+		}
+		return 0, true, nil
+	}
+
+	// §3.2.4: if every live PE is waiting at a barrier, the barrier
+	// releases — the transition "proceeds normally" by looking up the
+	// aggregate itself, independent of this state's own arcs (waiters
+	// may have been stranded by threads that ended elsewhere).
+	if !m.p.Barriers.Empty() && agg.Subset(m.p.Barriers) {
+		return m.releaseLookup(agg)
+	}
+
+	switch tr.Kind {
+	case TransNone:
+		return 0, false, fmt.Errorf("terminal meta state but %d PEs still live (apc %s)", agg.Len(), agg)
+	case TransGoto:
+		return tr.Entries[0].To, false, nil
+	}
+
+	// §3.2.4: proceed normally if the aggregate is all barrier states;
+	// otherwise subtract them — those PEs wait.
+	key := agg
+	if !agg.Subset(m.p.Barriers) {
+		key = agg.Minus(m.p.Barriers)
+	}
+
+	if tr.Hash != nil {
+		w, ok := key.Word()
+		if !ok {
+			return 0, false, fmt.Errorf("hashed dispatch with > 64 MIMD states")
+		}
+		idx := tr.Hash.Index(w)
+		if idx >= uint64(len(tr.Hash.Table)) || tr.Hash.Table[idx] < 0 {
+			return 0, false, fmt.Errorf("hash dispatch miss for aggregate %s", key)
+		}
+		return tr.Hash.Table[idx], false, nil
+	}
+
+	best := -1
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if e.Key.Equal(key) {
+			return e.To, false, nil
+		}
+		if m.p.SupersetDispatch && key.Subset(e.Key) {
+			if best < 0 || e.Key.Len() < tr.Entries[best].Key.Len() {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return tr.Entries[best].To, false, nil
+	}
+	return 0, false, fmt.Errorf("no dispatch entry for aggregate %s (key %s)", agg, key)
+}
+
+// releaseLookup finds the meta state for an all-barrier aggregate by
+// global search: exact set match first, then — when the automaton
+// over-approximates — the smallest covering state.
+func (m *vm) releaseLookup(agg *bitset.Set) (int, bool, error) {
+	best := -1
+	for _, mc := range m.p.Meta {
+		if mc.Set.Equal(agg) {
+			return mc.ID, false, nil
+		}
+		if m.p.SupersetDispatch && agg.Subset(mc.Set) &&
+			(best < 0 || mc.Set.Len() < m.p.Meta[best].Set.Len()) {
+			best = mc.ID
+		}
+	}
+	if best >= 0 {
+		return best, false, nil
+	}
+	return 0, false, fmt.Errorf("no release meta state for all-barrier aggregate %s (distinct barriers simultaneously occupied? convert with BarrierExact)", agg)
+}
+
+// enabledPEs lists live PEs whose latched pc is in the guard.
+func enabledPEs(pes []vmPE, guard *bitset.Set) []int {
+	var out []int
+	for i := range pes {
+		if pc := pes[i].pc; pc >= 0 && guard.Has(pc) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *vm) push(i int, w ir.Word) { m.pes[i].stack = append(m.pes[i].stack, w) }
+
+func (m *vm) pop(i int) (ir.Word, error) {
+	s := m.pes[i].stack
+	if len(s) == 0 {
+		return 0, fmt.Errorf("PE %d evaluation stack underflow", i)
+	}
+	w := s[len(s)-1]
+	m.pes[i].stack = s[:len(s)-1]
+	return w, nil
+}
+
+func (m *vm) slot(addr int64) (int, error) {
+	if addr < 0 || addr >= int64(m.p.Words) {
+		return 0, fmt.Errorf("memory address %d out of range [0,%d)", addr, m.p.Words)
+	}
+	return int(addr), nil
+}
+
+func peIndex(p ir.Word, n int) int {
+	v := int(p) % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// exec runs one instruction on every enabled PE (ascending order, which
+// fixes the outcome of write conflicts deterministically: the highest
+// enabled PE wins, matching the MIMD reference's phase order).
+func (m *vm) exec(enabled []int, in ir.Instr) error {
+	switch in.Op {
+	case ir.Nop:
+	case ir.PushC:
+		for _, i := range enabled {
+			m.push(i, ir.Word(in.Imm))
+		}
+	case ir.Dup:
+		for _, i := range enabled {
+			w, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			m.push(i, w)
+			m.push(i, w)
+		}
+	case ir.Pop:
+		for _, i := range enabled {
+			for k := int64(0); k < in.Imm; k++ {
+				if _, err := m.pop(i); err != nil {
+					return err
+				}
+			}
+		}
+	case ir.LdLocal, ir.LdMono:
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		for _, i := range enabled {
+			m.push(i, m.mem[i][a])
+		}
+	case ir.StLocal:
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		for _, i := range enabled {
+			w, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			m.mem[i][a] = w
+		}
+	case ir.StMono:
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		var val ir.Word
+		for _, i := range enabled {
+			w, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			val = w // highest enabled PE wins
+		}
+		for q := range m.mem {
+			m.mem[q][a] = val
+		}
+	case ir.LdIndex:
+		for _, i := range enabled {
+			idx, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			a, err := m.slot(in.Imm + int64(idx))
+			if err != nil {
+				return err
+			}
+			m.push(i, m.mem[i][a])
+		}
+	case ir.StIndex:
+		for _, i := range enabled {
+			w, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			idx, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			a, err := m.slot(in.Imm + int64(idx))
+			if err != nil {
+				return err
+			}
+			m.mem[i][a] = w
+		}
+	case ir.LdRemote:
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		// Router reads are simultaneous: gather first, then push.
+		vals := make([]ir.Word, len(enabled))
+		for k, i := range enabled {
+			p, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			vals[k] = m.mem[peIndex(p, m.conf.N)][a]
+		}
+		for k, i := range enabled {
+			m.push(i, vals[k])
+		}
+	case ir.StRemote:
+		a, err := m.slot(in.Imm)
+		if err != nil {
+			return err
+		}
+		for _, i := range enabled {
+			w, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			p, err := m.pop(i)
+			if err != nil {
+				return err
+			}
+			m.mem[peIndex(p, m.conf.N)][a] = w
+		}
+	case ir.IProc:
+		for _, i := range enabled {
+			m.push(i, ir.Word(i))
+		}
+	case ir.NProc:
+		for _, i := range enabled {
+			m.push(i, ir.Word(m.conf.N))
+		}
+	case ir.PushRet:
+		for _, i := range enabled {
+			m.pes[i].retStack = append(m.pes[i].retStack, int(in.Imm))
+		}
+	default:
+		switch {
+		case ir.IsBinary(in.Op):
+			for _, i := range enabled {
+				b, err := m.pop(i)
+				if err != nil {
+					return err
+				}
+				a, err := m.pop(i)
+				if err != nil {
+					return err
+				}
+				m.push(i, ir.EvalBinary(in.Op, a, b))
+			}
+		case ir.IsUnary(in.Op):
+			for _, i := range enabled {
+				a, err := m.pop(i)
+				if err != nil {
+					return err
+				}
+				m.push(i, ir.EvalUnary(in.Op, a))
+			}
+		default:
+			return fmt.Errorf("unknown opcode %v", in.Op)
+		}
+	}
+	return nil
+}

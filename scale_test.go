@@ -1,0 +1,195 @@
+package msc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"msc"
+	"msc/internal/harness"
+	"msc/internal/progen"
+)
+
+// TestWideMachines runs the workload suite on machines up to 256 PEs:
+// correctness must hold at every width and the SIMD cycle count must be
+// essentially width-independent for uniform workloads (one instruction
+// stream drives any number of PEs).
+func TestWideMachines(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 16, 64, 256} {
+		c := msc.MustCompile(harness.Reduction, msc.DefaultConfig())
+		rc := msc.RunConfig{N: n}
+		sd, err := c.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		ref, err := c.RunMIMD(rc)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		slot, _ := c.Slot("sum")
+		want := int64(n) * int64(n+1) / 2
+		for pe := 0; pe < n; pe++ {
+			if got := int64(sd.Mem[pe][slot]); got != want {
+				t.Fatalf("N=%d PE %d: sum = %d, want %d", n, pe, got, want)
+			}
+			if sd.Mem[pe][slot] != ref.Mem[pe][slot] {
+				t.Fatalf("N=%d PE %d: engines disagree", n, pe)
+			}
+		}
+	}
+}
+
+// TestSortScalesAndStaysSorted exercises the odd-even sorting network at
+// several widths.
+func TestSortScalesAndStaysSorted(t *testing.T) {
+	c := msc.MustCompile(harness.OddEvenSort, msc.DefaultConfig())
+	for _, n := range []int{2, 5, 16, 48} {
+		res, err := c.RunSIMD(msc.RunConfig{N: n})
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		slot, _ := c.Slot("v")
+		for pe := 1; pe < n; pe++ {
+			if res.Mem[pe-1][slot] > res.Mem[pe][slot] {
+				t.Fatalf("N=%d: unsorted at PE %d", n, pe)
+			}
+		}
+	}
+}
+
+// TestLargeRandomProgramsCompressed pushes bigger generated programs
+// through the compressed pipeline on a 64-wide machine and checks the
+// SIMD result against the MIMD reference.
+func TestLargeRandomProgramsCompressed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep skipped in -short")
+	}
+	for seed := int64(500); seed < 510; seed++ {
+		src := progen.Source(progen.Params{
+			Seed: seed, Barriers: true, Floats: true, Calls: true,
+			MaxDepth: 4, MaxStmts: 7, Vars: 6, LoopTrip: 4,
+		})
+		name := fmt.Sprintf("seed%d", seed)
+		c, err := msc.Compile(src, msc.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, src)
+		}
+		rc := msc.RunConfig{N: 64}
+		sd, err := c.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("%s: simd: %v\n%s", name, err, src)
+		}
+		ref, err := c.RunMIMD(rc)
+		if err != nil {
+			t.Fatalf("%s: mimd: %v", name, err)
+		}
+		for pe := 0; pe < 64; pe++ {
+			for slot := range ref.Mem[pe] {
+				if ref.Mem[pe][slot] != sd.Mem[pe][slot] {
+					t.Fatalf("%s: PE %d slot %d: %d != %d\n%s",
+						name, pe, slot, sd.Mem[pe][slot], ref.Mem[pe][slot], src)
+				}
+			}
+		}
+	}
+}
+
+// TestDeepNesting checks a pathological single program: five levels of
+// nested control flow with calls in conditions.
+func TestDeepNesting(t *testing.T) {
+	src := `
+poly int acc;
+int bump(int v) { return v + 1; }
+void main()
+{
+    poly int a, b, c, d;
+    for (a = 0; a < 3; a = a + 1) {
+        if (a % 2 == 0) {
+            for (b = 0; b < 2; b = b + 1) {
+                while (c < bump(a + b)) {
+                    do {
+                        acc = acc + 1;
+                        d = d + 1;
+                    } while (d % 3 != 0);
+                    c = c + 1;
+                }
+                c = 0;
+            }
+        } else {
+            acc = acc + bump(acc) % 5;
+        }
+    }
+    return;
+}
+`
+	c, err := msc.Compile(src, msc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := c.RunSIMD(msc.RunConfig{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.RunMIMD(msc.RunConfig{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := c.Slot("acc")
+	for pe := 0; pe < 8; pe++ {
+		if sd.Mem[pe][slot] != ref.Mem[pe][slot] {
+			t.Fatalf("PE %d: %d != %d", pe, sd.Mem[pe][slot], ref.Mem[pe][slot])
+		}
+	}
+}
+
+// TestExpandCallsRandomEquivalence sweeps generated call-heavy programs
+// through the §2.2 in-line expansion pipeline and checks results against
+// the MIMD reference built from the same expanded graph and against the
+// default shared-copy pipeline.
+func TestExpandCallsRandomEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random sweep skipped in -short")
+	}
+	for seed := int64(900); seed < 912; seed++ {
+		src := progen.Source(progen.Params{
+			Seed: seed, Calls: true, Floats: true, MaxDepth: 2, MaxStmts: 4,
+		})
+		expanded, err := msc.Compile(src, msc.Config{Compress: true, CSI: true, ExpandCalls: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		shared, err := msc.Compile(src, msc.Config{Compress: true, CSI: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rc := msc.RunConfig{N: 6}
+		re, err := expanded.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("seed %d: expanded simd: %v\n%s", seed, err, src)
+		}
+		ref, err := expanded.RunMIMD(rc)
+		if err != nil {
+			t.Fatalf("seed %d: expanded mimd: %v", seed, err)
+		}
+		rs, err := shared.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("seed %d: shared simd: %v", seed, err)
+		}
+		for pe := 0; pe < 6; pe++ {
+			// Expanded SIMD matches its own MIMD reference slot for slot.
+			for slot := range ref.Mem[pe] {
+				if ref.Mem[pe][slot] != re.Mem[pe][slot] {
+					t.Fatalf("seed %d PE %d slot %d: expanded engines disagree\n%s", seed, pe, slot, src)
+				}
+			}
+			// And the two pipelines agree on every source-level variable
+			// (slot layouts differ, so compare by name).
+			for name, eslot := range expanded.Graph.VarSlot {
+				sslot := shared.Graph.VarSlot[name]
+				if re.Mem[pe][eslot] != rs.Mem[pe][sslot] {
+					t.Fatalf("seed %d PE %d var %s: expanded %d != shared %d\n%s",
+						seed, pe, name, re.Mem[pe][eslot], rs.Mem[pe][sslot], src)
+				}
+			}
+		}
+	}
+}
