@@ -1,14 +1,21 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test cover bench fuzz experiments examples clean
+.PHONY: all build test check cover bench fuzz experiments examples clean
 
-all: build test
+all: build test check
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# Static hygiene + race detector: the gate CI and pre-commit should run.
+check:
+	go vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	go test -race ./...
 
 cover:
 	go test -cover ./...

@@ -35,6 +35,7 @@ import (
 	"msc/internal/mimdc"
 	"msc/internal/mimdsim"
 	metastate "msc/internal/msc"
+	"msc/internal/obs"
 	"msc/internal/simd"
 )
 
@@ -63,6 +64,27 @@ type Config struct {
 	Hash bool
 	// MaxStates guards the meta-state explosion (default 65536).
 	MaxStates int
+	// Metrics, when non-nil, receives the compile-phase wall times and
+	// domain counters (the obs glossary in docs/OBSERVABILITY.md).
+	// Compile records into its own recorder regardless and exposes the
+	// typed view as Compiled.Stats; setting Metrics shares the recorder,
+	// e.g. to publish it over expvar while compilation proceeds.
+	Metrics *obs.Recorder
+}
+
+// Validate reports the first out-of-range field. Compile rejects
+// invalid configurations up front instead of silently ignoring them.
+func (c Config) Validate() error {
+	if c.SplitDelta < 0 {
+		return fmt.Errorf("msc: Config.SplitDelta must be >= 0 (0 means the paper default of 4 cycles), got %d", c.SplitDelta)
+	}
+	if c.SplitPercent < 0 || c.SplitPercent > 100 {
+		return fmt.Errorf("msc: Config.SplitPercent must be in [0,100] (0 means the paper default of 75), got %d", c.SplitPercent)
+	}
+	if c.MaxStates < 0 {
+		return fmt.Errorf("msc: Config.MaxStates must be >= 0 (0 means the default of 65536), got %d", c.MaxStates)
+	}
+	return nil
 }
 
 // DefaultConfig is the recommended production configuration: the
@@ -80,22 +102,102 @@ type Compiled struct {
 	Automaton *metastate.Automaton
 	Program   *simd.Program
 	Config    Config
+	// Stats is the typed compile-metrics view: per-phase wall times and
+	// the pipeline's domain counters. Always populated.
+	Stats *CompileStats
+}
+
+// CompileStats is the typed form of the compile metrics a pipeline run
+// records (the raw recorder is available via Config.Metrics).
+type CompileStats struct {
+	// PhaseWall holds per-phase wall time in pipeline order.
+	PhaseWall []obs.Phase `json:"phases"`
+	// Front end.
+	TokensParsed         int64 `json:"tokens_parsed"`
+	BlocksBeforeSimplify int64 `json:"blocks_before_simplify"`
+	BlocksAfterSimplify  int64 `json:"blocks_after_simplify"`
+	// Meta-state conversion. MetaExplored counts states interned across
+	// every restart attempt (so it can exceed MetaStates); MetaMerged
+	// counts §2.5 subset-merged states; AggregatesFiltered counts §2.6
+	// barrier-filtered aggregates; WorklistHighWater is the conversion
+	// work-list peak.
+	MetaStates         int64 `json:"meta_states"`
+	MIMDStates         int64 `json:"mimd_states"`
+	MetaExplored       int64 `json:"meta_explored"`
+	MetaMerged         int64 `json:"meta_merged"`
+	AggregatesFiltered int64 `json:"aggregates_barrier_filtered"`
+	WorklistHighWater  int64 `json:"worklist_high_water"`
+	TimeSplits         int64 `json:"time_splits"`
+	Restarts           int64 `json:"restarts"`
+	// SIMD coding.
+	CSISavedCycles      int64 `json:"csi_saved_cycles"`
+	CSISlotsSaved       int64 `json:"csi_slots_saved"`
+	HashCandidatesTried int64 `json:"hash_candidates_tried"`
+	HashTablesBuilt     int64 `json:"hash_tables_built"`
+	DispatchEntries     int64 `json:"dispatch_entries"`
+}
+
+// statsFromRecorder builds the typed view over the well-known names.
+func statsFromRecorder(r *obs.Recorder) *CompileStats {
+	m := r.Snapshot()
+	return &CompileStats{
+		PhaseWall:            m.Phases,
+		TokensParsed:         m.Counter(obs.CounterTokens),
+		BlocksBeforeSimplify: m.Counter(obs.CounterBlocksBefore),
+		BlocksAfterSimplify:  m.Counter(obs.CounterBlocksAfter),
+		MetaStates:           m.Counter(obs.CounterMetaStates),
+		MIMDStates:           m.Counter(obs.CounterMIMDStates),
+		MetaExplored:         m.Counter(obs.CounterMetaExplored),
+		MetaMerged:           m.Counter(obs.CounterMetaMerged),
+		AggregatesFiltered:   m.Counter(obs.CounterMetaFiltered),
+		WorklistHighWater:    m.Counter(obs.CounterWorklistHigh),
+		TimeSplits:           m.Counter(obs.CounterSplits),
+		Restarts:             m.Counter(obs.CounterRestarts),
+		CSISavedCycles:       m.Counter(obs.CounterCSISavedCycles),
+		CSISlotsSaved:        m.Counter(obs.CounterCSISlotsSaved),
+		HashCandidatesTried:  m.Counter(obs.CounterHashTried),
+		HashTablesBuilt:      m.Counter(obs.CounterHashTables),
+		DispatchEntries:      m.Counter(obs.CounterDispatchEntries),
+	}
 }
 
 // Compile runs the whole pipeline on MIMDC source.
 func Compile(source string, conf Config) (*Compiled, error) {
+	if err := conf.Validate(); err != nil {
+		return nil, err
+	}
+	rec := conf.Metrics
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+
+	stop := rec.Phase(obs.PhaseParse)
 	ast, err := mimdc.Parse(source)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("msc: parse: %w", err)
 	}
-	if err := mimdc.Analyze(ast); err != nil {
+	rec.Add(obs.CounterTokens, int64(ast.Tokens))
+
+	stop = rec.Phase(obs.PhaseAnalyze)
+	err = mimdc.Analyze(ast)
+	stop()
+	if err != nil {
 		return nil, fmt.Errorf("msc: analyze: %w", err)
 	}
+
+	stop = rec.Phase(obs.PhaseLower)
 	g, err := cfg.BuildWith(ast, cfg.Options{ExpandCalls: conf.ExpandCalls})
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("msc: lower: %w", err)
 	}
-	cfg.Simplify(g)
+
+	stop = rec.Phase(obs.PhaseSimplify)
+	sstats := cfg.SimplifyWithStats(g)
+	stop()
+	rec.Add(obs.CounterBlocksBefore, int64(sstats.BlocksBefore))
+	rec.Add(obs.CounterBlocksAfter, int64(sstats.BlocksAfter))
 	if err := cfg.Verify(g); err != nil {
 		return nil, fmt.Errorf("msc: internal error: %w", err)
 	}
@@ -112,15 +214,24 @@ func Compile(source string, conf Config) (*Compiled, error) {
 	if conf.MaxStates != 0 {
 		mopt.MaxStates = conf.MaxStates
 	}
+	mopt.Metrics = rec
+	stop = rec.Phase(obs.PhaseConvert)
 	a, err := metastate.Convert(g, mopt)
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("msc: convert: %w", err)
 	}
-	if err := metastate.Check(a); err != nil {
+
+	stop = rec.Phase(obs.PhaseCheck)
+	err = metastate.Check(a)
+	stop()
+	if err != nil {
 		return nil, fmt.Errorf("msc: internal error: %w", err)
 	}
 
-	p, err := codegen.Compile(a, codegen.Options{Hash: conf.Hash, CSI: conf.CSI})
+	stop = rec.Phase(obs.PhaseCodegen)
+	p, err := codegen.Compile(a, codegen.Options{Hash: conf.Hash, CSI: conf.CSI, Metrics: rec})
+	stop()
 	if err != nil {
 		return nil, fmt.Errorf("msc: codegen: %w", err)
 	}
@@ -131,6 +242,7 @@ func Compile(source string, conf Config) (*Compiled, error) {
 		Automaton: a,
 		Program:   p,
 		Config:    conf,
+		Stats:     statsFromRecorder(rec),
 	}, nil
 }
 
@@ -154,25 +266,53 @@ type RunConfig struct {
 	// occupancy row per meta-state execution.
 	Trace    io.Writer
 	Timeline io.Writer
+	// Sink, when non-nil, receives the same execution events as Trace
+	// and Timeline in typed form (SIMD engine only); use obs.JSONLSink
+	// for machine-readable traces or any custom obs.Sink.
+	Sink obs.Sink
+}
+
+// Validate reports the first out-of-range field with a descriptive
+// error. The Run methods reject invalid configurations up front.
+func (rc RunConfig) Validate() error {
+	if rc.N < 1 {
+		return fmt.Errorf("msc: RunConfig.N must be >= 1 (machine width), got %d", rc.N)
+	}
+	if rc.InitialActive < 0 {
+		return fmt.Errorf("msc: RunConfig.InitialActive must be >= 0 (0 means all %d PEs), got %d", rc.N, rc.InitialActive)
+	}
+	if rc.InitialActive > rc.N {
+		return fmt.Errorf("msc: RunConfig.InitialActive %d exceeds machine width N=%d", rc.InitialActive, rc.N)
+	}
+	return nil
 }
 
 // RunSIMD executes the converted program on the SIMD machine.
 func (c *Compiled) RunSIMD(rc RunConfig) (*simd.Result, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
 	return simd.Run(c.Program, simd.Config{
 		N: rc.N, InitialActive: rc.InitialActive,
-		Trace: rc.Trace, Timeline: rc.Timeline,
+		Trace: rc.Trace, Timeline: rc.Timeline, Sink: rc.Sink,
 	})
 }
 
 // RunMIMD executes the MIMD state graph on the MIMD reference machine
 // (ideal MIMD: one pc per processor, runtime barrier cost).
 func (c *Compiled) RunMIMD(rc RunConfig) (*mimdsim.Result, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
 	return mimdsim.Run(c.Graph, mimdsim.Config{N: rc.N, InitialActive: rc.InitialActive})
 }
 
 // RunInterp executes the §1.1 baseline: the MIMD program interpreted on
 // the SIMD machine.
 func (c *Compiled) RunInterp(rc RunConfig) (*interp.Result, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
 	return interp.Run(c.Graph, interp.Config{N: rc.N, InitialActive: rc.InitialActive})
 }
 
@@ -195,6 +335,19 @@ func (c *Compiled) DotStateGraph(title string) string { return c.Graph.Dot(title
 // DotAutomaton renders the meta-state automaton (Figures 2/5/6 style)
 // in Graphviz dot.
 func (c *Compiled) DotAutomaton(title string) string { return c.Automaton.Dot(title) }
+
+// DotProfile renders the meta-state automaton as a Graphviz hot-spot
+// heatmap, coloring each state by its share of the run's total cycles
+// (res must come from RunSIMD on this Compiled).
+func (c *Compiled) DotProfile(title string, res *simd.Result) string {
+	share := make([]float64, len(res.MetaStats))
+	for i, st := range res.MetaStats {
+		if res.Time > 0 {
+			share[i] = float64(st.Cycles) / float64(res.Time)
+		}
+	}
+	return c.Automaton.DotHeat(title, share)
+}
 
 // Slot returns the memory slot of a global variable, for reading
 // results out of run memory images. The boolean reports existence.

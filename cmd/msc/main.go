@@ -21,9 +21,18 @@
 //	-run -n=16 [-active=K] [-engine=simd|mimd|interp]
 //	          [-trace] [-timeline]   (simd engine diagnostics on stderr)
 //
+// Profiling:
+//
+//	msc profile [-n=16] [-top=K] [-dot] file.mc
+//
+// runs the program on the SIMD engine and prints the per-meta-state
+// hot-spot table (visits, cycles, share of total time, mean live and
+// enabled PEs); -dot emits a Graphviz heatmap of the automaton instead.
+//
 // Conversion options mirror the paper: -compress (§2.5), -timesplit
 // (§2.4), -exact-barriers (§2.6 alternative), -expand-calls (§2.2),
-// -csi (§3.1), -hash (§3.2).
+// -csi (§3.1), -hash (§3.2). -pprof=ADDR serves net/http/pprof and
+// expvar (including the live compile metrics) for the process lifetime.
 package main
 
 import (
@@ -32,28 +41,26 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"msc"
 	"msc/internal/ir"
+	"msc/internal/obs"
+	"msc/internal/simd"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "msc:", err)
+		// API errors already carry the "msc: " prefix; don't double it.
+		fmt.Fprintln(os.Stderr, "msc:", strings.TrimPrefix(err.Error(), "msc: "))
 		os.Exit(1)
 	}
 }
 
-// run is the testable driver body.
-func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("msc", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+// convFlags registers the conversion-option flags on fs and returns a
+// function producing the msc.Config they select after parsing.
+func convFlags(fs *flag.FlagSet) func() msc.Config {
 	var (
-		emit     = fs.String("emit", "stats", "artifact: graph|dot|automaton|autodot|mpl|go|stats")
-		doRun    = fs.Bool("run", false, "execute the program instead of emitting an artifact")
-		engine   = fs.String("engine", "simd", "execution engine: simd|mimd|interp")
-		n        = fs.Int("n", 16, "machine width (number of PEs)")
-		active   = fs.Int("active", 0, "PEs initially in main (0 = all; rest wait for spawn)")
 		compress = fs.Bool("compress", false, "apply meta-state compression (§2.5)")
 		timespl  = fs.Bool("timesplit", false, "apply MIMD-state time splitting (§2.4)")
 		exactBar = fs.Bool("exact-barriers", false, "exact barrier occupancy instead of §2.6 filtering")
@@ -61,8 +68,53 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csi      = fs.Bool("csi", false, "apply common subexpression induction (§3.1)")
 		hash     = fs.Bool("hash", false, "encode multiway branches with customized hash functions (§3.2)")
 		maxState = fs.Int("max-states", 0, "meta-state space bound (0 = default 65536)")
-		trace    = fs.Bool("trace", false, "trace meta-state execution (simd engine)")
-		timeline = fs.Bool("timeline", false, "per-PE occupancy timeline (simd engine)")
+	)
+	return func() msc.Config {
+		return msc.Config{
+			Compress:     *compress,
+			TimeSplit:    *timespl,
+			BarrierExact: *exactBar,
+			ExpandCalls:  *expand,
+			CSI:          *csi,
+			Hash:         *hash,
+			MaxStates:    *maxState,
+		}
+	}
+}
+
+// startDebug starts the pprof/expvar server when addr is non-empty and
+// publishes the compile recorder over expvar. The returned closer is
+// always safe to call.
+func startDebug(addr string, rec *obs.Recorder, stderr io.Writer) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.StartDebugServer(addr)
+	if err != nil {
+		return func() {}, err
+	}
+	rec.Publish("msc.compile")
+	fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof/ (expvar at /debug/vars)\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
+
+// run is the testable driver body.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "profile" {
+		return profile(args[1:], stdout, stderr)
+	}
+	fs := flag.NewFlagSet("msc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	conv := convFlags(fs)
+	var (
+		emit      = fs.String("emit", "stats", "artifact: graph|dot|automaton|autodot|mpl|go|stats")
+		doRun     = fs.Bool("run", false, "execute the program instead of emitting an artifact")
+		engine    = fs.String("engine", "simd", "execution engine: simd|mimd|interp")
+		n         = fs.Int("n", 16, "machine width (number of PEs)")
+		active    = fs.Int("active", 0, "PEs initially in main (0 = all; rest wait for spawn)")
+		trace     = fs.Bool("trace", false, "trace meta-state execution (simd engine)")
+		timeline  = fs.Bool("timeline", false, "per-PE occupancy timeline (simd engine)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,15 +128,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	conf := msc.Config{
-		Compress:     *compress,
-		TimeSplit:    *timespl,
-		BarrierExact: *exactBar,
-		ExpandCalls:  *expand,
-		CSI:          *csi,
-		Hash:         *hash,
-		MaxStates:    *maxState,
+	conf := conv()
+	conf.Metrics = obs.NewRecorder()
+	closeDebug, err := startDebug(*pprofAddr, conf.Metrics, stderr)
+	if err != nil {
+		return err
 	}
+	defer closeDebug()
 	c, err := msc.Compile(string(src), conf)
 	if err != nil {
 		return err
@@ -135,6 +185,120 @@ func stats(w io.Writer, c *msc.Compiled) {
 	}
 	fmt.Fprintf(w, "hashed dispatches:  %d\n", hashed)
 	fmt.Fprintf(w, "static cycles:      %d\n", static)
+	if s := c.Stats; s != nil {
+		fmt.Fprintf(w, "tokens parsed:      %d\n", s.TokensParsed)
+		fmt.Fprintf(w, "cfg blocks:         %d -> %d (simplify)\n", s.BlocksBeforeSimplify, s.BlocksAfterSimplify)
+		fmt.Fprintf(w, "meta explored:      %d (merged %d, barrier-filtered %d, worklist peak %d)\n",
+			s.MetaExplored, s.MetaMerged, s.AggregatesFiltered, s.WorklistHighWater)
+		fmt.Fprintf(w, "CSI saved:          %d cycles, %d slots\n", s.CSISavedCycles, s.CSISlotsSaved)
+		fmt.Fprintf(w, "hash search:        %d candidates tried, %d tables built\n",
+			s.HashCandidatesTried, s.HashTablesBuilt)
+		fmt.Fprintf(w, "dispatch entries:   %d\n", s.DispatchEntries)
+		for _, p := range s.PhaseWall {
+			fmt.Fprintf(w, "phase %-13s %10.3fms\n", p.Name+":", float64(p.Wall)/1e6)
+		}
+	}
+}
+
+// profile implements the `msc profile` subcommand: run on the SIMD
+// engine and report where the cycles went, per meta state.
+func profile(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("msc profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	conv := convFlags(fs)
+	var (
+		n         = fs.Int("n", 16, "machine width (number of PEs)")
+		active    = fs.Int("active", 0, "PEs initially in main (0 = all; rest wait for spawn)")
+		top       = fs.Int("top", 0, "show only the hottest K meta states (0 = all)")
+		dot       = fs.Bool("dot", false, "emit a Graphviz heatmap of the automaton instead of the table")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("usage: msc profile [flags] file.mc")
+	}
+
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	conf := conv()
+	conf.Metrics = obs.NewRecorder()
+	closeDebug, err := startDebug(*pprofAddr, conf.Metrics, stderr)
+	if err != nil {
+		return err
+	}
+	defer closeDebug()
+	c, err := msc.Compile(string(src), conf)
+	if err != nil {
+		return err
+	}
+	res, err := c.RunSIMD(msc.RunConfig{N: *n, InitialActive: *active})
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		fmt.Fprint(stdout, c.DotProfile(fs.Arg(0), res))
+		return nil
+	}
+	return writeProfile(stdout, c, res, *top)
+}
+
+// writeProfile prints the hot-spot table, hottest meta state first. The
+// cycle column is exact: every cycle of the run is attributed to exactly
+// one meta state, so the total row equals the run's Time.
+func writeProfile(w io.Writer, c *msc.Compiled, res *simd.Result, top int) error {
+	order := make([]int, len(res.MetaStats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := &res.MetaStats[order[a]], &res.MetaStats[order[b]]
+		if sa.Cycles != sb.Cycles {
+			return sa.Cycles > sb.Cycles
+		}
+		return order[a] < order[b]
+	})
+
+	var total int64
+	for i := range res.MetaStats {
+		total += res.MetaStats[i].Cycles
+	}
+	if total != res.Time {
+		return fmt.Errorf("profile: attributed cycles %d != run time %d (attribution bug)", total, res.Time)
+	}
+
+	fmt.Fprintf(w, "%d meta-state executions, %d cycles total\n\n", res.MetaExecs, res.Time)
+	fmt.Fprintf(w, "%-7s %9s %11s %7s %7s %10s %10s  %s\n",
+		"state", "visits", "cycles", "time%", "cum%", "mean-live", "mean-enab", "set")
+	var cum int64
+	shown := 0
+	for _, id := range order {
+		st := &res.MetaStats[id]
+		if st.Visits == 0 && st.Cycles == 0 {
+			continue
+		}
+		if top > 0 && shown >= top {
+			break
+		}
+		cum += st.Cycles
+		pct := func(v int64) float64 {
+			if res.Time == 0 {
+				return 0
+			}
+			return 100 * float64(v) / float64(res.Time)
+		}
+		fmt.Fprintf(w, "ms%-5d %9d %11d %6.1f%% %6.1f%% %10.2f %10.2f  %s\n",
+			id, st.Visits, st.Cycles, pct(st.Cycles), pct(cum),
+			st.MeanLive(), st.MeanEnabled(), c.Automaton.States[id].Set)
+		shown++
+	}
+	fmt.Fprintf(w, "%-7s %9s %11d %6.1f%%\n", "total", "", total, 100.0)
+	return nil
 }
 
 func execute(stdout, stderr io.Writer, c *msc.Compiled, engine string, n, active int, trace, timeline bool) error {

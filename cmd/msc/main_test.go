@@ -142,3 +142,65 @@ func TestCLITimeline(t *testing.T) {
 		t.Errorf("timeline output missing:\n%s", errOut)
 	}
 }
+
+func TestCLIProfileTable(t *testing.T) {
+	path := writeProg(t, cliProg)
+	out, _, err := runCLI(t, "profile", "-n", "8", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cycles total", "mean-live", "mean-enab", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+	// The total row must carry 100.0%: every cycle is attributed.
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("profile total row missing 100%%:\n%s", out)
+	}
+}
+
+func TestCLIProfileTop(t *testing.T) {
+	path := writeProg(t, cliProg)
+	all, _, err := runCLI(t, "profile", "-n", "8", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _, err := runCLI(t, "profile", "-n", "8", "-top", "1", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(top, "\nms"); c != 1 {
+		t.Errorf("-top=1 shows %d states, want 1:\n%s", c, top)
+	}
+	if strings.Count(all, "\nms") <= 1 {
+		t.Errorf("full profile shows too few states:\n%s", all)
+	}
+}
+
+func TestCLIProfileDot(t *testing.T) {
+	path := writeProg(t, cliProg)
+	out, _, err := runCLI(t, "profile", "-n", "8", "-dot", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "fillcolor=") {
+		t.Errorf("profile -dot output not a heatmap:\n%s", out)
+	}
+	if !strings.Contains(out, "%\"") {
+		t.Errorf("profile -dot labels missing percentages:\n%s", out)
+	}
+}
+
+func TestCLIPprof(t *testing.T) {
+	path := writeProg(t, cliProg)
+	var out, errb bytes.Buffer
+	// 127.0.0.1:0 picks a free port; the server only needs to come up
+	// and be torn down cleanly around the compile.
+	if err := run([]string{"-pprof", "127.0.0.1:0", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "debug server on http://127.0.0.1:") {
+		t.Errorf("pprof banner missing:\n%s", errb.String())
+	}
+}

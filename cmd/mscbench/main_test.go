@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,5 +39,45 @@ func TestReportToFile(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "# EXPERIMENTS") || !strings.Contains(string(data), "## F1") {
 		t.Fatalf("report file unexpected:\n%s", data)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-json", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			Name            string  `json:"name"`
+			SIMDCycles      int64   `json:"simd_cycles"`
+			InterpCycles    int64   `json:"interp_cycles"`
+			SpeedupVsInterp float64 `json:"speedup_vs_interp"`
+			Compile         *struct {
+				MetaStates int64 `json:"meta_states"`
+			} `json:"compile"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Results) < 8 {
+		t.Fatalf("got %d workloads, want >= 8", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.SIMDCycles <= 0 || r.InterpCycles <= 0 {
+			t.Errorf("%s: non-positive cycle counts: simd=%d interp=%d", r.Name, r.SIMDCycles, r.InterpCycles)
+		}
+		if r.SpeedupVsInterp <= 1 {
+			t.Errorf("%s: speedup vs interp %.2f, want > 1", r.Name, r.SpeedupVsInterp)
+		}
+		if r.Compile == nil || r.Compile.MetaStates <= 0 {
+			t.Errorf("%s: compile metrics missing", r.Name)
+		}
 	}
 }

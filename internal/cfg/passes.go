@@ -2,13 +2,32 @@ package cfg
 
 import "msc/internal/ir"
 
+// SimplifyStats reports what a Simplify run did, for the compile
+// metrics.
+type SimplifyStats struct {
+	// BlocksBefore/BlocksAfter count non-nil blocks at entry and exit.
+	BlocksBefore int
+	BlocksAfter  int
+	// Iterations is the number of fixed-point rounds (including the
+	// final no-change round).
+	Iterations int
+}
+
 // Simplify applies code straightening, empty-node removal, and
 // unreachable-state pruning to a fixed point, then renumbers the blocks
 // compactly (§2.1: "code straightening and removal of empty nodes are
 // applied to obtain the simplest possible graph", maximizing basic
 // blocks). It returns g for chaining.
 func Simplify(g *Graph) *Graph {
+	SimplifyWithStats(g)
+	return g
+}
+
+// SimplifyWithStats is Simplify plus pass observability.
+func SimplifyWithStats(g *Graph) SimplifyStats {
+	st := SimplifyStats{BlocksBefore: g.NumBlocks()}
 	for {
+		st.Iterations++
 		changed := straighten(g)
 		changed = Fold(g) || changed
 		changed = removeEmpty(g) || changed
@@ -18,7 +37,8 @@ func Simplify(g *Graph) *Graph {
 		}
 	}
 	Renumber(g)
-	return g
+	st.BlocksAfter = g.NumBlocks()
+	return st
 }
 
 // preds returns the predecessor count of every block, counting the

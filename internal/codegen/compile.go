@@ -15,6 +15,7 @@ import (
 	"msc/internal/csi"
 	"msc/internal/hashgen"
 	"msc/internal/msc"
+	"msc/internal/obs"
 	"msc/internal/simd"
 )
 
@@ -29,6 +30,10 @@ type Options struct {
 	// body, factoring operations shared by multiple threads into single
 	// broadcast slots (§3.1, [Die92]).
 	CSI bool
+	// Metrics, when non-nil, receives coding counters: CSI cycles and
+	// slots saved, hash-search candidates tried, hash tables built, and
+	// total dispatch entries.
+	Metrics *obs.Recorder
 }
 
 // Compile lowers an automaton to a SIMD program.
@@ -90,6 +95,8 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 		if err != nil {
 			return nil, fmt.Errorf("codegen: ms%d: %w", ms.ID, err)
 		}
+		opt.Metrics.Add(obs.CounterCSISavedCycles, int64(sched.Saved()))
+		opt.Metrics.Add(obs.CounterCSISlotsSaved, int64(sched.SlotsSaved()))
 		for _, sl := range sched.Slots {
 			mc.Slots = append(mc.Slots, simd.Slot{
 				Kind:  simd.SlotExec,
@@ -144,6 +151,7 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 			To:  to,
 		})
 	}
+	opt.Metrics.Add(obs.CounterDispatchEntries, int64(len(mc.Trans.Entries)))
 	switch {
 	case len(mc.Trans.Entries) == 0:
 		mc.Trans.Kind = simd.TransNone
@@ -154,8 +162,9 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 		mc.Trans.Kind = simd.TransSwitch
 		if opt.Hash && !(a.Opt.Compress || a.Opt.MergeSubsets || a.OverApprox) {
 			// Superset dispatch cannot go through an exact hash table.
-			if h := hashTable(mc.Trans.Entries); h != nil {
+			if h := hashTable(mc.Trans.Entries, opt.Metrics); h != nil {
 				mc.Trans.Hash = h
+				opt.Metrics.Add(obs.CounterHashTables, 1)
 			}
 		}
 	}
@@ -169,8 +178,8 @@ const maxHashedWays = 32
 
 // hashTable builds a customized hash function over the dispatch keys, or
 // nil when the keys exceed the one-bit-per-pc word or no function is
-// found.
-func hashTable(entries []simd.DispatchEntry) *simd.HashFn {
+// found. Search effort is recorded on rec even when the search fails.
+func hashTable(entries []simd.DispatchEntry, rec *obs.Recorder) *simd.HashFn {
 	if len(entries) > maxHashedWays {
 		return nil
 	}
@@ -184,7 +193,8 @@ func hashTable(entries []simd.DispatchEntry) *simd.HashFn {
 		keys[i] = w
 		tos[i] = e.To
 	}
-	h, err := hashgen.Find(keys)
+	h, tried, err := hashgen.Search(keys)
+	rec.Add(obs.CounterHashTried, int64(tried))
 	if err != nil {
 		return nil
 	}

@@ -57,10 +57,17 @@ type Schedule struct {
 	Cost       int
 	NaiveCost  int
 	LowerBound int
+	// NaiveSlots is the slot count of the fully serialized schedule
+	// (one broadcast per thread instruction, no sharing).
+	NaiveSlots int
 }
 
 // Saved returns the cycles CSI recovered versus full serialization.
 func (s *Schedule) Saved() int { return s.NaiveCost - s.Cost }
+
+// SlotsSaved returns how many broadcast slots CSI merged away versus
+// full serialization.
+func (s *Schedule) SlotsSaved() int { return s.NaiveSlots - len(s.Slots) }
 
 // Induce computes a CSI schedule for the given threads. Thread guards
 // must be pairwise disjoint.
@@ -77,12 +84,13 @@ func Induce(threads []Thread) (*Schedule, error) {
 		}
 	}
 
-	naive := 0
+	naive, naiveSlots := 0, 0
 	for _, t := range threads {
 		naive += ir.CodeCost(t.Code)
+		naiveSlots += len(t.Code)
 	}
 
-	sched := &Schedule{NaiveCost: naive, LowerBound: lowerBound(threads)}
+	sched := &Schedule{NaiveCost: naive, NaiveSlots: naiveSlots, LowerBound: lowerBound(threads)}
 	g := buildGraph(threads)
 	g.improve()
 	sched.Slots = g.linearize()

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"msc"
+)
+
+// BenchResult is one workload's machine-readable measurement row: the
+// converted program's size and timing on all three engines, plus the
+// derived comparison ratios the evaluation quotes.
+type BenchResult struct {
+	Name          string `json:"name"`
+	Width         int    `json:"width"`
+	InitialActive int    `json:"initial_active,omitempty"`
+
+	MIMDStates int `json:"mimd_states"`
+	MetaStates int `json:"meta_states"`
+
+	SIMDCycles   int64 `json:"simd_cycles"`
+	MIMDCycles   int64 `json:"mimd_cycles"`
+	InterpCycles int64 `json:"interp_cycles"`
+
+	// SpeedupVsInterp is interp/simd: how much faster meta-state
+	// converted code is than the §1.1 interpreter baseline.
+	// SlowdownVsMIMD is simd/mimd: the residual cost against ideal MIMD.
+	SpeedupVsInterp float64 `json:"speedup_vs_interp"`
+	SlowdownVsMIMD  float64 `json:"slowdown_vs_mimd"`
+	// Utilization is the SIMD run's mean enabled-PE fraction.
+	Utilization float64 `json:"utilization"`
+
+	// Compile carries the full compile-phase metrics for the workload.
+	Compile *msc.CompileStats `json:"compile,omitempty"`
+}
+
+// BenchReport is the whole suite's results in one JSON-encodable value.
+type BenchReport struct {
+	Config  string        `json:"config"`
+	Results []BenchResult `json:"results"`
+}
+
+// Bench compiles and runs every Suite workload under DefaultConfig on
+// all three engines and collects the measurement rows.
+func Bench() (*BenchReport, error) {
+	rep := &BenchReport{Config: "default (compress+csi+hash)"}
+	for _, wl := range Suite() {
+		c, err := msc.Compile(wl.Source, msc.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: compile: %w", wl.Name, err)
+		}
+		rc := msc.RunConfig{N: wl.Width, InitialActive: wl.InitialActive}
+		simdRes, err := c.RunSIMD(rc)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: simd: %w", wl.Name, err)
+		}
+		mimdRes, err := c.RunMIMD(rc)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: mimd: %w", wl.Name, err)
+		}
+		interpRes, err := c.RunInterp(rc)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: interp: %w", wl.Name, err)
+		}
+		r := BenchResult{
+			Name:          wl.Name,
+			Width:         wl.Width,
+			InitialActive: wl.InitialActive,
+			MIMDStates:    c.MIMDStates(),
+			MetaStates:    c.MetaStates(),
+			SIMDCycles:    simdRes.Time,
+			MIMDCycles:    mimdRes.Time,
+			InterpCycles:  interpRes.Time,
+			Utilization:   simdRes.Utilization(wl.Width),
+			Compile:       c.Stats,
+		}
+		if simdRes.Time > 0 {
+			r.SpeedupVsInterp = float64(interpRes.Time) / float64(simdRes.Time)
+		}
+		if mimdRes.Time > 0 {
+			r.SlowdownVsMIMD = float64(simdRes.Time) / float64(mimdRes.Time)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// WriteJSON encodes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -41,13 +41,22 @@ var multipliers = []uint64{
 // Find returns the cheapest perfect hash over keys from the candidate
 // family. Keys must be non-empty and distinct.
 func Find(keys []uint64) (*simd.HashFn, error) {
+	h, _, err := Search(keys)
+	return h, err
+}
+
+// Search is Find plus observability: it also reports how many candidate
+// functions were evaluated before the winner (or exhaustion), the
+// search-effort number the compile metrics record.
+func Search(keys []uint64) (*simd.HashFn, int, error) {
+	tried := 0
 	if len(keys) == 0 {
-		return nil, fmt.Errorf("hashgen: no keys")
+		return nil, tried, fmt.Errorf("hashgen: no keys")
 	}
 	seen := make(map[uint64]bool, len(keys))
 	for _, k := range keys {
 		if seen[k] {
-			return nil, fmt.Errorf("hashgen: duplicate key %#x", k)
+			return nil, tried, fmt.Errorf("hashgen: duplicate key %#x", k)
 		}
 		seen[k] = true
 	}
@@ -62,16 +71,18 @@ func Find(keys []uint64) (*simd.HashFn, error) {
 		// Form 1: single shift.
 		for a := 0; a < 64; a++ {
 			h := &simd.HashFn{ShiftA: a, Mask: mask, EvalCost: costShift}
+			tried++
 			if perfect(h, keys) {
-				return h, nil
+				return h, tried, nil
 			}
 		}
 		// Form 2: xor of two shifts (the Listing 5 shape).
 		for a := 0; a < 64; a++ {
 			for c := a + 1; c < 64; c++ {
 				h := &simd.HashFn{ShiftA: a, ShiftB: c, UseB: true, Mask: mask, EvalCost: costXor}
+				tried++
 				if perfect(h, keys) {
-					return h, nil
+					return h, tried, nil
 				}
 			}
 		}
@@ -82,13 +93,14 @@ func Find(keys []uint64) (*simd.HashFn, error) {
 					ShiftA: 64, UseMul: true, Mul: m, ShiftM: s,
 					Mask: mask, EvalCost: costMul,
 				}
+				tried++
 				if perfect(h, keys) {
-					return h, nil
+					return h, tried, nil
 				}
 			}
 		}
 	}
-	return nil, fmt.Errorf("hashgen: no perfect hash found for %d keys within table size 2^%d",
+	return nil, tried, fmt.Errorf("hashgen: no perfect hash found for %d keys within table size 2^%d",
 		len(keys), minBits+4)
 }
 

@@ -56,6 +56,14 @@ type Result struct {
 	// the number of distinct instruction types serialized per round.
 	Rounds        int64
 	TypesPerRound int64
+	// BlockVisits[id] counts PE entries into MIMD state id (initial
+	// activation, jumps, and spawns), the interpreter's analogue of the
+	// SIMD engine's per-meta-state visit counts.
+	BlockVisits []int64
+	// PEHist[k] counts dispatch groups in which exactly k PEs matched the
+	// instruction type — the interpreter's PE-utilization histogram: mass
+	// at low k is the §1.1 serialization the conversion eliminates.
+	PEHist []int64
 	// ProgWordsPerPE is the per-PE memory the program copy occupies —
 	// the §1.1 memory cost that meta-state conversion eliminates.
 	ProgWordsPerPE int
@@ -113,6 +121,8 @@ func Run(g *cfg.Graph, conf Config) (*Result, error) {
 	m := &machine{g: g, conf: conf, res: &Result{
 		ProgWordsPerPE: progWords,
 		Done:           make([]bool, conf.N),
+		BlockVisits:    make([]int64, len(g.Blocks)),
+		PEHist:         make([]int64, conf.N+1),
 	}}
 	m.mem = make([][]ir.Word, conf.N)
 	m.pes = make([]pe, conf.N)
@@ -120,6 +130,7 @@ func Run(g *cfg.Graph, conf Config) (*Result, error) {
 		m.mem[i] = make([]ir.Word, g.Words)
 		if i < conf.InitialActive {
 			m.pes[i] = pe{live: true, blk: g.Entry}
+			m.res.BlockVisits[g.Entry]++
 		} else {
 			m.pes[i] = pe{idle: true}
 		}
@@ -223,6 +234,7 @@ func (m *machine) round() (bool, error) {
 	for _, k := range order {
 		m.res.Time += MaskCost
 		m.res.Overhead += MaskCost
+		m.res.PEHist[len(kinds[k])]++
 		if err := m.dispatch(k, kinds[k]); err != nil {
 			return false, err
 		}
@@ -293,6 +305,7 @@ func (m *machine) dispatch(k opKind, matching []int) error {
 					return fmt.Errorf("interp: spawn with no free processor (width %d)", m.conf.N)
 				}
 				m.pes[child] = pe{live: true, blk: b.SpawnNext}
+				m.res.BlockVisits[b.SpawnNext]++
 				m.jump(p, b.Next)
 			}
 		}
@@ -321,6 +334,7 @@ func (m *machine) jump(p *pe, blk int) {
 	p.blk = blk
 	p.idx = 0
 	p.released = false
+	m.res.BlockVisits[blk]++
 }
 
 func (m *machine) push(i int, w ir.Word) { m.pes[i].stack = append(m.pes[i].stack, w) }

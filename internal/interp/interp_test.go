@@ -241,3 +241,63 @@ void main()
 		t.Fatalf("time %d <= overhead %d", res.Time, res.Overhead)
 	}
 }
+
+func TestCounters(t *testing.T) {
+	src := `
+poly int x;
+void main()
+{
+    x = iproc % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x < 4);
+    }
+    x = x + 100;
+    return;
+}
+`
+	g := buildGraph(t, src)
+	res, err := Run(g, Config{N: 7})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if len(res.BlockVisits) != len(g.Blocks) {
+		t.Fatalf("BlockVisits len %d, want %d", len(res.BlockVisits), len(g.Blocks))
+	}
+	if res.BlockVisits[g.Entry] < 7 {
+		t.Errorf("entry visits = %d, want >= 7 (all PEs start there)", res.BlockVisits[g.Entry])
+	}
+	var visits int64
+	for _, v := range res.BlockVisits {
+		visits += v
+	}
+	if visits < 7 {
+		t.Errorf("total block visits = %d, want >= 7", visits)
+	}
+
+	if len(res.PEHist) != 8 {
+		t.Fatalf("PEHist len %d, want N+1=8", len(res.PEHist))
+	}
+	if res.PEHist[0] != 0 {
+		t.Errorf("PEHist[0] = %d, want 0 (empty dispatch groups never run)", res.PEHist[0])
+	}
+	// Every serialized dispatch group is one histogram entry.
+	var groups int64
+	for _, v := range res.PEHist {
+		groups += v
+	}
+	if groups != res.TypesPerRound {
+		t.Errorf("sum(PEHist) = %d, want TypesPerRound = %d", groups, res.TypesPerRound)
+	}
+	// The divergent program must serialize at least once: some group
+	// smaller than the full machine width.
+	var partial int64
+	for k := 1; k < 7; k++ {
+		partial += res.PEHist[k]
+	}
+	if partial == 0 {
+		t.Errorf("PEHist has no partial groups; divergent program should serialize")
+	}
+}

@@ -17,6 +17,10 @@ type Program struct {
 	// Filled in by Analyze:
 	MonoSlots int // words of replicated mono storage (slots [0,MonoSlots))
 	PolySlots int // words of per-PE private storage (slots [MonoSlots,MonoSlots+PolySlots))
+
+	// Tokens is the number of source tokens consumed by the parser
+	// (compile-metrics counter; excludes the EOF sentinel).
+	Tokens int
 }
 
 // Func returns the function named name, or nil.

@@ -21,6 +21,9 @@ func Parse(src string) (*Program, error) {
 	toks := Tokenize(src, &errs)
 	p := &Parser{toks: toks, errs: &errs}
 	prog := p.parseProgram()
+	if prog != nil {
+		prog.Tokens = len(toks) - 1 // excluding the EOF sentinel
+	}
 	return prog, errs.Err()
 }
 

@@ -48,6 +48,12 @@ type Result struct {
 	Clocks []int64
 	// Blocks counts blocks executed across all PEs.
 	Blocks int64
+	// BlockVisits[id] counts executions of MIMD state id across all PEs
+	// (sums to Blocks); BlockCycles[id] is the useful cycles those
+	// executions cost (sums to Useful). Together they locate the MIMD
+	// hot spots the meta-state profile is compared against.
+	BlockVisits []int64
+	BlockCycles []int64
 	// Barriers counts barrier release episodes.
 	Barriers int
 	// Done flags PEs that ran to End (as opposed to idle/halted).
@@ -104,7 +110,12 @@ func Run(g *cfg.Graph, conf Config) (*Result, error) {
 		cfg: conf,
 		mem: make([][]ir.Word, conf.N),
 		pes: make([]pe, conf.N),
-		res: &Result{Clocks: make([]int64, conf.N), Done: make([]bool, conf.N)},
+		res: &Result{
+			Clocks:      make([]int64, conf.N),
+			Done:        make([]bool, conf.N),
+			BlockVisits: make([]int64, len(g.Blocks)),
+			BlockCycles: make([]int64, len(g.Blocks)),
+		},
 	}
 	for i := range m.mem {
 		m.mem[i] = make([]ir.Word, g.Words)
@@ -180,6 +191,7 @@ func (m *machine) runPE(i int) error {
 			return fmt.Errorf("mimdsim: PE %d exceeded %d blocks (non-terminating program?)", i, m.cfg.MaxBlocks)
 		}
 		m.res.Blocks++
+		m.res.BlockVisits[b.ID]++
 
 		for _, in := range b.Code {
 			if err := m.exec(i, in); err != nil {
@@ -189,6 +201,7 @@ func (m *machine) runPE(i int) error {
 		cost := int64(b.Cost())
 		p.clock += cost
 		m.res.Useful += cost
+		m.res.BlockCycles[b.ID] += cost
 
 		switch b.Term {
 		case cfg.End:

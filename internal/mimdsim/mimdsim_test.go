@@ -415,3 +415,41 @@ void main()
 		}
 	}
 }
+
+func TestBlockCounters(t *testing.T) {
+	g, res := run(t, `
+poly int x;
+void main()
+{
+    x = iproc % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x < 4);
+    }
+    x = x + 100;
+    return;
+}
+`, Config{N: 7})
+
+	if len(res.BlockVisits) != len(g.Blocks) || len(res.BlockCycles) != len(g.Blocks) {
+		t.Fatalf("counter lengths %d/%d, want %d", len(res.BlockVisits), len(res.BlockCycles), len(g.Blocks))
+	}
+	var visits, cycles int64
+	for id := range res.BlockVisits {
+		visits += res.BlockVisits[id]
+		cycles += res.BlockCycles[id]
+		if res.BlockVisits[id] == 0 && res.BlockCycles[id] != 0 {
+			t.Errorf("state %d has cycles without visits", id)
+		}
+	}
+	if visits != res.Blocks {
+		t.Errorf("sum(BlockVisits) = %d, want Blocks = %d", visits, res.Blocks)
+	}
+	if cycles != res.Useful {
+		t.Errorf("sum(BlockCycles) = %d, want Useful = %d", cycles, res.Useful)
+	}
+	if res.BlockVisits[g.Entry] != 7 {
+		t.Errorf("entry visits = %d, want 7", res.BlockVisits[g.Entry])
+	}
+}

@@ -188,6 +188,47 @@ func (a *Automaton) Dot(title string) string {
 	return sb.String()
 }
 
+// DotHeat renders the automaton in Graphviz format as a hot-spot
+// heatmap: share[id] in [0,1] is each meta state's fraction of some
+// execution quantity (typically its cycle share from a profiled run),
+// drawn as red fill saturation with the percentage in the node label.
+// States missing from share (or out of range) render unfilled.
+func (a *Automaton) DotHeat(title string, share []float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [shape=ellipse];\n", title)
+	for _, s := range a.States {
+		label := strings.Trim(s.Set.String(), "{}")
+		if s.ID < len(share) && share[s.ID] >= 0 {
+			f := share[s.ID]
+			if f > 1 {
+				f = 1
+			}
+			// HSV red ramp: saturation tracks the share, so hot states
+			// are vivid and cold states near-white.
+			fmt.Fprintf(&sb, "  m%d [label=\"%s\\n%.1f%%\" style=filled fillcolor=\"0.000 %.3f 1.000\"];\n",
+				s.ID, label, f*100, f)
+		} else {
+			fmt.Fprintf(&sb, "  m%d [label=\"%s\"];\n", s.ID, label)
+		}
+	}
+	anyExit := false
+	for _, s := range a.States {
+		for _, to := range s.Trans {
+			fmt.Fprintf(&sb, "  m%d -> m%d;\n", s.ID, to)
+		}
+		if s.Exit {
+			fmt.Fprintf(&sb, "  m%d -> exit;\n", s.ID)
+			anyExit = true
+		}
+	}
+	fmt.Fprintf(&sb, "  start [shape=point];\n  start -> m%d;\n", a.Start)
+	if anyExit {
+		sb.WriteString("  exit [shape=doublecircle label=\"\"];\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
 // sortSuccs orders a transition list deterministically by the
 // destination sets' canonical keys and removes duplicates.
 func (a *Automaton) sortSuccs(ts []int) []int {

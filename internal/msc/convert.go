@@ -6,6 +6,7 @@ import (
 
 	"msc/internal/bitset"
 	"msc/internal/cfg"
+	"msc/internal/obs"
 )
 
 // Options configures a conversion.
@@ -42,6 +43,12 @@ type Options struct {
 	// multiway return states; beyond it the converter falls back to the
 	// compressed all-targets contribution.
 	MaxRetSubsets int
+	// Metrics, when non-nil, receives conversion counters: meta states
+	// explored (interned across every restart attempt), work-list
+	// high-water mark, barrier-filtered aggregates, and subset-merged
+	// states. All recording is nil-safe, so the hook costs nothing when
+	// absent.
+	Metrics *obs.Recorder
 }
 
 // DefaultOptions returns the paper-faithful defaults for the given
@@ -101,6 +108,10 @@ func Convert(g *cfg.Graph, opt Options) (*Automaton, error) {
 			if opt.MergeSubsets {
 				mergeSubsets(a)
 			}
+			opt.Metrics.Add(obs.CounterSplits, int64(splits))
+			opt.Metrics.Add(obs.CounterRestarts, int64(restarts))
+			opt.Metrics.Set(obs.CounterMetaStates, int64(len(a.States)))
+			opt.Metrics.Set(obs.CounterMIMDStates, int64(a.G.NumBlocks()))
 			return a, nil
 		}
 		// §2.4: splitting changed the MIMD graph, so the construction of
@@ -155,6 +166,8 @@ func convertOnce(g *cfg.Graph, opt Options) (a *Automaton, didSplit bool, err er
 		a.States = append(a.States, ms)
 		a.byKey[key] = ms.ID
 		work = append(work, ms.ID)
+		opt.Metrics.Add(obs.CounterMetaExplored, 1)
+		opt.Metrics.Max(obs.CounterWorklistHigh, int64(len(work)))
 		return ms.ID, nil
 	}
 
@@ -183,6 +196,12 @@ func convertOnce(g *cfg.Graph, opt Options) (a *Automaton, didSplit bool, err er
 			target := raw
 			if !opt.BarrierExact {
 				target = barrierSync(raw, barriers)
+				if !target.Equal(raw) {
+					// §2.6 filtering dropped barrier-wait members from
+					// this aggregate (or collapsed it to the release
+					// state).
+					opt.Metrics.Add(obs.CounterMetaFiltered, 1)
+				}
 				// A mixed aggregate means the barrier may also release
 				// here: if at run time every still-live PE lands on the
 				// barrier, the all-barrier meta state is entered
@@ -335,6 +354,7 @@ func mergeSubsets(a *Automaton) {
 		}
 		if best >= 0 {
 			redirect[s.ID] = best
+			a.Opt.Metrics.Add(obs.CounterMetaMerged, 1)
 		}
 	}
 	// Chase chains (subset of a subset of ...).

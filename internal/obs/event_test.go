@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTextSinkMetaFormat(t *testing.T) {
+	var tr bytes.Buffer
+	s := &TextSink{Trace: &tr}
+	err := s.Emit(&Event{
+		Kind: EventMeta, Step: 0, Cycle: 49, Meta: 0,
+		Set: "{0}", APC: "{2,3}", Live: 6, Next: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "[    49] ms0    {0}              apc={2,3}            live=6   -> ms3\n"
+	if tr.String() != want {
+		t.Errorf("meta line:\n got %q\nwant %q", tr.String(), want)
+	}
+}
+
+func TestTextSinkExitFormat(t *testing.T) {
+	var tr bytes.Buffer
+	s := &TextSink{Trace: &tr}
+	if err := s.Emit(&Event{Kind: EventExit, Cycle: 169, Meta: 4, Set: "{1}"}); err != nil {
+		t.Fatal(err)
+	}
+	want := "[   169] ms4    {1}              -> exit (all PEs done)\n"
+	if tr.String() != want {
+		t.Errorf("exit line:\n got %q\nwant %q", tr.String(), want)
+	}
+}
+
+func TestTextSinkTimelineFormat(t *testing.T) {
+	var tl bytes.Buffer
+	s := &TextSink{Timeline: &tl}
+	err := s.Emit(&Event{
+		Kind: EventTimeline, Step: 3, Meta: 2,
+		PEs: []int{PEDone, 12, PEWait, PEIdle},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "[    3] ms2    | - 12 w . |\n"
+	if tl.String() != want {
+		t.Errorf("timeline row:\n got %q\nwant %q", tl.String(), want)
+	}
+}
+
+func TestTextSinkNilWritersDrop(t *testing.T) {
+	s := &TextSink{}
+	for _, k := range []EventKind{EventMeta, EventExit, EventTimeline} {
+		if err := s.Emit(&Event{Kind: k}); err != nil {
+			t.Errorf("nil-writer emit of %v errored: %v", k, err)
+		}
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := &JSONLSink{W: &buf}
+	events := []*Event{
+		{Kind: EventTimeline, Step: 0, Meta: 1, PEs: []int{0, PEIdle}},
+		{Kind: EventMeta, Step: 0, Cycle: 10, Meta: 1, Set: "{0}", APC: "{1}", Live: 2, Next: 2},
+		{Kind: EventExit, Step: 1, Cycle: 20, Meta: 2, Set: "{1}"},
+	}
+	for _, e := range events {
+		if err := s.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["kind"] != "timeline" {
+		t.Errorf("line 0 kind = %v", rec["kind"])
+	}
+	if _, hasLive := rec["live"]; hasLive {
+		t.Error("timeline event carries live field")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != "meta" || rec["live"] != float64(2) || rec["next"] != float64(2) {
+		t.Errorf("meta line decoded to %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != "exit" || rec["cycle"] != float64(20) {
+		t.Errorf("exit line decoded to %v", rec)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b bytes.Buffer
+	m := MultiSink{&JSONLSink{W: &a}, &JSONLSink{W: &b}}
+	if err := m.Emit(&Event{Kind: EventExit, Meta: 1, Set: "{0}"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == "" || a.String() != b.String() {
+		t.Errorf("multi sink outputs differ: %q vs %q", a.String(), b.String())
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer serves the standard Go diagnostics endpoints —
+// /debug/pprof/* and /debug/vars — on its own mux so importing this
+// package never mutates http.DefaultServeMux.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. ":6060" or "127.0.0.1:0") and
+// serves pprof and expvar in a background goroutine until Close.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Publish exposes the recorder under the given expvar name; the
+// published variable snapshots lazily, so counters recorded after
+// Publish are visible on the next /debug/vars read. Re-publishing an
+// existing name is a no-op (expvar forbids redefinition).
+func (r *Recorder) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

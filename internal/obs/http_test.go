@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerServesPprofAndExpvar(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	r := NewRecorder()
+	r.Add(CounterMetaStates, 7)
+	r.Publish("obs_test_compile")
+	r.Publish("obs_test_compile") // duplicate publish must not panic
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("pprof index does not list goroutine profile")
+	}
+
+	vars := get("/debug/vars")
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	raw, ok := decoded["obs_test_compile"]
+	if !ok {
+		t.Fatalf("published recorder missing from /debug/vars: %s", vars)
+	}
+	var m Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counter(CounterMetaStates) != 7 {
+		t.Errorf("expvar counter = %d, want 7", m.Counter(CounterMetaStates))
+	}
+
+	// Lazy snapshot: counters recorded after Publish appear on reread.
+	r.Add(CounterMetaStates, 1)
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(decoded["obs_test_compile"], &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counter(CounterMetaStates) != 8 {
+		t.Errorf("expvar counter after update = %d, want 8", m.Counter(CounterMetaStates))
+	}
+}

@@ -1,0 +1,243 @@
+// Package obs is the observability layer for the whole pipeline: a
+// zero-dependency (standard library only) recorder for compile-phase
+// wall times and domain counters, a typed event stream that replaces
+// free-form execution tracing, and production wiring for net/http/pprof
+// and expvar. Every package in the compiler and every execution engine
+// reports through these types, so the quantitative claims of the paper
+// (meta-state counts, compression ratios, CSI savings, cycle budgets)
+// are observable from one place instead of scattered Fprintf writers.
+//
+// The Recorder is deliberately generic — ordered named counters and
+// phases — so internal packages need no schema coordination; the typed
+// view over the well-known names lives with the pipeline driver (the
+// root package's CompileStats). All Recorder methods are safe on a nil
+// receiver, so instrumented code never has to guard the hook.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Well-known counter names recorded by the compile pipeline. The
+// glossary lives in docs/OBSERVABILITY.md.
+const (
+	CounterTokens          = "parse.tokens"
+	CounterBlocksBefore    = "cfg.blocks_before_simplify"
+	CounterBlocksAfter     = "cfg.blocks_after_simplify"
+	CounterMetaExplored    = "convert.meta_explored"
+	CounterMetaMerged      = "convert.meta_merged"
+	CounterMetaFiltered    = "convert.aggregates_barrier_filtered"
+	CounterWorklistHigh    = "convert.worklist_high_water"
+	CounterRestarts        = "convert.restarts"
+	CounterSplits          = "convert.splits"
+	CounterCSISavedCycles  = "codegen.csi_saved_cycles"
+	CounterHashTried       = "codegen.hash_candidates_tried"
+	CounterHashTables      = "codegen.hash_tables_built"
+	CounterMetaStates      = "convert.meta_states"
+	CounterMIMDStates      = "convert.mimd_states"
+	CounterCSISlotsSaved   = "codegen.csi_slots_saved"
+	CounterDispatchEntries = "codegen.dispatch_entries"
+)
+
+// Phase names recorded by msc.Compile, in pipeline order.
+const (
+	PhaseParse    = "parse"
+	PhaseAnalyze  = "analyze"
+	PhaseLower    = "lower"
+	PhaseSimplify = "simplify"
+	PhaseConvert  = "convert"
+	PhaseCheck    = "check"
+	PhaseCodegen  = "codegen"
+)
+
+// Counter is one named monotonic value.
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Phase is one named wall-time measurement.
+type Phase struct {
+	Name string        `json:"name"`
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Recorder accumulates phases and counters. It is safe for concurrent
+// use and all methods are no-ops on a nil receiver, so callers thread
+// an optional *Recorder without nil checks at every site.
+type Recorder struct {
+	mu       sync.Mutex
+	phases   []Phase
+	phaseIdx map[string]int
+	counters []Counter
+	countIdx map[string]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) phaseSlot(name string) *Phase {
+	if r.phaseIdx == nil {
+		r.phaseIdx = make(map[string]int)
+	}
+	i, ok := r.phaseIdx[name]
+	if !ok {
+		i = len(r.phases)
+		r.phases = append(r.phases, Phase{Name: name})
+		r.phaseIdx[name] = i
+	}
+	return &r.phases[i]
+}
+
+func (r *Recorder) counterSlot(name string) *Counter {
+	if r.countIdx == nil {
+		r.countIdx = make(map[string]int)
+	}
+	i, ok := r.countIdx[name]
+	if !ok {
+		i = len(r.counters)
+		r.counters = append(r.counters, Counter{Name: name})
+		r.countIdx[name] = i
+	}
+	return &r.counters[i]
+}
+
+// Phase starts timing the named phase and returns the stop function;
+// repeated runs of the same phase accumulate.
+func (r *Recorder) Phase(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.AddPhase(name, time.Since(start)) }
+}
+
+// AddPhase adds wall time to the named phase.
+func (r *Recorder) AddPhase(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.phaseSlot(name).Wall += d
+}
+
+// Add adds delta to the named counter, creating it at zero first.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterSlot(name).Value += delta
+}
+
+// Set sets the named counter.
+func (r *Recorder) Set(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterSlot(name).Value = v
+}
+
+// Max raises the named counter to v if v is larger (high-water marks).
+func (r *Recorder) Max(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counterSlot(name)
+	if v > c.Value {
+		c.Value = v
+	}
+}
+
+// Value returns the named counter (zero when absent or nil receiver).
+func (r *Recorder) Value(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.countIdx == nil {
+		return 0
+	}
+	if i, ok := r.countIdx[name]; ok {
+		return r.counters[i].Value
+	}
+	return 0
+}
+
+// PhaseWall returns the accumulated wall time of the named phase.
+func (r *Recorder) PhaseWall(name string) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.phaseIdx == nil {
+		return 0
+	}
+	if i, ok := r.phaseIdx[name]; ok {
+		return r.phases[i].Wall
+	}
+	return 0
+}
+
+// Snapshot returns a consistent copy of everything recorded so far.
+func (r *Recorder) Snapshot() *Metrics {
+	m := &Metrics{}
+	if r == nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.Phases = append([]Phase(nil), r.phases...)
+	m.Counters = append([]Counter(nil), r.counters...)
+	return m
+}
+
+// Metrics is a point-in-time copy of a Recorder: the typed struct form
+// of the compile metrics, directly JSON-encodable.
+type Metrics struct {
+	Phases   []Phase   `json:"phases"`
+	Counters []Counter `json:"counters"`
+}
+
+// Counter returns the named counter value, or zero.
+func (m *Metrics) Counter(name string) int64 {
+	for _, c := range m.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// JSON encodes the metrics as indented JSON.
+func (m *Metrics) JSON() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// String renders an aligned human-readable table: phases in recording
+// order, counters sorted by name.
+func (m *Metrics) String() string {
+	var sb strings.Builder
+	for _, p := range m.Phases {
+		fmt.Fprintf(&sb, "phase %-12s %12.3fms\n", p.Name, float64(p.Wall)/1e6)
+	}
+	cs := append([]Counter(nil), m.Counters...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	for _, c := range cs {
+		fmt.Fprintf(&sb, "%-40s %12d\n", c.Name, c.Value)
+	}
+	return sb.String()
+}

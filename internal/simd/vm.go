@@ -3,10 +3,10 @@ package simd
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"msc/internal/bitset"
 	"msc/internal/ir"
+	"msc/internal/obs"
 )
 
 // Reserved pc values: a done PE finished its process (End); an idle PE
@@ -28,7 +28,7 @@ type Config struct {
 	MaxMeta int
 	// Trace, when non-nil, receives one line per meta-state execution:
 	// the state, its live/enabled census, and the aggregate that chose
-	// the next state.
+	// the next state. It is shorthand for attaching an obs.TextSink.
 	Trace io.Writer
 	// Strict verifies the conversion's occupancy invariant before every
 	// meta state: each live PE's pc must be covered by the meta state's
@@ -37,7 +37,14 @@ type Config struct {
 	// Timeline, when non-nil, receives one row per meta-state execution
 	// showing every PE's occupancy: its MIMD state number while active,
 	// 'w' while waiting at a barrier, '-' when done, '.' when idle.
+	// Shorthand for an obs.TextSink, like Trace.
 	Timeline io.Writer
+	// Sink, when non-nil, receives the typed trace event stream
+	// (obs.EventTimeline at meta-state entry, obs.EventMeta/EventExit
+	// after dispatch). It composes with Trace/Timeline: the text
+	// writers are wrapped in an obs.TextSink and both receive every
+	// event.
+	Sink obs.Sink
 }
 
 // Result reports a SIMD execution.
@@ -59,8 +66,51 @@ type Result struct {
 	// MetaExecs counts meta states executed; SlotExecs counts slots.
 	MetaExecs int64
 	SlotExecs int64
+	// MetaStats accumulates per-meta-state visit and cycle counts,
+	// indexed by meta state ID. Cycles attributes every control-unit
+	// cycle (body and dispatch) to the state that spent it, so the sum
+	// over all states equals Time exactly — the invariant the `msc
+	// profile` hot-spot table relies on.
+	MetaStats []MetaStat
+	// PEHist is the PE-utilization histogram: PEHist[k] sums the body
+	// cycles spent in slots with exactly k PEs enabled (length N+1).
+	PEHist []int64
 	// Done flags PEs that reached End.
 	Done []bool
+}
+
+// MetaStat is the per-meta-state accumulation for hot-spot reporting.
+type MetaStat struct {
+	// Visits counts executions of this meta state.
+	Visits int64
+	// Cycles is every cycle attributed here: body slots plus the
+	// transition dispatch that ended each visit.
+	Cycles int64
+	// BodyCycles is the slot-only part of Cycles.
+	BodyCycles int64
+	// EnabledPECycles sums slot cost × enabled PEs; LivePECycles sums
+	// slot cost × live PEs. Divided by BodyCycles they give the mean
+	// enabled and live PE counts over this state's body.
+	EnabledPECycles int64
+	LivePECycles    int64
+}
+
+// MeanEnabled returns the mean number of enabled PEs over the state's
+// body cycles.
+func (s *MetaStat) MeanEnabled() float64 {
+	if s.BodyCycles == 0 {
+		return 0
+	}
+	return float64(s.EnabledPECycles) / float64(s.BodyCycles)
+}
+
+// MeanLive returns the mean number of live PEs over the state's body
+// cycles.
+func (s *MetaStat) MeanLive() float64 {
+	if s.BodyCycles == 0 {
+		return 0
+	}
+	return float64(s.LivePECycles) / float64(s.BodyCycles)
 }
 
 // Utilization is the fraction of total PE-cycles (including dispatch)
@@ -107,6 +157,27 @@ type vm struct {
 	mem  [][]ir.Word
 	pes  []vmPE
 	res  *Result
+	sink obs.Sink // nil when no tracing is attached
+}
+
+// traceSink assembles the event sink from the config: the legacy
+// Trace/Timeline writers become an obs.TextSink (byte-compatible with
+// the historical Fprintf output) and compose with an explicit Sink.
+func traceSink(conf Config) obs.Sink {
+	var sinks obs.MultiSink
+	if conf.Trace != nil || conf.Timeline != nil {
+		sinks = append(sinks, &obs.TextSink{Trace: conf.Trace, Timeline: conf.Timeline})
+	}
+	if conf.Sink != nil {
+		sinks = append(sinks, conf.Sink)
+	}
+	switch len(sinks) {
+	case 0:
+		return nil
+	case 1:
+		return sinks[0]
+	}
+	return sinks
 }
 
 // Run executes a compiled meta-state program on the SIMD machine.
@@ -134,8 +205,13 @@ func Run(p *Program, conf Config) (*Result, error) {
 		conf: conf,
 		mem:  make([][]ir.Word, conf.N),
 		pes:  make([]vmPE, conf.N),
-		res:  &Result{Done: make([]bool, conf.N)},
+		res: &Result{
+			Done:      make([]bool, conf.N),
+			MetaStats: make([]MetaStat, len(p.Meta)),
+			PEHist:    make([]int64, conf.N+1),
+		},
 	}
+	m.sink = traceSink(conf)
 	for i := range m.pes {
 		m.mem[i] = make([]ir.Word, p.Words)
 		if i < conf.InitialActive {
@@ -152,8 +228,11 @@ func Run(p *Program, conf Config) (*Result, error) {
 		}
 		mc := p.Meta[cur]
 		m.res.MetaExecs++
-		if conf.Timeline != nil {
-			m.timelineRow(conf.Timeline, step, cur)
+		m.res.MetaStats[cur].Visits++
+		if m.sink != nil {
+			if err := m.sink.Emit(m.timelineEvent(int64(step), cur)); err != nil {
+				return nil, fmt.Errorf("simd: trace sink: %w", err)
+			}
 		}
 		if conf.Strict {
 			for i := range m.pes {
@@ -170,19 +249,27 @@ func Run(p *Program, conf Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simd: ms%d: %w", cur, err)
 		}
-		if conf.Trace != nil {
-			live := 0
-			for i := range m.pes {
-				if m.pes[i].pc >= 0 {
-					live++
-				}
+		if m.sink != nil {
+			e := &obs.Event{
+				Step: int64(step), Cycle: m.res.Time,
+				Meta: cur, Set: mc.Set.String(),
 			}
 			if done {
-				fmt.Fprintf(conf.Trace, "[%6d] ms%-4d %-16s -> exit (all PEs done)\n",
-					m.res.Time, cur, mc.Set)
+				e.Kind = obs.EventExit
 			} else {
-				fmt.Fprintf(conf.Trace, "[%6d] ms%-4d %-16s apc=%-16s live=%-3d -> ms%d\n",
-					m.res.Time, cur, mc.Set, m.apc(), live, next)
+				live := 0
+				for i := range m.pes {
+					if m.pes[i].pc >= 0 {
+						live++
+					}
+				}
+				e.Kind = obs.EventMeta
+				e.APC = m.apc().String()
+				e.Live = live
+				e.Next = next
+			}
+			if err := m.sink.Emit(e); err != nil {
+				return nil, fmt.Errorf("simd: trace sink: %w", err)
 			}
 		}
 		if done {
@@ -212,16 +299,22 @@ func (m *vm) execBody(mc *MetaCode) error {
 			live++
 		}
 	}
+	st := &m.res.MetaStats[mc.ID]
 	for si := range mc.Slots {
 		s := &mc.Slots[si]
 		cost := int64(s.Cost())
 		m.res.Time += cost
 		m.res.BodyCycles += cost
 		m.res.SlotExecs++
+		st.Cycles += cost
+		st.BodyCycles += cost
+		st.LivePECycles += cost * live
 
 		enabled := enabledPEs(m.pes, s.Guard)
 		m.res.EnabledCycles += cost * int64(len(enabled))
 		m.res.LiveIdleCycles += cost * (live - int64(len(enabled)))
+		st.EnabledPECycles += cost * int64(len(enabled))
+		m.res.PEHist[len(enabled)] += cost
 		if len(enabled) == 0 {
 			continue
 		}
@@ -288,25 +381,22 @@ func (m *vm) execBody(mc *MetaCode) error {
 	return nil
 }
 
-// timelineRow renders one occupancy row: PE columns separated by
-// spaces, multi-digit states printed in full.
-func (m *vm) timelineRow(w io.Writer, step, ms int) {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "[%5d] ms%-4d |", step, ms)
+// timelineEvent captures one per-PE occupancy row as a typed event.
+func (m *vm) timelineEvent(step int64, ms int) *obs.Event {
+	pes := make([]int, len(m.pes))
 	for i := range m.pes {
 		switch pc := m.pes[i].pc; {
 		case pc == PCDone:
-			sb.WriteString(" -")
+			pes[i] = obs.PEDone
 		case pc == PCIdle:
-			sb.WriteString(" .")
+			pes[i] = obs.PEIdle
 		case m.p.Barriers.Has(pc):
-			sb.WriteString(" w")
+			pes[i] = obs.PEWait
 		default:
-			fmt.Fprintf(&sb, " %d", pc)
+			pes[i] = pc
 		}
 	}
-	sb.WriteString(" |\n")
-	io.WriteString(w, sb.String())
+	return &obs.Event{Kind: obs.EventTimeline, Step: step, Cycle: m.res.Time, Meta: ms, PEs: pes}
 }
 
 // apc computes the aggregate program counter: the global-or of one bit
@@ -326,6 +416,7 @@ func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 	tr := &mc.Trans
 	m.res.Time += int64(tr.Cost())
 	m.res.DispatchCycles += int64(tr.Cost())
+	m.res.MetaStats[mc.ID].Cycles += int64(tr.Cost())
 
 	agg := m.apc()
 	if agg.Empty() {
