@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check cover bench fuzz experiments examples clean
+.PHONY: all build test check cover bench fuzz experiments examples vet-examples clean
 
 all: build test check
 
@@ -11,11 +11,19 @@ test:
 	go test ./...
 
 # Static hygiene + race detector: the gate CI and pre-commit should run.
-check:
+check: vet-examples
 	go vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go test -race ./...
+
+# Run `msc vet` over every MIMDC program in the repo except the seeded
+# failure corpus (testdata/vet/bad/). Fails on error-severity findings;
+# warnings and infos are allowed.
+vet-examples:
+	@files=$$(find examples testdata -name '*.mc' -not -path 'testdata/vet/bad/*'); \
+	if [ -z "$$files" ]; then echo "no .mc programs found"; exit 1; fi; \
+	go run ./cmd/msc vet $$files
 
 cover:
 	go test -cover ./...

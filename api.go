@@ -27,7 +27,9 @@ package msc
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"msc/internal/analysis"
 	"msc/internal/cfg"
 	"msc/internal/codegen"
 	"msc/internal/gobackend"
@@ -64,6 +66,11 @@ type Config struct {
 	Hash bool
 	// MaxStates guards the meta-state explosion (default 65536).
 	MaxStates int
+	// Vet fails Compile when the static analyzer finds error-severity
+	// diagnostics (definite use-before-init, barrier deadlock). The
+	// analyzer runs and Compiled.Diagnostics is populated regardless;
+	// Vet only decides whether errors abort the pipeline.
+	Vet bool
 	// Metrics, when non-nil, receives the compile-phase wall times and
 	// domain counters (the obs glossary in docs/OBSERVABILITY.md).
 	// Compile records into its own recorder regardless and exposes the
@@ -105,6 +112,33 @@ type Compiled struct {
 	// Stats is the typed compile-metrics view: per-phase wall times and
 	// the pipeline's domain counters. Always populated.
 	Stats *CompileStats
+	// Diagnostics holds the static analyzer's findings (sorted by source
+	// position). Populated whether or not Config.Vet is set; with Vet
+	// set, Compile fails instead when any finding is error severity.
+	Diagnostics []Diagnostic
+}
+
+// Diagnostic and Severity re-export the static analyzer's finding
+// types, so callers can consume Compiled.Diagnostics and Analyze
+// results without importing the internal package path.
+type (
+	Diagnostic = analysis.Diagnostic
+	Severity   = analysis.Severity
+)
+
+// Severity levels of a Diagnostic. Only SevError gates builds.
+const (
+	SevInfo    = analysis.SevInfo
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+)
+
+// Analyze runs the full static-analysis suite — the dataflow checks
+// over the MIMD state graph plus, when a is non-nil, the whole-program
+// parallel-safety checks over the meta-state automaton — and returns
+// the sorted diagnostics. It is the library form of `msc vet`.
+func Analyze(g *cfg.Graph, a *metastate.Automaton) []Diagnostic {
+	return analysis.Analyze(g, a)
 }
 
 // CompileStats is the typed form of the compile metrics a pipeline run
@@ -135,6 +169,10 @@ type CompileStats struct {
 	HashCandidatesTried int64 `json:"hash_candidates_tried"`
 	HashTablesBuilt     int64 `json:"hash_tables_built"`
 	DispatchEntries     int64 `json:"dispatch_entries"`
+	// Static analysis (the vet phase).
+	VetDiagnostics int64 `json:"vet_diagnostics"`
+	VetErrors      int64 `json:"vet_errors"`
+	VetWarnings    int64 `json:"vet_warnings"`
 }
 
 // statsFromRecorder builds the typed view over the well-known names.
@@ -158,6 +196,9 @@ func statsFromRecorder(r *obs.Recorder) *CompileStats {
 		HashCandidatesTried:  m.Counter(obs.CounterHashTried),
 		HashTablesBuilt:      m.Counter(obs.CounterHashTables),
 		DispatchEntries:      m.Counter(obs.CounterDispatchEntries),
+		VetDiagnostics:       m.Counter(obs.CounterVetDiags),
+		VetErrors:            m.Counter(obs.CounterVetErrors),
+		VetWarnings:          m.Counter(obs.CounterVetWarnings),
 	}
 }
 
@@ -229,6 +270,23 @@ func Compile(source string, conf Config) (*Compiled, error) {
 		return nil, fmt.Errorf("msc: internal error: %w", err)
 	}
 
+	stop = rec.Phase(obs.PhaseVet)
+	diags := analysis.Analyze(g, a)
+	stop()
+	nErr, nWarn, _ := analysis.CountBySeverity(diags)
+	rec.Add(obs.CounterVetDiags, int64(len(diags)))
+	rec.Add(obs.CounterVetErrors, int64(nErr))
+	rec.Add(obs.CounterVetWarnings, int64(nWarn))
+	if conf.Vet && nErr > 0 {
+		var sb []string
+		for _, d := range diags {
+			if d.Sev == analysis.SevError {
+				sb = append(sb, d.String())
+			}
+		}
+		return nil, fmt.Errorf("msc: vet: %s", strings.Join(sb, "; "))
+	}
+
 	stop = rec.Phase(obs.PhaseCodegen)
 	p, err := codegen.Compile(a, codegen.Options{Hash: conf.Hash, CSI: conf.CSI, Metrics: rec})
 	stop()
@@ -236,13 +294,14 @@ func Compile(source string, conf Config) (*Compiled, error) {
 		return nil, fmt.Errorf("msc: codegen: %w", err)
 	}
 	return &Compiled{
-		Source:    source,
-		AST:       ast,
-		Graph:     g,
-		Automaton: a,
-		Program:   p,
-		Config:    conf,
-		Stats:     statsFromRecorder(rec),
+		Source:      source,
+		AST:         ast,
+		Graph:       g,
+		Automaton:   a,
+		Program:     p,
+		Config:      conf,
+		Stats:       statsFromRecorder(rec),
+		Diagnostics: diags,
 	}, nil
 }
 

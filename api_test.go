@@ -187,8 +187,8 @@ func TestCompileStats(t *testing.T) {
 	if s.MetaExplored < s.MetaStates {
 		t.Errorf("MetaExplored %d < MetaStates %d", s.MetaExplored, s.MetaStates)
 	}
-	if len(s.PhaseWall) != 7 {
-		t.Errorf("got %d phases, want 7", len(s.PhaseWall))
+	if len(s.PhaseWall) != 8 {
+		t.Errorf("got %d phases, want 8", len(s.PhaseWall))
 	}
 	// The shared recorder sees the same counters.
 	if got := rec.Value(obs.CounterMetaStates); got != s.MetaStates {

@@ -29,6 +29,17 @@
 // hot-spot table (visits, cycles, share of total time, mean live and
 // enabled PEs); -dot emits a Graphviz heatmap of the automaton instead.
 //
+// Static analysis:
+//
+//	msc vet [-json] [-exact-barriers] file.mc...
+//
+// runs the dataflow checks over the MIMD state graph (use before
+// initialization, dead stores, unreachable code, constant conditions)
+// and the parallel-safety checks over the meta-state automaton
+// (barrier deadlock, termination), printing one diagnostic per line as
+// file:line:col: severity [check-id] message. Exits nonzero only on
+// error-severity findings. See docs/ANALYSIS.md for the check catalog.
+//
 // Conversion options mirror the paper: -compress (§2.5), -timesplit
 // (§2.4), -exact-barriers (§2.6 alternative), -expand-calls (§2.2),
 // -csi (§3.1), -hash (§3.2). -pprof=ADDR serves net/http/pprof and
@@ -102,6 +113,9 @@ func startDebug(addr string, rec *obs.Recorder, stderr io.Writer) (func(), error
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) > 0 && args[0] == "profile" {
 		return profile(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "vet" {
+		return vet(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("msc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -194,6 +208,8 @@ func stats(w io.Writer, c *msc.Compiled) {
 		fmt.Fprintf(w, "hash search:        %d candidates tried, %d tables built\n",
 			s.HashCandidatesTried, s.HashTablesBuilt)
 		fmt.Fprintf(w, "dispatch entries:   %d\n", s.DispatchEntries)
+		fmt.Fprintf(w, "vet diagnostics:    %d (%d errors, %d warnings)\n",
+			s.VetDiagnostics, s.VetErrors, s.VetWarnings)
 		for _, p := range s.PhaseWall {
 			fmt.Fprintf(w, "phase %-13s %10.3fms\n", p.Name+":", float64(p.Wall)/1e6)
 		}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"msc/internal/analysis"
+	"msc/internal/cfg"
+	"msc/internal/mimdc"
+	metastate "msc/internal/msc"
+)
+
+// vet implements the `msc vet` subcommand: run the static analyzer
+// over one or more MIMDC source files and print the diagnostics as
+// "file:line:col: severity [check-id] message" lines (or JSON). The
+// exit status is nonzero iff any file fails to compile or produces an
+// error-severity diagnostic; warnings and infos never gate.
+func vet(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("msc vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		exactBar = fs.Bool("exact-barriers", false, "analyze under exact barrier occupancy (§2.6 alternative)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("usage: msc vet [flags] file.mc...")
+	}
+
+	failed := false
+	var all []vetJSON
+	for _, file := range fs.Args() {
+		diags, err := vetFile(file, *exactBar)
+		if err != nil {
+			// Front-end errors are already positioned "line:col: msg"
+			// lines; prefix the file so they read like diagnostics.
+			fmt.Fprintf(stderr, "%s: %v\n", file, err)
+			failed = true
+			continue
+		}
+		if analysis.HasErrors(diags) {
+			failed = true
+		}
+		if *jsonOut {
+			for _, d := range diags {
+				all = append(all, vetJSON{
+					File:     file,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Col,
+					Severity: d.Sev.String(),
+					Check:    d.Check,
+					Msg:      d.Msg,
+				})
+			}
+		} else {
+			fmt.Fprint(stdout, analysis.Render(file, diags))
+		}
+	}
+	if *jsonOut {
+		if all == nil {
+			all = []vetJSON{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("vet failed")
+	}
+	return nil
+}
+
+// vetJSON is the -json wire form of one diagnostic.
+type vetJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Check    string `json:"check"`
+	Msg      string `json:"msg"`
+}
+
+// vetFile runs the analyzer over one source file. The CFG checks see
+// the raw graph built with in-line call expansion — raw so unreachable
+// source code still exists to be reported, expanded so per-call-site
+// dataflow is precise — while the automaton checks see what execution
+// sees: the simplified graph converted under default options.
+func vetFile(file string, exactBarriers bool) ([]analysis.Diagnostic, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	ast, err := mimdc.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if err := mimdc.Analyze(ast); err != nil {
+		return nil, err
+	}
+	g, err := cfg.BuildWith(ast, cfg.Options{ExpandCalls: true})
+	if err != nil {
+		return nil, err
+	}
+
+	sg := g.Clone()
+	cfg.Simplify(sg)
+	mopt := metastate.DefaultOptions(false)
+	mopt.BarrierExact = exactBarriers
+	a, err := metastate.Convert(sg, mopt)
+	if err != nil {
+		// Conversion blow-ups (state-space bound) don't block the
+		// CFG-level checks; report what we have.
+		return analysis.Analyze(g, nil), nil
+	}
+	return analysis.Analyze(g, a), nil
+}

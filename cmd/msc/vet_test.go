@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetGoldens locks the vet diagnostics for every program under
+// testdata/vet against golden files: diagnostic text, positions, and
+// the exit behavior (nonzero exactly when an error-severity finding
+// exists, i.e. for the bad/ programs).
+func TestVetGoldens(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata", "vet")
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasSuffix(path, ".mc") {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found %d vet corpus programs, want >= 4", len(files))
+	}
+
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(strings.TrimPrefix(file, root+string(os.PathSeparator)), ".mc")
+		t.Run(name, func(t *testing.T) {
+			golden, err := os.ReadFile(strings.TrimSuffix(file, ".mc") + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out, errBuf bytes.Buffer
+			vetErr := vet([]string{file}, &out, &errBuf)
+
+			// Goldens are recorded relative to the repo root.
+			got := strings.ReplaceAll(out.String(), "../../", "")
+			if got != string(golden) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, golden)
+			}
+			wantFail := strings.Contains(string(golden), " error [")
+			if (vetErr != nil) != wantFail {
+				t.Errorf("vet error = %v, want failure=%t", vetErr, wantFail)
+			}
+		})
+	}
+}
+
+// TestVetJSON checks the machine-readable output shape.
+func TestVetJSON(t *testing.T) {
+	file := filepath.Join("..", "..", "testdata", "vet", "bad", "uninit.mc")
+	var out, errBuf bytes.Buffer
+	vetErr := vet([]string{"-json", file}, &out, &errBuf)
+	if vetErr == nil {
+		t.Fatal("vet did not fail on a program with an error diagnostic")
+	}
+	var diags []vetJSON
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics in JSON output")
+	}
+	d := diags[0]
+	if d.File != file || d.Severity != "error" || d.Check != "uninit" || d.Line != 6 {
+		t.Errorf("first diagnostic = %+v, want uninit error at line 6 of %s", d, file)
+	}
+}
+
+// TestVetMultipleFiles checks that one bad file fails the whole
+// invocation while clean files still vet silently.
+func TestVetMultipleFiles(t *testing.T) {
+	clean := filepath.Join("..", "..", "testdata", "vet", "barriers.mc")
+	bad := filepath.Join("..", "..", "testdata", "vet", "bad", "deadlock.mc")
+	var out, errBuf bytes.Buffer
+	if err := vet([]string{clean}, &out, &errBuf); err != nil {
+		t.Fatalf("clean file failed vet: %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean file produced output: %s", out.String())
+	}
+	out.Reset()
+	if err := vet([]string{clean, bad}, &out, &errBuf); err == nil {
+		t.Error("bad file in the list did not fail vet")
+	}
+	if !strings.Contains(out.String(), "barrier-deadlock") {
+		t.Errorf("missing deadlock diagnostic in %s", out.String())
+	}
+}
+
+// TestVetMissingFile checks the front-end error path: vet reports the
+// failure on stderr and exits nonzero without touching stdout.
+func TestVetMissingFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := vet([]string{"no-such-file.mc"}, &out, &errBuf); err == nil {
+		t.Fatal("vet succeeded on a missing file")
+	}
+	if errBuf.Len() == 0 {
+		t.Error("no error message on stderr")
+	}
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"msc/internal/bitset"
+	"msc/internal/ir"
+	"msc/internal/msc"
+)
+
+// CheckAutomaton runs the whole-program checks that need the converted
+// meta-state automaton rather than the state graph: barrier-divergence
+// deadlock, unreachable termination (livelock / halt unreachability),
+// and unreachable meta states.
+func CheckAutomaton(a *msc.Automaton) []Diagnostic {
+	var diags []Diagnostic
+	reach := reachableMeta(a)
+
+	// no-halt: termination requires some reachable meta state whose
+	// members can all end. Its absence means every execution runs (or
+	// waits) forever — deliberate in daemon-style programs, so this is
+	// a warning, not an error.
+	anyExit := false
+	for _, s := range a.States {
+		if reach[s.ID] && s.Exit {
+			anyExit = true
+			break
+		}
+	}
+	if !anyExit {
+		diags = append(diags, Diagnostic{
+			Pos:   entryPos(a),
+			Sev:   SevWarning,
+			Check: CheckNoHalt,
+			Msg:   "program never terminates: no reachable meta state can exit",
+		})
+	}
+
+	// unreachable-meta: conversion only interns reachable states, so
+	// this is a defensive consistency check on hand-built or mutated
+	// automatons.
+	for _, s := range a.States {
+		if !reach[s.ID] {
+			diags = append(diags, Diagnostic{
+				Sev:   SevInfo,
+				Check: CheckUnreachableMeta,
+				Msg:   fmt.Sprintf("meta state ms%d %s is unreachable from the start state", s.ID, s.Set),
+			})
+		}
+	}
+
+	diags = append(diags, checkBarrierDeadlock(a, reach)...)
+	return diags
+}
+
+// checkBarrierDeadlock detects barriers whose waiters can never be
+// released. Under the §2.6/§3.2.4 rule, PEs at a barrier-wait state
+// are released only when every still-live PE is at the barrier —
+// either because the rest arrived or because the rest terminated. So
+// whenever a transition parks some PEs at the barrier (a mixed raw
+// aggregate), the remaining PEs must be able to "quiesce": reach a
+// configuration where all of them sit at barrier states, or all of
+// them end. If the remainder state cannot quiesce on ANY path — it
+// neither exits nor ever fully arrives at a barrier — the waiters are
+// stuck forever on every continuation: a definite deadlock, reported
+// as an error at the wait statement.
+func checkBarrierDeadlock(a *msc.Automaton, reach []bool) []Diagnostic {
+	if a.Opt.BarrierExact || a.Barriers.Empty() {
+		// Exact mode keeps waiters inside meta states; the no-halt check
+		// still covers full stalls there (a stuck barrier yields a
+		// self-looping non-exit automaton).
+		return nil
+	}
+	if a.Opt.Compress || a.Opt.MergeSubsets || a.OverApprox {
+		// Compressed/merged automata over-approximate occupancy: an
+		// aggregate may carry both arms of a branch at once, so "every
+		// member is at a barrier" can fail to hold in the automaton even
+		// when it holds on every real execution. Definite-deadlock
+		// reasoning needs exact occupancy; `msc vet` converts in base
+		// mode for exactly this reason.
+		return nil
+	}
+
+	// quiesce[id]: the PEs tracked by state id can evolve so that
+	// eventually all of them are at barrier states or all have ended.
+	// Base: Exit states and states with an all-barrier raw aggregate.
+	// Step: some raw aggregate's filtered remainder can quiesce.
+	raws := make([][]*setAndTarget, len(a.States))
+	quiesce := make([]bool, len(a.States))
+	var work []int
+	// revEdges[t] = states whose remainder-successor is t.
+	revEdges := make([][]int, len(a.States))
+	for _, s := range a.States {
+		if !reach[s.ID] {
+			continue
+		}
+		if s.Exit {
+			quiesce[s.ID] = true
+			work = append(work, s.ID)
+		}
+		for _, raw := range a.RawSuccessors(s.Set) {
+			if raw.Empty() {
+				continue // covered by s.Exit
+			}
+			t, err := a.Lookup(raw)
+			if err != nil || t == nil {
+				continue
+			}
+			st := &setAndTarget{raw: raw, target: t.ID}
+			raws[s.ID] = append(raws[s.ID], st)
+			if raw.Subset(a.Barriers) {
+				// Everyone arrives: the barrier releases here.
+				if !quiesce[s.ID] {
+					quiesce[s.ID] = true
+					work = append(work, s.ID)
+				}
+				continue
+			}
+			revEdges[t.ID] = append(revEdges[t.ID], s.ID)
+		}
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range revEdges[id] {
+			if !quiesce[p] {
+				quiesce[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+
+	// A mixed aggregate parks its barrier members; if the remainder
+	// cannot quiesce, those waiters never release.
+	deadlocked := map[int]bool{} // barrier block ID -> reported
+	for _, s := range a.States {
+		if !reach[s.ID] {
+			continue
+		}
+		for _, st := range raws[s.ID] {
+			waits := st.raw.Intersect(a.Barriers)
+			if waits.Empty() || waits.Equal(st.raw) {
+				continue
+			}
+			if quiesce[st.target] {
+				continue
+			}
+			for _, w := range waits.Elems() {
+				deadlocked[w] = true
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(deadlocked))
+	for id := range deadlocked {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var diags []Diagnostic
+	for _, id := range ids {
+		pos := ir.Pos{}
+		if b := a.G.Block(id); b != nil {
+			pos = b.Pos
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   pos,
+			Sev:   SevError,
+			Check: CheckBarrierDeadlock,
+			Msg: "barrier deadlock: processes waiting here are never released " +
+				"(the remaining processes neither reach the barrier nor terminate)",
+		})
+	}
+	return diags
+}
+
+type setAndTarget struct {
+	raw    *bitset.Set
+	target int
+}
+
+// reachableMeta marks meta states reachable from the start state.
+func reachableMeta(a *msc.Automaton) []bool {
+	seen := make([]bool, len(a.States))
+	stack := []int{a.Start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || id >= len(seen) || seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, a.States[id].Trans...)
+	}
+	return seen
+}
+
+// entryPos anchors whole-program diagnostics at the program entry.
+func entryPos(a *msc.Automaton) ir.Pos {
+	if b := a.G.Block(a.G.Entry); b != nil {
+		return b.Pos
+	}
+	return ir.Pos{}
+}

@@ -1,0 +1,424 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"msc/internal/analysis"
+	"msc/internal/cfg"
+	"msc/internal/mimdc"
+	metastate "msc/internal/msc"
+)
+
+// build lowers source to a raw (unsimplified) state graph with calls
+// expanded, the same view `msc vet` analyzes.
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	ast, err := mimdc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := mimdc.Analyze(ast); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	g, err := cfg.BuildWith(ast, cfg.Options{ExpandCalls: true})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return g
+}
+
+// convert simplifies a clone and converts it under default options.
+func convert(t *testing.T, g *cfg.Graph) *metastate.Automaton {
+	t.Helper()
+	sg := g.Clone()
+	cfg.Simplify(sg)
+	a, err := metastate.Convert(sg, metastate.DefaultOptions(false))
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	return a
+}
+
+// analyzeSrc runs the full suite the way vetFile does.
+func analyzeSrc(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	g := build(t, src)
+	return analysis.Analyze(g, convert(t, g))
+}
+
+// find returns the diagnostics with the given check id.
+func find(diags []analysis.Diagnostic, check string) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Check == check {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestCheckUninitPolyError(t *testing.T) {
+	diags := analyzeSrc(t, `
+void main()
+{
+    poly int x, y;
+    y = x + 1;
+    return;
+}
+`)
+	got := find(diags, analysis.CheckUninit)
+	if len(got) != 1 {
+		t.Fatalf("uninit diagnostics = %v, want exactly 1", got)
+	}
+	d := got[0]
+	if d.Sev != analysis.SevError {
+		t.Errorf("severity = %s, want error", d.Sev)
+	}
+	if !strings.Contains(d.Msg, "x") {
+		t.Errorf("message %q does not name x", d.Msg)
+	}
+	if d.Pos.Line != 5 {
+		t.Errorf("position %s, want line 5 (the read)", d.Pos)
+	}
+}
+
+func TestCheckUninitMaybeWarning(t *testing.T) {
+	diags := analyzeSrc(t, `
+void main()
+{
+    poly int x, y;
+    if (iproc) {
+        x = 1;
+    }
+    y = x;
+    return;
+}
+`)
+	if errs := find(diags, analysis.CheckUninit); len(errs) != 0 {
+		t.Fatalf("unexpected definite-uninit errors: %v", errs)
+	}
+	got := find(diags, analysis.CheckMaybeUninit)
+	if len(got) != 1 || got[0].Sev != analysis.SevWarning {
+		t.Fatalf("maybe-uninit = %v, want one warning", got)
+	}
+	if got[0].Pos.Line != 8 {
+		t.Errorf("position %s, want line 8", got[0].Pos)
+	}
+}
+
+func TestCheckUninitInitializedIsClean(t *testing.T) {
+	diags := analyzeSrc(t, `
+void main()
+{
+    poly int x, y;
+    x = iproc;
+    y = x + 1;
+    return;
+}
+`)
+	if got := append(find(diags, analysis.CheckUninit), find(diags, analysis.CheckMaybeUninit)...); len(got) != 0 {
+		t.Fatalf("unexpected uninit diagnostics: %v", got)
+	}
+}
+
+func TestCheckUninitMonoNeverStored(t *testing.T) {
+	diags := analyzeSrc(t, `
+mono int m;
+poly int y;
+void main()
+{
+    y = m + 1;
+    return;
+}
+`)
+	got := find(diags, analysis.CheckUninit)
+	if len(got) != 1 || got[0].Sev != analysis.SevError {
+		t.Fatalf("mono uninit = %v, want one error", got)
+	}
+	if !strings.Contains(got[0].Msg, "m") || !strings.Contains(got[0].Msg, "never initialized") {
+		t.Errorf("message %q", got[0].Msg)
+	}
+}
+
+// A mono variable stored anywhere is accepted flow-insensitively: under
+// lockstep execution another PE's broadcast store may precede our read
+// even when our own path order says otherwise.
+func TestCheckUninitMonoStoredAnywhereIsClean(t *testing.T) {
+	diags := analyzeSrc(t, `
+mono int m;
+poly int y;
+void main()
+{
+    if (iproc == 0) {
+        m = 7;
+    }
+    y = m + 1;
+    return;
+}
+`)
+	if got := find(diags, analysis.CheckUninit); len(got) != 0 {
+		t.Fatalf("unexpected mono uninit: %v", got)
+	}
+}
+
+// Remote-accessed slots are defined by other PEs through the router;
+// reading them without a local store is not an init error.
+func TestCheckUninitRemoteSlotExcluded(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int v, got;
+void main()
+{
+    wait;
+    got = v[[iproc]];
+    return;
+}
+`)
+	for _, check := range []string{analysis.CheckUninit, analysis.CheckMaybeUninit} {
+		if bad := find(diags, check); len(bad) != 0 {
+			t.Fatalf("unexpected %s on remote-communicated slot: %v", check, bad)
+		}
+	}
+}
+
+func TestCheckDeadStore(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int out;
+void main()
+{
+    poly int x;
+    x = 1;
+    x = 2;
+    out = x;
+    return;
+}
+`)
+	got := find(diags, analysis.CheckDeadStore)
+	if len(got) != 1 || got[0].Sev != analysis.SevWarning {
+		t.Fatalf("dead-store = %v, want one warning", got)
+	}
+	if got[0].Pos.Line != 6 {
+		t.Errorf("position %s, want line 6 (the overwritten store)", got[0].Pos)
+	}
+	if !strings.Contains(got[0].Msg, "x") {
+		t.Errorf("message %q does not name x", got[0].Msg)
+	}
+}
+
+// Globals are read back by drivers after the run, so a final store to
+// one is never dead.
+func TestCheckDeadStoreGlobalExitLive(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int out;
+void main()
+{
+    out = 42;
+    return;
+}
+`)
+	if got := find(diags, analysis.CheckDeadStore); len(got) != 0 {
+		t.Fatalf("unexpected dead-store on exit-live global: %v", got)
+	}
+}
+
+func TestCheckUnreachableCode(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int x;
+void main()
+{
+    x = 1;
+    return;
+    x = 2;
+    return;
+}
+`)
+	got := find(diags, analysis.CheckUnreachable)
+	if len(got) != 1 || got[0].Sev != analysis.SevWarning {
+		t.Fatalf("unreachable = %v, want one warning", got)
+	}
+	if got[0].Pos.Line != 7 {
+		t.Errorf("position %s, want line 7", got[0].Pos)
+	}
+}
+
+func TestCheckConstCond(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int x;
+void main()
+{
+    poly int flag;
+    flag = 3;
+    if (flag) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return;
+}
+`)
+	got := find(diags, analysis.CheckConstCond)
+	if len(got) == 0 {
+		t.Fatal("constant condition not reported")
+	}
+	for _, d := range got {
+		if d.Sev != analysis.SevInfo {
+			t.Errorf("const-cond severity = %s, want info", d.Sev)
+		}
+	}
+	if !strings.Contains(got[0].Msg, "always true") {
+		t.Errorf("message %q, want 'always true'", got[0].Msg)
+	}
+}
+
+// Divergence alone must not trip the deadlock check: the automaton
+// admits the path where every PE takes the waiting branch.
+func TestBarrierDivergenceNotDeadlock(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int x;
+void main()
+{
+    x = iproc % 2;
+    if (x) {
+        wait;
+        x = x + 1;
+    }
+    wait;
+    return;
+}
+`)
+	if got := find(diags, analysis.CheckBarrierDeadlock); len(got) != 0 {
+		t.Fatalf("false-positive barrier deadlock: %v", got)
+	}
+}
+
+func TestBarrierDeadlock(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int spin;
+void worker()
+{
+    spin = 0;
+    while (1) {
+        spin = spin + 1;
+    }
+    halt;
+}
+void main()
+{
+    spawn worker();
+    wait;
+    return;
+}
+`)
+	got := find(diags, analysis.CheckBarrierDeadlock)
+	if len(got) != 1 || got[0].Sev != analysis.SevError {
+		t.Fatalf("barrier-deadlock = %v, want one error", got)
+	}
+	if got[0].Pos.Line != 14 {
+		t.Errorf("position %s, want line 14 (the wait)", got[0].Pos)
+	}
+}
+
+// The workers-terminate variant of the same program is clean: the
+// remainder quiesces by halting.
+func TestBarrierDeadlockReleasedByTermination(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int spin;
+void worker()
+{
+    spin = iproc;
+    halt;
+}
+void main()
+{
+    spawn worker();
+    wait;
+    return;
+}
+`)
+	if got := find(diags, analysis.CheckBarrierDeadlock); len(got) != 0 {
+		t.Fatalf("false-positive barrier deadlock: %v", got)
+	}
+}
+
+func TestCheckNoHalt(t *testing.T) {
+	g := build(t, `
+poly int x;
+void main()
+{
+    x = 0;
+    do {
+        x = x + 1;
+    } while (1);
+    return;
+}
+`)
+	// Simplify folds the constant loop condition, so the automaton
+	// genuinely never reaches an exit state.
+	diags := analysis.Analyze(g, convert(t, g))
+	got := find(diags, analysis.CheckNoHalt)
+	if len(got) != 1 || got[0].Sev != analysis.SevWarning {
+		t.Fatalf("no-halt = %v, want one warning", got)
+	}
+}
+
+// The whole suite reports zero error-severity findings on the clean
+// corpus shapes: barrier phases, communication, calls, spawn.
+func TestCleanProgramsNoErrors(t *testing.T) {
+	clean := map[string]string{
+		"stencil": `
+poly int cell, left, right;
+void main()
+{
+    poly int round;
+    cell = (iproc * 13) % 31;
+    for (round = 0; round < 4; round = round + 1) {
+        wait;
+        left = cell[[iproc - 1]];
+        right = cell[[iproc + 1]];
+        wait;
+        cell = (left + 2 * cell + right) / 4;
+    }
+    return;
+}
+`,
+		"farm": `
+poly int result;
+void worker()
+{
+    poly int k;
+    result = 0;
+    for (k = 0; k < iproc + 2; k = k + 1) {
+        result = result + k * k;
+    }
+    halt;
+}
+void main()
+{
+    spawn worker();
+    spawn worker();
+    return;
+}
+`,
+		"gcd": `
+poly int r;
+int gcd(int a, int b)
+{
+    if (b == 0) { return a; }
+    return gcd(b, a % b);
+}
+void main()
+{
+    r = gcd(iproc * 6 + 12, 18);
+    return;
+}
+`,
+	}
+	for name, src := range clean {
+		diags := analyzeSrc(t, src)
+		for _, d := range diags {
+			if d.Sev == analysis.SevError {
+				t.Errorf("%s: unexpected error diagnostic: %s", name, d)
+			}
+		}
+	}
+}

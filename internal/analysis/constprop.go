@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+	"msc/internal/ir"
+)
+
+// ConstVal is an abstract word: either a known integer constant or
+// not-a-constant. Float values and anything touched by router traffic
+// are conservatively unknown.
+type ConstVal struct {
+	Known bool
+	Val   int64
+}
+
+// ConstResult holds, for each block, the slots known to hold a
+// specific constant on every path reaching the block's entry.
+type ConstResult struct {
+	In map[int]map[int]ConstVal
+	// excluded are slots whose value another PE can change behind our
+	// back: remote-accessed slots always, and mono slots stored after
+	// the common prologue (PEs at different source points run in
+	// lockstep, so a divergent PE's broadcast store can land anywhere
+	// on our path).
+	excluded *bitset.Set
+}
+
+// ConstFacts computes simple must-constant facts by forward fixpoint:
+// a slot maps to a value at a block entry iff every predecessor path
+// stores exactly that value last. The iteration starts from
+// nothing-known and only ever promotes slots to known, which reaches
+// the least (sound, pessimistic) fixed point: loop-carried constants
+// are given up rather than guessed.
+func ConstFacts(g *cfg.Graph, vars *Vars) *ConstResult {
+	excluded := vars.Remote.Clone()
+	for _, b := range g.Blocks {
+		if b == nil || b.ID == g.Entry {
+			continue
+		}
+		for _, in := range b.Code {
+			if in.Op == ir.StMono {
+				excluded.Add(int(in.Imm))
+			}
+		}
+	}
+
+	preds := make(map[int][]int)
+	var ids []int
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		ids = append(ids, b.ID)
+		for _, s := range b.Succs() {
+			if g.Block(s) != nil {
+				preds[s] = append(preds[s], b.ID)
+			}
+		}
+	}
+
+	in := make(map[int]map[int]ConstVal, len(ids))
+	out := make(map[int]map[int]ConstVal, len(ids))
+	for _, id := range ids {
+		out[id] = map[int]ConstVal{}
+	}
+
+	meet := func(id int) map[int]ConstVal {
+		ps := preds[id]
+		if id == g.Entry || len(ps) == 0 {
+			return map[int]ConstVal{}
+		}
+		acc := make(map[int]ConstVal, len(out[ps[0]]))
+		for slot, v := range out[ps[0]] {
+			acc[slot] = v
+		}
+		for _, p := range ps[1:] {
+			po := out[p]
+			for slot, v := range acc {
+				if pv, ok := po[slot]; !ok || pv != v {
+					delete(acc, slot)
+				}
+			}
+		}
+		return acc
+	}
+
+	equal := func(a, b map[int]ConstVal) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if bv, ok := b[k]; !ok || bv != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			newIn := meet(id)
+			in[id] = newIn
+			newOut, _ := evalBlock(g.Block(id), newIn, excluded)
+			if !equal(newOut, out[id]) {
+				out[id] = newOut
+				changed = true
+			}
+		}
+	}
+	return &ConstResult{In: in, excluded: excluded}
+}
+
+// evalBlock abstractly executes a block's stack code over the constant
+// environment, returning the post-state and the final stack (top
+// last). Unsupported operations and excluded slots produce unknowns.
+func evalBlock(b *cfg.Block, env map[int]ConstVal, excluded *bitset.Set) (map[int]ConstVal, []ConstVal) {
+	out := make(map[int]ConstVal, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	var stack []ConstVal
+	pop := func() ConstVal {
+		if len(stack) == 0 {
+			return ConstVal{}
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v ConstVal) { stack = append(stack, v) }
+	unknown := ConstVal{}
+
+	for _, in := range b.Code {
+		slot := int(in.Imm)
+		switch in.Op {
+		case ir.PushC:
+			if in.Ty == ir.Float {
+				push(unknown)
+			} else {
+				push(ConstVal{Known: true, Val: in.Imm})
+			}
+		case ir.Dup:
+			v := pop()
+			push(v)
+			push(v)
+		case ir.Pop:
+			for i := int64(0); i < in.Imm; i++ {
+				pop()
+			}
+		case ir.LdLocal, ir.LdMono:
+			if v, ok := out[slot]; ok && !excluded.Has(slot) {
+				push(v)
+			} else {
+				push(unknown)
+			}
+		case ir.StLocal, ir.StMono:
+			v := pop()
+			if v.Known && !excluded.Has(slot) {
+				out[slot] = v
+			} else {
+				delete(out, slot)
+			}
+		case ir.LdIndex:
+			pop()
+			push(unknown)
+		case ir.StIndex:
+			pop()
+			pop()
+		case ir.LdRemote:
+			pop()
+			push(unknown)
+		case ir.StRemote:
+			// A router store mutates some PE's copy of the slot —
+			// possibly ours, via self-addressing — so the fact is gone.
+			pop()
+			pop()
+			delete(out, slot)
+		case ir.Neg, ir.BitNot, ir.LNot:
+			v := pop()
+			if !v.Known {
+				push(unknown)
+				break
+			}
+			switch in.Op {
+			case ir.Neg:
+				push(ConstVal{Known: true, Val: -v.Val})
+			case ir.BitNot:
+				push(ConstVal{Known: true, Val: ^v.Val})
+			default:
+				push(ConstVal{Known: true, Val: int64(ir.Bool(v.Val == 0))})
+			}
+		case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod,
+			ir.BitAnd, ir.BitOr, ir.BitXor, ir.Shl, ir.Shr,
+			ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe, ir.CmpEq, ir.CmpNe:
+			r, l := pop(), pop()
+			push(evalBinary(in.Op, l, r))
+		case ir.IProc, ir.NProc:
+			push(unknown)
+		case ir.I2F, ir.F2I:
+			pop()
+			push(unknown)
+		case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv,
+			ir.FCmpLt, ir.FCmpLe, ir.FCmpGt, ir.FCmpGe, ir.FCmpEq, ir.FCmpNe:
+			pop()
+			pop()
+			push(unknown)
+		case ir.FNeg:
+			pop()
+			push(unknown)
+		case ir.PushRet, ir.Nop:
+		default:
+			// Unknown op: give up on the whole environment.
+			return map[int]ConstVal{}, nil
+		}
+	}
+	return out, stack
+}
+
+// evalBinary folds an integer binary op over abstract operands.
+func evalBinary(op ir.Op, l, r ConstVal) ConstVal {
+	if !l.Known || !r.Known {
+		return ConstVal{}
+	}
+	b := func(v bool) ConstVal { return ConstVal{Known: true, Val: int64(ir.Bool(v))} }
+	switch op {
+	case ir.Add:
+		return ConstVal{Known: true, Val: l.Val + r.Val}
+	case ir.Sub:
+		return ConstVal{Known: true, Val: l.Val - r.Val}
+	case ir.Mul:
+		return ConstVal{Known: true, Val: l.Val * r.Val}
+	case ir.Div:
+		if r.Val == 0 {
+			return ConstVal{}
+		}
+		return ConstVal{Known: true, Val: l.Val / r.Val}
+	case ir.Mod:
+		if r.Val == 0 {
+			return ConstVal{}
+		}
+		return ConstVal{Known: true, Val: l.Val % r.Val}
+	case ir.BitAnd:
+		return ConstVal{Known: true, Val: l.Val & r.Val}
+	case ir.BitOr:
+		return ConstVal{Known: true, Val: l.Val | r.Val}
+	case ir.BitXor:
+		return ConstVal{Known: true, Val: l.Val ^ r.Val}
+	case ir.Shl:
+		if r.Val < 0 || r.Val >= 64 {
+			return ConstVal{}
+		}
+		return ConstVal{Known: true, Val: l.Val << uint(r.Val)}
+	case ir.Shr:
+		if r.Val < 0 || r.Val >= 64 {
+			return ConstVal{}
+		}
+		return ConstVal{Known: true, Val: l.Val >> uint(r.Val)}
+	case ir.CmpLt:
+		return b(l.Val < r.Val)
+	case ir.CmpLe:
+		return b(l.Val <= r.Val)
+	case ir.CmpGt:
+		return b(l.Val > r.Val)
+	case ir.CmpGe:
+		return b(l.Val >= r.Val)
+	case ir.CmpEq:
+		return b(l.Val == r.Val)
+	case ir.CmpNe:
+		return b(l.Val != r.Val)
+	}
+	return ConstVal{}
+}
+
+// CheckConstConditions reports branch conditions that are compile-time
+// constants: the branch always goes the same way, so one arm is
+// effectively dead. Info severity — constant entry guards are a normal
+// byproduct of the §4.2 loop normalization.
+func CheckConstConditions(g *cfg.Graph, consts *ConstResult) []Diagnostic {
+	var diags []Diagnostic
+	reach := reachableBlocks(g)
+	for _, b := range g.Blocks {
+		if b == nil || b.Term != cfg.Branch || !reach[b.ID] {
+			continue
+		}
+		_, stack := evalBlock(b, consts.In[b.ID], consts.excluded)
+		if len(stack) == 0 {
+			continue
+		}
+		cond := stack[len(stack)-1]
+		if !cond.Known {
+			continue
+		}
+		way := "false"
+		if cond.Val != 0 {
+			way = "true"
+		}
+		pos := b.Pos
+		if n := len(b.Code); n > 0 && b.Code[n-1].Pos.IsValid() {
+			pos = b.Code[n-1].Pos
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   pos,
+			Sev:   SevInfo,
+			Check: CheckConstCond,
+			Msg:   fmt.Sprintf("branch condition is always %s", way),
+		})
+	}
+	return diags
+}
+
+// CheckUnreachableCode reports blocks that can never execute. Only
+// blocks carrying instructions are reported: the builder leaves empty
+// synthetic blocks (join points after returns, loop exits of infinite
+// loops) that are not source-level dead code.
+func CheckUnreachableCode(g *cfg.Graph) []Diagnostic {
+	reach := reachableBlocks(g)
+	var diags []Diagnostic
+	for _, b := range g.Blocks {
+		if b == nil || reach[b.ID] || len(b.Code) == 0 {
+			continue
+		}
+		pos := b.Pos
+		if b.Code[0].Pos.IsValid() {
+			pos = b.Code[0].Pos
+		}
+		if !pos.IsValid() {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   pos,
+			Sev:   SevWarning,
+			Check: CheckUnreachable,
+			Msg:   "unreachable code",
+		})
+	}
+	return diags
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+)
+
+// Direction selects which way facts flow through the state graph.
+type Direction uint8
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// MeetKind selects how facts from converging paths combine: Union for
+// may-analyses ("holds on some path"), Intersect for must-analyses
+// ("holds on every path").
+type MeetKind uint8
+
+const (
+	Union MeetKind = iota
+	Intersect
+)
+
+// Problem is a monotone bit-vector dataflow problem over a MIMD state
+// graph. Facts are bit sets over [0, Universe); Transfer maps a block's
+// flow input to its flow output (entry→exit facts for Forward
+// problems, exit→entry facts for Backward ones) and must be monotone.
+type Problem struct {
+	Dir  Direction
+	Meet MeetKind
+	// Universe is the fact-space width; Intersect problems use the full
+	// universe as the optimistic initial value.
+	Universe int
+	// Boundary is the fact set at the flow boundary: the graph entry for
+	// Forward problems, every exitless block (End/Halt terminators and
+	// never-called function exits) for Backward ones. nil means empty.
+	Boundary *bitset.Set
+	// Transfer computes the block's flow output from its flow input. It
+	// must not mutate in.
+	Transfer func(b *cfg.Block, in *bitset.Set) *bitset.Set
+}
+
+// Result holds the fixed-point facts per block ID. In is always the
+// fact set at block entry and Out the set at block exit, regardless of
+// the problem's direction.
+type Result struct {
+	In, Out map[int]*bitset.Set
+}
+
+// Solve runs worklist iteration to the (least for Union, greatest for
+// Intersect) fixed point. Spawn edges and multiway-return edges are
+// ordinary graph edges: facts flow into spawned children and across
+// call returns.
+func Solve(g *cfg.Graph, p Problem) *Result {
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = bitset.New(0)
+	}
+	top := func() *bitset.Set {
+		s := bitset.New(p.Universe)
+		if p.Meet == Intersect {
+			for i := 0; i < p.Universe; i++ {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+
+	// Dependency edges: the blocks a node's flow input meets over
+	// (sources) and the blocks to re-queue when its output changes
+	// (dependents).
+	sources := make(map[int][]int)
+	dependents := make(map[int][]int)
+	var ids []int
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		ids = append(ids, b.ID)
+		for _, s := range b.Succs() {
+			if g.Block(s) == nil {
+				continue
+			}
+			if p.Dir == Forward {
+				sources[s] = append(sources[s], b.ID)
+				dependents[b.ID] = append(dependents[b.ID], s)
+			} else {
+				sources[b.ID] = append(sources[b.ID], s)
+				dependents[s] = append(dependents[s], b.ID)
+			}
+		}
+	}
+	atBoundary := func(b *cfg.Block) bool {
+		if p.Dir == Forward {
+			return b.ID == g.Entry
+		}
+		return len(b.Succs()) == 0
+	}
+
+	input := make(map[int]*bitset.Set, len(ids))
+	output := make(map[int]*bitset.Set, len(ids))
+	for _, id := range ids {
+		input[id] = top()
+		output[id] = top()
+	}
+
+	// Worklist in block order; order affects only convergence speed.
+	queued := make(map[int]bool, len(ids))
+	work := append([]int(nil), ids...)
+	for _, id := range work {
+		queued[id] = true
+	}
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		queued[id] = false
+		b := g.Block(id)
+
+		var acc *bitset.Set
+		meet := func(s *bitset.Set) {
+			if acc == nil {
+				acc = s.Clone()
+			} else if p.Meet == Union {
+				acc.UnionWith(s)
+			} else {
+				acc = acc.Intersect(s)
+			}
+		}
+		if atBoundary(b) {
+			meet(boundary)
+		}
+		for _, src := range sources[id] {
+			meet(output[src])
+		}
+		if acc == nil {
+			// No boundary and no sources: unreachable in the flow
+			// direction; keep the optimistic initial value.
+			acc = top()
+		}
+		input[id] = acc
+		next := p.Transfer(b, acc)
+		if next.Equal(output[id]) {
+			continue
+		}
+		output[id] = next
+		for _, d := range dependents[id] {
+			if !queued[d] {
+				queued[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+
+	res := &Result{In: input, Out: output}
+	if p.Dir == Backward {
+		res.In, res.Out = output, input
+	}
+	return res
+}

@@ -1,0 +1,152 @@
+// Package analysis implements whole-program static analysis for the
+// meta-state converter: a generic iterative dataflow framework over the
+// MIMD state graph (reaching definitions, liveness, initialization,
+// constant facts) plus parallel-safety checks over the converted
+// meta-state automaton (barrier deadlock, termination). The `msc vet`
+// subcommand and the root API's Config.Vet are thin wrappers around
+// this package.
+//
+// All checks are tuned to report no error-severity diagnostics on
+// correct programs: errors are reserved for facts that hold on every
+// execution (a variable no reachable path initializes, a barrier whose
+// waiters can never be released), while path-dependent suspicions are
+// warnings and stylistic observations are infos.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msc/internal/ir"
+)
+
+// Severity ranks a diagnostic. Only SevError is meant to gate builds:
+// vet exits nonzero and Config.Vet fails Compile on errors alone.
+type Severity uint8
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// Check identifiers, one per analysis. Stable strings: they appear in
+// golden files and are meant for grep/suppression tooling.
+const (
+	CheckUninit          = "uninit"           // definitely used before initialization
+	CheckMaybeUninit     = "maybe-uninit"     // used before initialization on some path
+	CheckDeadStore       = "dead-store"       // stored value never observed
+	CheckUnreachable     = "unreachable-code" // block can never execute
+	CheckConstCond       = "const-cond"       // branch condition is compile-time constant
+	CheckBarrierDeadlock = "barrier-deadlock" // waiters can never be released
+	CheckNoHalt          = "no-halt"          // no execution terminates
+	CheckUnreachableMeta = "unreachable-meta" // meta state unreachable from start
+)
+
+// Diagnostic is one analysis finding, positioned in the original
+// MIMDC source.
+type Diagnostic struct {
+	Pos   ir.Pos   `json:"pos"`
+	Sev   Severity `json:"-"`
+	Check string   `json:"check"`
+	Msg   string   `json:"msg"`
+}
+
+// String renders the diagnostic without a file name:
+// "line:col: severity [check] msg".
+func (d Diagnostic) String() string {
+	if !d.Pos.IsValid() {
+		return fmt.Sprintf("%s [%s] %s", d.Sev, d.Check, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s [%s] %s", d.Pos, d.Sev, d.Check, d.Msg)
+}
+
+// Format renders the diagnostic with a leading file name, the
+// conventional compiler-diagnostic shape: "file:line:col: severity
+// [check] msg". Position-less diagnostics (whole-program findings)
+// render as "file: severity [check] msg".
+func (d Diagnostic) Format(file string) string {
+	if file == "" {
+		return d.String()
+	}
+	return file + ":" + d.String()
+}
+
+// SeverityLabel exposes the severity as a string for JSON encoding.
+func (d Diagnostic) SeverityLabel() string { return d.Sev.String() }
+
+// HasErrors reports whether any diagnostic is error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// CountBySeverity returns (errors, warnings, infos).
+func CountBySeverity(diags []Diagnostic) (errs, warns, infos int) {
+	for _, d := range diags {
+		switch d.Sev {
+		case SevError:
+			errs++
+		case SevWarning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// SortDiagnostics orders diagnostics by source position, then severity
+// (most severe first), then check id and message, and drops exact
+// duplicates (identical findings reached through distinct paths, e.g.
+// inline-expanded call sites).
+func SortDiagnostics(diags []Diagnostic) []Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos != b.Pos {
+			return a.Pos.Before(b.Pos)
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Render formats a sorted diagnostic list one per line.
+func Render(file string, diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.Format(file))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

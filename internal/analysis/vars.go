@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+
+	"msc/internal/bitset"
+	"msc/internal/cfg"
+	"msc/internal/ir"
+)
+
+// Var describes one named scalar source variable as it appears in the
+// lowered program: a memory slot plus the front end's name.
+type Var struct {
+	Slot int
+	Name string
+	Mono bool
+}
+
+// Vars indexes the named scalar variables of a graph and the sharing
+// structure the checks must respect.
+type Vars struct {
+	// Scalar maps a memory slot to its named scalar variable. Compiler
+	// temporaries ($t, $spill, $arg, $ret, ...) and array storage are
+	// deliberately absent: checks on them would second-guess the
+	// lowering, not the source program.
+	Scalar map[int]Var
+	// Remote is the set of slots touched by router communication
+	// (LdRemote/StRemote). Another PE may read or write these at any
+	// point of our own path, so flow-sensitive init/liveness claims
+	// about them are unsound and the checks skip them.
+	Remote *bitset.Set
+	// ExitLive is the set of slots observable after the program ends:
+	// global variables and function return slots, which drivers read
+	// back through VarSlot/RetSlot.
+	ExitLive *bitset.Set
+}
+
+// CollectVars scans the graph for named scalar variables, remote slots,
+// and driver-observable slots.
+func CollectVars(g *cfg.Graph) *Vars {
+	v := &Vars{
+		Scalar:   make(map[int]Var),
+		Remote:   bitset.New(g.Words),
+		ExitLive: bitset.New(g.Words),
+	}
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		for _, in := range b.Code {
+			slot := int(in.Imm)
+			switch in.Op {
+			case ir.LdLocal, ir.StLocal, ir.LdMono, ir.StMono:
+				if named(in.Sym) {
+					mono := in.Op == ir.LdMono || in.Op == ir.StMono
+					v.Scalar[slot] = Var{Slot: slot, Name: in.Sym, Mono: mono}
+				}
+			case ir.LdRemote, ir.StRemote:
+				v.Remote.Add(slot)
+			}
+		}
+	}
+	for _, slot := range g.VarSlot {
+		v.ExitLive.Add(slot)
+	}
+	for _, slot := range g.RetSlot {
+		v.ExitLive.Add(slot)
+	}
+	return v
+}
+
+// named reports whether a Sym names a source variable (compiler temps
+// are prefixed with '$').
+func named(sym string) bool {
+	return sym != "" && !strings.HasPrefix(sym, "$")
+}

@@ -93,6 +93,7 @@ type builder struct {
 	errs     []error
 	cur      *Block // nil when the current path is terminated
 	depth    int    // static evaluation-stack depth within cur
+	curPos   ir.Pos // source position of the construct being lowered
 	nextSlot int
 	funcs    map[string]*funcInfo
 	called   map[string]bool
@@ -128,7 +129,9 @@ func (b *builder) run() {
 	for _, gv := range b.prog.Globals {
 		b.g.VarSlot[gv.Name] = gv.Slot
 		if gv.Init != nil {
+			b.at(gv.Pos)
 			b.lowerValue(gv.Init)
+			b.at(gv.Pos)
 			b.storeScalar(gv)
 		}
 	}
@@ -172,11 +175,12 @@ func (b *builder) fn(decl *mimdc.FuncDecl) *funcInfo {
 	b.funcs[decl.Name] = fi
 
 	// Lower the body with fresh statement context.
-	savedCur, savedDepth, savedFn, savedLoops := b.cur, b.depth, b.curFn, b.loops
+	savedCur, savedDepth, savedFn, savedLoops, savedPos := b.cur, b.depth, b.curFn, b.loops, b.curPos
 	b.cur, b.depth, b.curFn, b.loops = entry, 0, fi, nil
+	b.at(decl.Pos)
 	b.stmt(decl.Body)
 	b.sealGoto(exit.ID)
-	b.cur, b.depth, b.curFn, b.loops = savedCur, savedDepth, savedFn, savedLoops
+	b.cur, b.depth, b.curFn, b.loops, b.curPos = savedCur, savedDepth, savedFn, savedLoops, savedPos
 	return fi
 }
 
@@ -210,8 +214,22 @@ func (b *builder) ensureCur() {
 	}
 }
 
+// at updates the lowering position; invalid (zero) positions are
+// ignored so synthesized nodes inherit the enclosing construct's.
+func (b *builder) at(pos ir.Pos) {
+	if pos.IsValid() {
+		b.curPos = pos
+	}
+}
+
 func (b *builder) emit(in ir.Instr) {
 	b.ensureCur()
+	if !in.Pos.IsValid() {
+		in.Pos = b.curPos
+	}
+	if !b.cur.Pos.IsValid() {
+		b.cur.Pos = in.Pos
+	}
 	b.cur.Code = append(b.cur.Code, in)
 	b.depth += in.Op.StackDelta(in.Imm)
 }
@@ -230,6 +248,9 @@ func (b *builder) seal(term TermKind, next, fnext int) {
 		panic(fmt.Sprintf("cfg: block %d sealed with stack depth %d, want %d",
 			b.cur.ID, b.depth, want))
 	}
+	if !b.cur.Pos.IsValid() {
+		b.cur.Pos = b.curPos
+	}
 	b.cur.Term = term
 	b.cur.Next = next
 	b.cur.FNext = fnext
@@ -247,7 +268,75 @@ func (b *builder) enter(blk *Block) {
 
 // ---- Statements ------------------------------------------------------------
 
+// stmtPos extracts a statement's source position.
+func stmtPos(s mimdc.Stmt) ir.Pos {
+	switch s := s.(type) {
+	case *mimdc.BlockStmt:
+		return s.Pos
+	case *mimdc.DeclStmt:
+		return s.Pos
+	case *mimdc.EmptyStmt:
+		return s.Pos
+	case *mimdc.ExprStmt:
+		return s.Pos
+	case *mimdc.IfStmt:
+		return s.Pos
+	case *mimdc.WhileStmt:
+		return s.Pos
+	case *mimdc.DoWhileStmt:
+		return s.Pos
+	case *mimdc.ForStmt:
+		return s.Pos
+	case *mimdc.ReturnStmt:
+		return s.Pos
+	case *mimdc.WaitStmt:
+		return s.Pos
+	case *mimdc.SpawnStmt:
+		return s.Pos
+	case *mimdc.HaltStmt:
+		return s.Pos
+	case *mimdc.BreakStmt:
+		return s.Pos
+	case *mimdc.ContinueStmt:
+		return s.Pos
+	}
+	return ir.Pos{}
+}
+
+// exprPos extracts an expression's source position (zero for
+// synthesized nodes such as implicit conversions).
+func exprPos(e mimdc.Expr) ir.Pos {
+	switch e := e.(type) {
+	case *mimdc.IntLit:
+		return e.Pos
+	case *mimdc.FloatLit:
+		return e.Pos
+	case *mimdc.IProc:
+		return e.Pos
+	case *mimdc.NProc:
+		return e.Pos
+	case *mimdc.VarRef:
+		return e.Pos
+	case *mimdc.IndexRef:
+		return e.Pos
+	case *mimdc.RemoteRef:
+		return e.Pos
+	case *mimdc.Unary:
+		return e.Pos
+	case *mimdc.Binary:
+		return e.Pos
+	case *mimdc.Assign:
+		return e.Pos
+	case *mimdc.Cond:
+		return e.Pos
+	case *mimdc.Call:
+		return e.Pos
+	}
+	return ir.Pos{}
+}
+
 func (b *builder) stmt(s mimdc.Stmt) {
+	b.at(stmtPos(s))
 	switch s := s.(type) {
 	case *mimdc.BlockStmt:
 		for _, inner := range s.Stmts {
@@ -256,7 +345,9 @@ func (b *builder) stmt(s mimdc.Stmt) {
 	case *mimdc.DeclStmt:
 		for _, d := range s.Decls {
 			if d.Init != nil {
+				b.at(d.Pos)
 				b.lowerValue(d.Init)
+				b.at(d.Pos)
 				b.storeScalar(d)
 			}
 		}
@@ -355,6 +446,7 @@ func (b *builder) stmt(s mimdc.Stmt) {
 		b.ensureCur()
 		w := b.g.newBlock("wait")
 		w.Barrier = true
+		w.Pos = s.Pos
 		cont := b.g.newBlock("after-wait")
 		b.sealGoto(w.ID)
 		b.enter(w)
@@ -398,6 +490,7 @@ func (b *builder) storeScalar(d *mimdc.VarDecl) {
 // is true and fID when false. Short-circuit operators become control
 // flow, exactly the multiple-exit-arc states of §2.3.
 func (b *builder) lowerCond(e mimdc.Expr, tID, fID int) {
+	b.at(exprPos(e))
 	switch e := e.(type) {
 	case *mimdc.Binary:
 		switch e.Op {
@@ -465,6 +558,7 @@ func (b *builder) lowerEffect(e mimdc.Expr) {
 
 // lowerValue evaluates e, leaving exactly one value on the stack.
 func (b *builder) lowerValue(e mimdc.Expr) {
+	b.at(exprPos(e))
 	switch e := e.(type) {
 	case *mimdc.IntLit:
 		b.emit(ir.Instr{Op: ir.PushC, Imm: e.Val, Ty: ir.Int})
@@ -614,6 +708,7 @@ func (b *builder) lowerAssign(a *mimdc.Assign, wantValue bool) {
 	switch lhs := a.LHS.(type) {
 	case *mimdc.VarRef:
 		b.lowerValue(a.RHS)
+		b.at(a.Pos)
 		if wantValue {
 			b.emit(ir.Instr{Op: ir.Dup})
 		}
@@ -625,6 +720,7 @@ func (b *builder) lowerAssign(a *mimdc.Assign, wantValue bool) {
 		b.lowerValue(a.RHS)
 		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(t), Sym: "$t"})
 		b.lowerValue(lhs.Idx)
+		b.at(a.Pos)
 		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Sym: "$t"})
 		b.emit(ir.Instr{Op: ir.StIndex, Imm: int64(lhs.Decl.Slot), Sym: lhs.Name})
 		if wantValue {
@@ -635,6 +731,7 @@ func (b *builder) lowerAssign(a *mimdc.Assign, wantValue bool) {
 		b.lowerValue(a.RHS)
 		b.emit(ir.Instr{Op: ir.StLocal, Imm: int64(t), Sym: "$t"})
 		b.lowerValue(lhs.PE)
+		b.at(a.Pos)
 		b.emit(ir.Instr{Op: ir.LdLocal, Imm: int64(t), Sym: "$t"})
 		b.emit(ir.Instr{Op: ir.StRemote, Imm: int64(lhs.Decl.Slot), Sym: lhs.Name})
 		if wantValue {

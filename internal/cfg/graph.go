@@ -69,6 +69,10 @@ type Block struct {
 	SpawnNext  int   // Spawn only: entry state of created processes
 	Barrier    bool  // barrier-wait state (§2.6)
 	Label      string
+	// Pos is the source position of the statement the block's code
+	// begins at (for barrier states: the wait statement); diagnostics
+	// anchor here when no finer instruction position applies.
+	Pos ir.Pos
 }
 
 // Cost returns the block's execution time in cycles: code cost plus the

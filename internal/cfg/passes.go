@@ -81,6 +81,9 @@ func straighten(g *Graph) bool {
 				continue
 			}
 			a.Code = append(a.Code, b.Code...)
+			if !a.Pos.IsValid() {
+				a.Pos = b.Pos
+			}
 			a.Term = b.Term
 			a.Next = b.Next
 			a.FNext = b.FNext

@@ -72,6 +72,18 @@ func (s *Schedule) SlotsSaved() int { return s.NaiveSlots - len(s.Slots) }
 // Induce computes a CSI schedule for the given threads. Thread guards
 // must be pairwise disjoint.
 func Induce(threads []Thread) (*Schedule, error) {
+	// Instruction identity here is value identity: two instructions are
+	// the same broadcast iff op/imm/type/symbol agree. Source positions
+	// are diagnostic-only and must not split classes, so work on
+	// canonicalized copies (the schedule's slots carry no positions).
+	threads = append([]Thread(nil), threads...)
+	for i := range threads {
+		code := make([]ir.Instr, len(threads[i].Code))
+		for j, in := range threads[i].Code {
+			code[j] = in.Canon()
+		}
+		threads[i].Code = code
+	}
 	for i := range threads {
 		if threads[i].Guard == nil || threads[i].Guard.Empty() {
 			return nil, fmt.Errorf("csi: thread %d has empty guard", i)

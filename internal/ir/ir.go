@@ -13,6 +13,27 @@ import (
 	"math"
 )
 
+// Pos is a source position (1-based line and column) threaded from the
+// front end through lowering so that diagnostics — in particular the
+// vet analyses of internal/analysis — can point at real source lines.
+// The zero Pos means "no position known".
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position carries real source coordinates.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Before reports whether p precedes q in source order.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
 // Type is the value type of an operand or variable.
 type Type uint8
 
@@ -237,13 +258,23 @@ func (o Op) StackDelta(imm int64) int {
 }
 
 // Instr is one stack instruction. Sym carries the source-level name of
-// the variable for LdLocal/StLocal/etc., used only for diagnostics and
-// the MPL-like emitter.
+// the variable for LdLocal/StLocal/etc., and Pos the source position of
+// the expression that produced the instruction; both exist only for
+// diagnostics and the MPL-like emitter and never affect execution.
 type Instr struct {
 	Op  Op
 	Imm int64
 	Ty  Type
 	Sym string
+	Pos Pos
+}
+
+// Canon returns the instruction with diagnostic-only position stripped,
+// for value-identity comparisons (CSI classes, schedule alignment): two
+// instructions from different source lines are still the same broadcast.
+func (in Instr) Canon() Instr {
+	in.Pos = Pos{}
+	return in
 }
 
 func (in Instr) String() string {

@@ -2,6 +2,7 @@ package mimdc
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -15,24 +16,44 @@ type Lexer struct {
 	errs *ErrorList
 }
 
-// ErrorList accumulates front-end diagnostics.
+// ErrorList accumulates front-end diagnostics. Err() reports them in
+// source order regardless of the order the phases discovered them, so
+// multi-error output is stable under parser and analyzer refactors.
 type ErrorList struct {
-	Errs []error
+	Errs []Error
 }
+
+// Error is one positioned front-end diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
 // Addf records a formatted diagnostic at pos.
 func (el *ErrorList) Addf(pos Pos, format string, args ...any) {
-	el.Errs = append(el.Errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	el.Errs = append(el.Errs, Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
 // Err returns the accumulated diagnostics as a single error, or nil.
+// Diagnostics are sorted by source position (stable, so diagnostics at
+// the same position keep discovery order) and exact duplicates —
+// same position, same message — are dropped.
 func (el *ErrorList) Err() error {
 	if len(el.Errs) == 0 {
 		return nil
 	}
-	msgs := make([]string, len(el.Errs))
-	for i, e := range el.Errs {
-		msgs[i] = e.Error()
+	errs := append([]Error(nil), el.Errs...)
+	sort.SliceStable(errs, func(i, j int) bool { return errs[i].Pos.Before(errs[j].Pos) })
+	seen := make(map[Error]bool, len(errs))
+	msgs := make([]string, 0, len(errs))
+	for _, e := range errs {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		msgs = append(msgs, e.Error())
 	}
 	return fmt.Errorf("%s", strings.Join(msgs, "\n"))
 }
@@ -68,7 +89,7 @@ func (lx *Lexer) advance() byte {
 	return c
 }
 
-func (lx *Lexer) pos() Pos { return Pos{lx.line, lx.col} }
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 func isAlpha(c byte) bool {

@@ -125,10 +125,10 @@ func TestLexBadChar(t *testing.T) {
 
 func TestLexPositions(t *testing.T) {
 	toks := lex(t, "ab\n  cd")
-	if toks[0].Pos != (Pos{1, 1}) {
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
 		t.Errorf("ab at %v, want 1:1", toks[0].Pos)
 	}
-	if toks[1].Pos != (Pos{2, 3}) {
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
 		t.Errorf("cd at %v, want 2:3", toks[1].Pos)
 	}
 	if toks[1].Pos.String() != "2:3" {

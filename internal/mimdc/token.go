@@ -5,7 +5,11 @@
 // statement, and restricted dynamic process creation via spawn/halt.
 package mimdc
 
-import "fmt"
+import (
+	"fmt"
+
+	"msc/internal/ir"
+)
 
 // Kind identifies a lexical token class.
 type Kind uint8
@@ -110,12 +114,10 @@ var keywords = map[string]Kind{
 	"iproc": KwIProc, "nproc": KwNProc,
 }
 
-// Pos is a source position.
-type Pos struct {
-	Line, Col int
-}
-
-func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+// Pos is a source position. It is the IR's position type, aliased so
+// that AST positions flow into lowered instructions and CFG blocks
+// without conversion (see ir.Pos).
+type Pos = ir.Pos
 
 // Token is one lexical token.
 type Token struct {

@@ -113,6 +113,17 @@ func (a *Automaton) Lookup(apc *bitset.Set) (*MetaState, error) {
 	return ms, nil
 }
 
+// RawSuccessors enumerates the distinct aggregate successor sets of a
+// meta-state set exactly as conversion did (§2.3 enumeration under the
+// automaton's own options) — before the §2.6 barrier filtering is
+// applied. An empty aggregate in the result means every member can
+// terminate there. Whole-program checks (internal/analysis) use this
+// to reason about which successors contain barrier waiters, which the
+// filtered transition relation hides.
+func (a *Automaton) RawSuccessors(set *bitset.Set) []*bitset.Set {
+	return successors(a.G, a, set, a.Opt)
+}
+
 // NumStates returns the number of meta states.
 func (a *Automaton) NumStates() int { return len(a.States) }
 

@@ -42,6 +42,9 @@ const (
 	CounterMIMDStates      = "convert.mimd_states"
 	CounterCSISlotsSaved   = "codegen.csi_slots_saved"
 	CounterDispatchEntries = "codegen.dispatch_entries"
+	CounterVetDiags        = "vet.diagnostics"
+	CounterVetErrors       = "vet.errors"
+	CounterVetWarnings     = "vet.warnings"
 )
 
 // Phase names recorded by msc.Compile, in pipeline order.
@@ -52,6 +55,7 @@ const (
 	PhaseSimplify = "simplify"
 	PhaseConvert  = "convert"
 	PhaseCheck    = "check"
+	PhaseVet      = "vet"
 	PhaseCodegen  = "codegen"
 )
 

@@ -19,6 +19,13 @@ func FuzzPipelineEquivalence(f *testing.F) {
 	f.Add(int64(2), false, false, false)
 	f.Add(int64(3), true, false, true)
 	f.Add(int64(99), false, true, false)
+	// Seeds biased toward the static analyzer's interesting shapes:
+	// barrier-heavy control flow, call expansion, and plain straight
+	// line code (constant propagation folds the most there).
+	f.Add(int64(7), true, false, false)
+	f.Add(int64(11), false, false, true)
+	f.Add(int64(42), true, true, false)
+	f.Add(int64(1234), true, false, true)
 	f.Fuzz(func(t *testing.T, seed int64, barriers, floats, calls bool) {
 		src := progen.Source(progen.Params{
 			Seed: seed, Barriers: barriers, Floats: floats, Calls: calls,
@@ -37,6 +44,13 @@ func FuzzPipelineEquivalence(f *testing.F) {
 					continue // §1.2 explosion guard; not a bug
 				}
 				t.Fatalf("compile: %v\n%s", err, src)
+			}
+			// Compile ran the analyzer (it must not panic on any
+			// generated program); its findings must be well-formed.
+			for _, d := range c.Diagnostics {
+				if d.Check == "" || d.Msg == "" {
+					t.Fatalf("malformed diagnostic %+v\n%s", d, src)
+				}
 			}
 			rc := msc.RunConfig{N: n}
 			ref, err := c.RunMIMD(rc)

@@ -1,0 +1,88 @@
+package msc_test
+
+import (
+	"strings"
+	"testing"
+
+	"msc"
+	"msc/internal/harness"
+)
+
+const uninitSrc = `
+void main()
+{
+    poly int x, y;
+    y = x + 1;
+    return;
+}
+`
+
+// TestConfigVet checks the opt-in gate: the same erroneous program
+// compiles without Vet (diagnostics attached) and fails with it.
+func TestConfigVet(t *testing.T) {
+	c, err := msc.Compile(uninitSrc, msc.Config{})
+	if err != nil {
+		t.Fatalf("compile without Vet: %v", err)
+	}
+	var errDiag *msc.Diagnostic
+	for i, d := range c.Diagnostics {
+		if d.Sev == msc.SevError {
+			errDiag = &c.Diagnostics[i]
+		}
+	}
+	if errDiag == nil {
+		t.Fatalf("no error diagnostic attached, got %v", c.Diagnostics)
+	}
+	if errDiag.Check != "uninit" || errDiag.Pos.Line != 5 {
+		t.Errorf("diagnostic = %s, want uninit at line 5", errDiag)
+	}
+
+	if _, err := msc.Compile(uninitSrc, msc.Config{Vet: true}); err == nil {
+		t.Fatal("Compile succeeded with Vet on an erroneous program")
+	} else if !strings.Contains(err.Error(), "vet") || !strings.Contains(err.Error(), "uninit") {
+		t.Errorf("error %q does not mention vet/uninit", err)
+	}
+}
+
+// TestConfigVetCleanSuite checks the zero-false-positive invariant at
+// the API level: every standard workload compiles under Vet.
+func TestConfigVetCleanSuite(t *testing.T) {
+	for _, wl := range harness.Suite() {
+		conf := msc.DefaultConfig()
+		conf.Vet = true
+		c, err := msc.Compile(wl.Source, conf)
+		if err != nil {
+			t.Errorf("%s: %v", wl.Name, err)
+			continue
+		}
+		if c.Stats.VetErrors != 0 {
+			t.Errorf("%s: VetErrors = %d, want 0", wl.Name, c.Stats.VetErrors)
+		}
+		if c.Stats.VetDiagnostics != int64(len(c.Diagnostics)) {
+			t.Errorf("%s: VetDiagnostics = %d, len(Diagnostics) = %d",
+				wl.Name, c.Stats.VetDiagnostics, len(c.Diagnostics))
+		}
+	}
+}
+
+// TestAnalyzeExport checks the library entry point against a compiled
+// program's own artifacts.
+func TestAnalyzeExport(t *testing.T) {
+	c, err := msc.Compile(harness.Divergent, msc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := msc.Analyze(c.Graph, c.Automaton)
+	for _, d := range diags {
+		if d.Sev == msc.SevError {
+			t.Errorf("unexpected error on clean workload: %s", d)
+		}
+		if d.Check == "" || d.Msg == "" {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+	}
+	// CFG-only analysis also works (no automaton).
+	if got := msc.Analyze(c.Graph, nil); len(got) > len(diags) {
+		t.Errorf("CFG-only analysis produced more diagnostics (%d) than the full suite (%d)", len(got), len(diags))
+	}
+}
