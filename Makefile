@@ -28,8 +28,14 @@ vet-examples:
 cover:
 	go test -cover ./...
 
+# Full benchmark run: the Go benchmark suite (wall/alloc numbers), a
+# fresh machine-readable report, and a regression gate against the
+# pinned baseline (deterministic metrics hard-fail beyond 10%; wall
+# times warn only). See docs/PERFORMANCE.md.
 bench:
 	go test -bench=. -benchmem ./...
+	go run ./cmd/mscbench -json BENCH_current.json
+	go run ./cmd/benchdiff BENCH_seed.json BENCH_current.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=60s ./internal/mimdc/

@@ -66,6 +66,12 @@ type Config struct {
 	Hash bool
 	// MaxStates guards the meta-state explosion (default 65536).
 	MaxStates int
+	// ConvertWorkers bounds the conversion worker pool that expands the
+	// meta-state frontier in parallel: 0 uses all of GOMAXPROCS, 1
+	// forces the sequential path. The automaton is byte-identical for
+	// any value (see docs/PERFORMANCE.md); the knob only trades compile
+	// wall-clock for cores.
+	ConvertWorkers int
 	// Vet fails Compile when the static analyzer finds error-severity
 	// diagnostics (definite use-before-init, barrier deadlock). The
 	// analyzer runs and Compiled.Diagnostics is populated regardless;
@@ -90,6 +96,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxStates < 0 {
 		return fmt.Errorf("msc: Config.MaxStates must be >= 0 (0 means the default of 65536), got %d", c.MaxStates)
+	}
+	if c.ConvertWorkers < 0 {
+		return fmt.Errorf("msc: Config.ConvertWorkers must be >= 0 (0 means GOMAXPROCS), got %d", c.ConvertWorkers)
 	}
 	return nil
 }
@@ -255,6 +264,7 @@ func Compile(source string, conf Config) (*Compiled, error) {
 	if conf.MaxStates != 0 {
 		mopt.MaxStates = conf.MaxStates
 	}
+	mopt.Workers = conf.ConvertWorkers
 	mopt.Metrics = rec
 	stop = rec.Phase(obs.PhaseConvert)
 	a, err := metastate.Convert(g, mopt)

@@ -12,6 +12,7 @@ import (
 	"msc/internal/harness"
 	"msc/internal/hashgen"
 	metastate "msc/internal/msc"
+	"msc/internal/progen"
 )
 
 // BenchmarkF1CFGConstruction: Figure 1 — building the 4-state MIMD
@@ -357,4 +358,86 @@ func BenchmarkA3SubsetMerge(b *testing.B) {
 			b.ReportMetric(float64(states), "metastates")
 		})
 	}
+}
+
+// benchRandGraph compiles a randomized progen program (barriers,
+// floats, calls, depth-4 nesting) as a conversion stressor.
+func benchRandGraph(b *testing.B, seed int64) *msc.Compiled {
+	b.Helper()
+	src := progen.Source(progen.Params{
+		Seed: seed, Barriers: true, Floats: true, Calls: true,
+		MaxDepth: 4, MaxStmts: 8, Vars: 6, LoopTrip: 4,
+	})
+	return msc.MustCompile(src, msc.DefaultConfig())
+}
+
+// BenchmarkP1ConvertLarge: the conversion core on a large base-mode
+// workload (6 sequential divergent loops, ~1.5k meta states), sequential
+// vs worker pool. The parallel variant must produce the identical
+// automaton (TestParallelDeterministicCorpus), so this measures pure
+// wall-clock of the concurrent frontier.
+func BenchmarkP1ConvertLarge(b *testing.B) {
+	g := msc.MustCompile(harness.SeqLoops(6, false), msc.Config{}).Graph
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := metastate.DefaultOptions(false)
+			opt.Workers = mode.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			var states int
+			for i := 0; i < b.N; i++ {
+				a := metastate.MustConvert(g, opt)
+				states = a.NumStates()
+			}
+			b.ReportMetric(float64(states), "metastates")
+		})
+	}
+}
+
+// BenchmarkP2ConvertToGuard: throughput into the §1.2 explosion guard —
+// a random program whose base conversion exceeds MaxStates, so the
+// benchmark measures how fast the converter fills 16k states and stops.
+func BenchmarkP2ConvertToGuard(b *testing.B) {
+	g := benchRandGraph(b, 9).Graph
+	opt := metastate.DefaultOptions(false)
+	opt.MaxStates = 1 << 14
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metastate.Convert(g, opt); err == nil {
+			b.Fatal("expected explosion guard")
+		}
+	}
+	b.ReportMetric(float64(opt.MaxStates), "metastates")
+}
+
+// BenchmarkP3ConvertRandomCompressed: compressed conversion plus subset
+// merging on a 379-block random program.
+func BenchmarkP3ConvertRandomCompressed(b *testing.B) {
+	g := benchRandGraph(b, 19).Graph
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states int
+	for i := 0; i < b.N; i++ {
+		a := metastate.MustConvert(g, metastate.DefaultOptions(true))
+		states = a.NumStates()
+	}
+	b.ReportMetric(float64(states), "metastates")
+}
+
+// BenchmarkP4TimeSplitLarge: §2.4 warm restarts — a 60-multiply
+// imbalance forces a long split/restart chain, exercising interner
+// reuse, meta-state recycling, and contribution-memo invalidation.
+func BenchmarkP4TimeSplitLarge(b *testing.B) {
+	src := harness.Imbalance(60)
+	b.ReportAllocs()
+	var splits int
+	for i := 0; i < b.N; i++ {
+		c := msc.MustCompile(src, msc.Config{TimeSplit: true})
+		splits = c.Automaton.Splits
+	}
+	b.ReportMetric(float64(splits), "splits")
 }

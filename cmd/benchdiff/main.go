@@ -1,0 +1,139 @@
+// Command benchdiff compares two mscbench -json reports and fails when
+// the new one regresses. The deterministic metrics — meta states, MIMD
+// states, and the cycle counts of all three engines — gate hard: any
+// workload where the new value is more than the tolerance worse than
+// the old exits nonzero. Compile-phase wall times are machine noise and
+// only warn.
+//
+// Usage:
+//
+//	benchdiff [-tol 10] OLD.json NEW.json
+//
+// The repository pins BENCH_seed.json as the baseline; `make bench`
+// regenerates the current report and runs this comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"msc/internal/harness"
+)
+
+func main() {
+	tol := flag.Float64("tol", 10, "regression tolerance in percent for deterministic metrics")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := readReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions, notes := diff(old, cur, *tol)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	for _, r := range regressions {
+		fmt.Println("REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%% (%s -> %s)\n",
+			len(regressions), *tol, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok, %d workload(s) within %.0f%% (%s -> %s)\n",
+		len(cur.Results), *tol, flag.Arg(0), flag.Arg(1))
+}
+
+func readReport(path string) (*harness.BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// metric is one gated comparison column; lower is better for all of
+// them, so a regression is new > old * (1 + tol/100).
+type metric struct {
+	name string
+	get  func(*harness.BenchResult) int64
+}
+
+var metrics = []metric{
+	{"meta_states", func(r *harness.BenchResult) int64 { return int64(r.MetaStates) }},
+	{"mimd_states", func(r *harness.BenchResult) int64 { return int64(r.MIMDStates) }},
+	{"simd_cycles", func(r *harness.BenchResult) int64 { return r.SIMDCycles }},
+	{"mimd_cycles", func(r *harness.BenchResult) int64 { return r.MIMDCycles }},
+	{"interp_cycles", func(r *harness.BenchResult) int64 { return r.InterpCycles }},
+}
+
+// diff compares cur against old and returns hard regressions and
+// informational notes. A workload present in old but missing from cur
+// is a regression (coverage loss); a new workload is a note.
+func diff(old, cur *harness.BenchReport, tol float64) (regressions, notes []string) {
+	curBy := make(map[string]*harness.BenchResult, len(cur.Results))
+	for i := range cur.Results {
+		curBy[cur.Results[i].Name] = &cur.Results[i]
+	}
+	oldSeen := make(map[string]bool, len(old.Results))
+	for i := range old.Results {
+		o := &old.Results[i]
+		oldSeen[o.Name] = true
+		c, ok := curBy[o.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: workload missing from new report", o.Name))
+			continue
+		}
+		for _, m := range metrics {
+			ov, cv := m.get(o), m.get(c)
+			if ov <= 0 {
+				continue
+			}
+			pct := 100 * float64(cv-ov) / float64(ov)
+			switch {
+			case pct > tol:
+				regressions = append(regressions, fmt.Sprintf("%s: %s %d -> %d (%+.1f%%)", o.Name, m.name, ov, cv, pct))
+			case pct < 0:
+				notes = append(notes, fmt.Sprintf("%s: %s improved %d -> %d (%.1f%%)", o.Name, m.name, ov, cv, pct))
+			}
+		}
+		// Wall times vary run to run; surface large swings without gating.
+		if o.Compile != nil && c.Compile != nil {
+			ow, cw := phaseTotal(o), phaseTotal(c)
+			if ow > 0 {
+				if pct := 100 * float64(cw-ow) / float64(ow); pct > 2*tol {
+					notes = append(notes, fmt.Sprintf("%s: compile wall %dns -> %dns (%+.1f%%, warn-only)", o.Name, ow, cw, pct))
+				}
+			}
+		}
+	}
+	for i := range cur.Results {
+		if !oldSeen[cur.Results[i].Name] {
+			notes = append(notes, fmt.Sprintf("%s: new workload (no baseline)", cur.Results[i].Name))
+		}
+	}
+	return regressions, notes
+}
+
+func phaseTotal(r *harness.BenchResult) int64 {
+	var total int64
+	for _, p := range r.Compile.PhaseWall {
+		total += int64(p.Wall)
+	}
+	return total
+}

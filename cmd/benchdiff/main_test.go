@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"msc"
+	"msc/internal/harness"
+	"msc/internal/obs"
+)
+
+func report(results ...harness.BenchResult) *harness.BenchReport {
+	return &harness.BenchReport{Config: "test", Results: results}
+}
+
+func row(name string, meta int, simd int64) harness.BenchResult {
+	return harness.BenchResult{
+		Name: name, Width: 16,
+		MIMDStates: 4, MetaStates: meta,
+		SIMDCycles: simd, MIMDCycles: 50, InterpCycles: 400,
+	}
+}
+
+func TestDiffWithinToleranceIsClean(t *testing.T) {
+	old := report(row("a", 10, 100), row("b", 20, 200))
+	cur := report(row("a", 10, 105), row("b", 20, 200)) // +5% < 10%
+	regs, _ := diff(old, cur, 10)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestDiffFlagsCycleRegression(t *testing.T) {
+	old := report(row("a", 10, 100))
+	cur := report(row("a", 10, 115)) // +15% > 10%
+	regs, _ := diff(old, cur, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "simd_cycles") {
+		t.Fatalf("want one simd_cycles regression, got %v", regs)
+	}
+}
+
+func TestDiffFlagsStateGrowth(t *testing.T) {
+	old := report(row("a", 10, 100))
+	cur := report(row("a", 12, 100)) // +20% meta states
+	regs, _ := diff(old, cur, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "meta_states") {
+		t.Fatalf("want one meta_states regression, got %v", regs)
+	}
+}
+
+func TestDiffImprovementIsNoteOnly(t *testing.T) {
+	old := report(row("a", 10, 100))
+	cur := report(row("a", 5, 40))
+	regs, notes := diff(old, cur, 10)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+	if len(notes) == 0 {
+		t.Fatalf("improvement produced no notes")
+	}
+}
+
+func TestDiffMissingWorkloadIsRegression(t *testing.T) {
+	old := report(row("a", 10, 100), row("gone", 10, 100))
+	cur := report(row("a", 10, 100), row("fresh", 10, 100))
+	regs, notes := diff(old, cur, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "gone") {
+		t.Fatalf("want missing-workload regression, got %v", regs)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "fresh") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new workload not noted: %v", notes)
+	}
+}
+
+func TestDiffWallTimeWarnsOnly(t *testing.T) {
+	slow := row("a", 10, 100)
+	slow.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 10_000_000}}}
+	fast := row("a", 10, 100)
+	fast.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 1_000_000}}}
+	regs, notes := diff(report(fast), report(slow), 10)
+	if len(regs) != 0 {
+		t.Fatalf("wall-time swing gated hard: %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "warn-only") {
+		t.Fatalf("want one warn-only note, got %v", notes)
+	}
+}

@@ -7,6 +7,7 @@ package bitset
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"strings"
 )
 
@@ -143,6 +144,62 @@ func (s *Set) UnionWith(t *Set) {
 	}
 }
 
+// setLen resizes s.words to exactly n entries, reusing the backing array
+// when it is large enough. Newly exposed entries are NOT cleared; every
+// caller overwrites them.
+func (s *Set) setLen(n int) {
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+		return
+	}
+	s.words = s.words[:n]
+}
+
+// Reset empties the set in place, keeping the backing array for reuse.
+func (s *Set) Reset() {
+	s.words = s.words[:0]
+}
+
+// CopyFrom makes s an exact copy of t, reusing s's backing array.
+func (s *Set) CopyFrom(t *Set) {
+	s.setLen(len(t.words))
+	copy(s.words, t.words)
+}
+
+// UnionOf makes s = a ∪ b, reusing s's backing array. s must not alias
+// a or b.
+func (s *Set) UnionOf(a, b *Set) {
+	longer, shorter := a.words, b.words
+	if len(shorter) > len(longer) {
+		longer, shorter = shorter, longer
+	}
+	s.setLen(len(longer))
+	copy(s.words, longer)
+	for i, w := range shorter {
+		s.words[i] |= w
+	}
+}
+
+// IntersectOf makes s = a ∩ b, reusing s's backing array. s must not
+// alias a or b.
+func (s *Set) IntersectOf(a, b *Set) {
+	n := min(len(a.words), len(b.words))
+	s.setLen(n)
+	for i := 0; i < n; i++ {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// MinusOf makes s = a − b, reusing s's backing array. s must not alias
+// a or b.
+func (s *Set) MinusOf(a, b *Set) {
+	s.setLen(len(a.words))
+	copy(s.words, a.words)
+	for i := 0; i < len(s.words) && i < len(b.words); i++ {
+		s.words[i] &^= b.words[i]
+	}
+}
+
 // Equal reports whether s and t contain exactly the same elements.
 func (s *Set) Equal(t *Set) bool {
 	longer, shorter := s.words, t.words
@@ -252,6 +309,80 @@ func (s *Set) Key() string {
 		}
 	}
 	return b.String()
+}
+
+// FNV-1a parameters, applied one 64-bit word at a time instead of per
+// byte: meta-state conversion hashes millions of sets, and word-at-a-time
+// folding keeps the cost at one xor+multiply per 64 states.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the set's contents. Equal sets hash
+// equally regardless of backing-array capacity (trailing zero words are
+// ignored). This is the hot-path replacement for hashing Key(): no
+// allocation, one multiply per word.
+func (s *Set) Hash() uint64 {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	h := uint64(fnvOffset64)
+	for _, w := range s.words[:n] {
+		h ^= w
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Compare orders sets exactly as strings.Compare orders their Key()
+// serializations (the canonical order used for transition sorting and
+// golden output), without materializing the keys: -1, 0, or +1. Key()
+// writes each word little-endian, so byte-lexicographic order within a
+// word is the numeric order of the byte-reversed word.
+func (s *Set) Compare(t *Set) int {
+	ns, nt := len(s.words), len(t.words)
+	for ns > 0 && s.words[ns-1] == 0 {
+		ns--
+	}
+	for nt > 0 && t.words[nt-1] == 0 {
+		nt--
+	}
+	n := min(ns, nt)
+	for i := 0; i < n; i++ {
+		if s.words[i] != t.words[i] {
+			if bits.ReverseBytes64(s.words[i]) < bits.ReverseBytes64(t.words[i]) {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case ns < nt:
+		return -1
+	case ns > nt:
+		return 1
+	}
+	return 0
+}
+
+// Sort sorts sets into the canonical Compare order (identical to sorting
+// by Key(), without the key allocations).
+func Sort(ss []*Set) {
+	slices.SortFunc(ss, (*Set).Compare)
+}
+
+// ForEach calls f for each element in increasing order. It is the
+// allocation-free alternative to ranging over Elems().
+func (s *Set) ForEach(f func(id int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
 }
 
 // String formats the set as {a,b,c} with elements in increasing order.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -222,5 +223,101 @@ func BenchmarkKey(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = x.Key()
+	}
+}
+
+func TestQuickHashMatchesEqual(t *testing.T) {
+	if err := quick.Check(func(ra, rb []uint16) bool {
+		a, b := Of(randomIDs(ra)...), Of(randomIDs(rb)...)
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			return false
+		}
+		// Capacity padding must not change the hash.
+		c := a.Clone()
+		c.grow(len(c.words) + 3)
+		return c.Hash() == a.Hash()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareMatchesKeyOrder(t *testing.T) {
+	if err := quick.Check(func(ra, rb []uint16) bool {
+		a, b := Of(randomIDs(ra)...), Of(randomIDs(rb)...)
+		want := strings.Compare(a.Key(), b.Key())
+		if a.Compare(b) != want || b.Compare(a) != -want {
+			return false
+		}
+		// Padding must not change the order either.
+		c := a.Clone()
+		c.grow(len(c.words) + 2)
+		return c.Compare(b) == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortMatchesKeyOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var ss []*Set
+	for i := 0; i < 100; i++ {
+		s := New(0)
+		for j := 0; j < r.Intn(8); j++ {
+			s.Add(r.Intn(200))
+		}
+		ss = append(ss, s)
+	}
+	byKey := append([]*Set(nil), ss...)
+	sort.Slice(byKey, func(i, j int) bool { return byKey[i].Key() < byKey[j].Key() })
+	Sort(ss)
+	for i := range ss {
+		if !ss[i].Equal(byKey[i]) {
+			t.Fatalf("Sort order diverges from Key order at %d: %s vs %s", i, ss[i], byKey[i])
+		}
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a, b := Of(1, 2, 65, 130), Of(2, 3, 65)
+	dst := New(0)
+	dst.UnionOf(a, b)
+	if !dst.Equal(a.Union(b)) {
+		t.Fatalf("UnionOf = %s, want %s", dst, a.Union(b))
+	}
+	// Reuse with a now-larger backing array: stale high words must clear.
+	dst.UnionOf(Of(1), Of(2))
+	if !dst.Equal(Of(1, 2)) {
+		t.Fatalf("UnionOf reuse = %s, want {1,2}", dst)
+	}
+	dst.IntersectOf(a, b)
+	if !dst.Equal(a.Intersect(b)) {
+		t.Fatalf("IntersectOf = %s, want %s", dst, a.Intersect(b))
+	}
+	dst.MinusOf(a, b)
+	if !dst.Equal(a.Minus(b)) {
+		t.Fatalf("MinusOf = %s, want %s", dst, a.Minus(b))
+	}
+	dst.CopyFrom(a)
+	if !dst.Equal(a) {
+		t.Fatalf("CopyFrom = %s, want %s", dst, a)
+	}
+	dst.Reset()
+	if !dst.Empty() || dst.Hash() != New(0).Hash() {
+		t.Fatalf("Reset left elements behind: %s", dst)
+	}
+}
+
+func TestForEachMatchesElems(t *testing.T) {
+	s := Of(0, 7, 63, 64, 129)
+	var got []int
+	s.ForEach(func(id int) { got = append(got, id) })
+	want := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
 	}
 }

@@ -146,6 +146,9 @@ func lowerBound(threads []Thread) int {
 type node struct {
 	instr ir.Instr
 	guard *bitset.Set
+	// id is the node's index in graph.nodes (stable across merges; dead
+	// nodes keep theirs), used to address reachability bitmaps.
+	id int
 	// seq[t] is the node's position in thread t's chain, or -1.
 	seq  []int
 	dead bool
@@ -223,7 +226,7 @@ func (g *graph) alignThread(order []*node, t int, th Thread) []*node {
 }
 
 func (g *graph) newNode(in ir.Instr, guard *bitset.Set) *node {
-	nd := &node{instr: in, guard: guard.Clone(), seq: make([]int, len(g.threads))}
+	nd := &node{instr: in, guard: guard.Clone(), id: len(g.nodes), seq: make([]int, len(g.threads))}
 	for i := range nd.seq {
 		nd.seq[i] = -1
 	}
@@ -242,33 +245,57 @@ func (g *graph) succs(nd *node) []*node {
 	return out
 }
 
-// reaches reports whether a path of precedence edges leads from a to b.
-func (g *graph) reaches(a, b *node) bool {
+// reachability is the transitive closure of the precedence DAG as one
+// bitmap per node: reach[a.id] has bit b.id set iff a path of precedence
+// edges leads from a to b (excluding a itself). improve recomputes it
+// once per merge instead of running a DFS per candidate pair — the old
+// per-query DFS made each improvement round quadratic in pairs times
+// linear in graph size.
+type reachability struct {
+	words int
+	bits  [][]uint64
+}
+
+func (g *graph) closure() *reachability {
+	n := len(g.nodes)
+	r := &reachability{words: (n + 63) / 64, bits: make([][]uint64, n)}
+	var dfs func(nd *node) []uint64
+	dfs = func(nd *node) []uint64 {
+		if r.bits[nd.id] != nil {
+			return r.bits[nd.id]
+		}
+		b := make([]uint64, r.words)
+		r.bits[nd.id] = b // written before recursing; sound on a DAG
+		for _, s := range g.succs(nd) {
+			b[s.id/64] |= 1 << (uint(s.id) % 64)
+			for i, w := range dfs(s) {
+				b[i] |= w
+			}
+		}
+		return b
+	}
+	for _, nd := range g.nodes {
+		if !nd.dead {
+			dfs(nd)
+		}
+	}
+	return r
+}
+
+// reaches reports whether a path of precedence edges leads from a to b
+// (a == b counts as reached, matching the old DFS helper).
+func (r *reachability) reaches(a, b *node) bool {
 	if a == b {
 		return true
 	}
-	seen := map[*node]bool{a: true}
-	stack := []*node{a}
-	for len(stack) > 0 {
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, s := range g.succs(nd) {
-			if s == b {
-				return true
-			}
-			if !seen[s] {
-				seen[s] = true
-				stack = append(stack, s)
-			}
-		}
-	}
-	return false
+	return r.bits[a.id][b.id/64]>>(uint(b.id)%64)&1 == 1
 }
 
 // improve is the permutation-in-range search: repeatedly merge the most
 // expensive pair of identical, guard-disjoint, order-independent slots.
 func (g *graph) improve() {
 	for {
+		reach := g.closure()
 		var bestA, bestB *node
 		bestCost := 0
 		for i, a := range g.nodes {
@@ -282,7 +309,7 @@ func (g *graph) improve() {
 				if a.guard.Intersects(b.guard) {
 					continue
 				}
-				if g.reaches(a, b) || g.reaches(b, a) {
+				if reach.reaches(a, b) || reach.reaches(b, a) {
 					continue
 				}
 				bestA, bestB = a, b
@@ -292,7 +319,9 @@ func (g *graph) improve() {
 		if bestA == nil {
 			return
 		}
-		// Merge bestB into bestA.
+		// Merge bestB into bestA. The merge changes the precedence
+		// relation (bestA inherits bestB's chain positions), so the
+		// closure is recomputed on the next round.
 		bestA.guard = bestA.guard.Union(bestB.guard)
 		for t, pos := range bestB.seq {
 			if pos >= 0 {

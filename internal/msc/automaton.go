@@ -9,8 +9,8 @@ package msc
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"msc/internal/bitset"
 	"msc/internal/cfg"
@@ -58,7 +58,15 @@ type Automaton struct {
 	// meta-state sets and dispatch must accept covering supersets.
 	OverApprox bool
 
-	byKey map[string]int
+	// index is the hash-consed set→ID index built by conversion (safe
+	// for concurrent read-only lookups); memo carries the per-block
+	// contribution memo so post-hoc queries (RawSuccessors, Check) reuse
+	// the conversion's work.
+	index *internTable
+	memo  *contribMemo
+
+	expMu sync.Mutex
+	exp   *expander
 }
 
 // State returns the meta state with the given ID, or nil.
@@ -72,7 +80,10 @@ func (a *Automaton) State(id int) *MetaState {
 // Find returns the meta state with exactly the given MIMD state set, or
 // nil.
 func (a *Automaton) Find(set *bitset.Set) *MetaState {
-	if id, ok := a.byKey[set.Key()]; ok {
+	if a.index == nil {
+		return nil
+	}
+	if id, ok := a.index.lookup(set.Hash(), set, a.States); ok {
 		return a.States[id]
 	}
 	return nil
@@ -121,7 +132,17 @@ func (a *Automaton) Lookup(apc *bitset.Set) (*MetaState, error) {
 // to reason about which successors contain barrier waiters, which the
 // filtered transition relation hides.
 func (a *Automaton) RawSuccessors(set *bitset.Set) []*bitset.Set {
-	return successors(a.G, a, set, a.Opt)
+	a.expMu.Lock()
+	defer a.expMu.Unlock()
+	if a.exp == nil {
+		memo := a.memo
+		if memo == nil {
+			memo = &contribMemo{}
+			memo.update(a.G, a.Barriers, a.Opt)
+		}
+		a.exp = newExpander(a.G, a.Barriers, a.Opt, memo, nil)
+	}
+	return a.exp.expand(set).raw
 }
 
 // NumStates returns the number of meta states.
@@ -241,11 +262,16 @@ func (a *Automaton) DotHeat(title string, share []float64) string {
 }
 
 // sortSuccs orders a transition list deterministically by the
-// destination sets' canonical keys and removes duplicates.
+// destination sets' canonical keys and removes duplicates. Compare
+// reproduces the Key() string order without materializing keys, and the
+// transition lists are short, so an insertion sort avoids the
+// sort.Slice closure allocations on the conversion hot path.
 func (a *Automaton) sortSuccs(ts []int) []int {
-	sort.Slice(ts, func(i, j int) bool {
-		return a.States[ts[i]].Set.Key() < a.States[ts[j]].Set.Key()
-	})
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && a.States[ts[j]].Set.Compare(a.States[ts[j-1]].Set) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
 	out := ts[:0]
 	for i, t := range ts {
 		if i > 0 && t == out[len(out)-1] {

@@ -1,6 +1,24 @@
 package msc
 
-import "fmt"
+import (
+	"fmt"
+
+	"msc/internal/bitset"
+)
+
+// barrierSync implements the §2.6 filter: if every MIMD state in s is a
+// barrier-wait state, all processors have arrived and the barrier
+// releases (the all-barrier meta state is entered); otherwise the
+// barrier states are removed — those PEs wait while the rest proceed.
+// (The conversion hot path inlines this with scratch reuse in
+// converter.commit; this allocating form serves the checker.)
+func barrierSync(s, barriers *bitset.Set) *bitset.Set {
+	waits := s.Intersect(barriers)
+	if waits.Equal(s) {
+		return waits
+	}
+	return s.Minus(waits)
+}
 
 // Check validates the structural invariants of a converted automaton:
 //
@@ -56,7 +74,7 @@ func Check(a *Automaton) error {
 	// confirm each filtered target is a recorded transition. With
 	// MergeSubsets, a superset target is acceptable.
 	for _, s := range a.States {
-		for _, raw := range successors(a.G, a, s.Set, a.Opt) {
+		for _, raw := range a.RawSuccessors(s.Set) {
 			if raw.Empty() {
 				if !s.Exit && !a.Opt.MergeSubsets {
 					return fmt.Errorf("msc: ms%d can complete but has no exit flag", s.ID)

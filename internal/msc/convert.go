@@ -2,7 +2,9 @@ package msc
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"msc/internal/bitset"
 	"msc/internal/cfg"
@@ -36,20 +38,34 @@ type Options struct {
 	// time.
 	BarrierExact bool
 	// MaxStates bounds the automaton size (the §1.2 S!/(S−N)! explosion
-	// guard). MaxRestarts bounds time-splitting restarts.
+	// guard). MaxRestarts bounds time-splitting restarts; its default is
+	// maxRestartsDefault whether the Options came from DefaultOptions or
+	// from a zero value.
 	MaxStates   int
 	MaxRestarts int
 	// MaxRetSubsets bounds exact enumeration of return-site subsets for
 	// multiway return states; beyond it the converter falls back to the
 	// compressed all-targets contribution.
 	MaxRetSubsets int
+	// Workers bounds the frontier-expansion worker pool: 1 forces the
+	// sequential path, 0 uses GOMAXPROCS. Any value yields a
+	// byte-identical automaton (see docs/PERFORMANCE.md for the
+	// determinism argument); Workers only trades wall-clock for cores.
+	Workers int
 	// Metrics, when non-nil, receives conversion counters: meta states
 	// explored (interned across every restart attempt), work-list
-	// high-water mark, barrier-filtered aggregates, and subset-merged
-	// states. All recording is nil-safe, so the hook costs nothing when
-	// absent.
+	// high-water mark, barrier-filtered aggregates, subset-merged
+	// states, and the interner/memo/parallelism counters of the
+	// conversion core. All recording is nil-safe, so the hook costs
+	// nothing when absent.
 	Metrics *obs.Recorder
 }
+
+// maxRestartsDefault is the single source of truth for the §2.4 restart
+// budget: DefaultOptions and fillDefaults must agree, or zero-valued
+// Options would silently convert under a different budget than the
+// documented default.
+const maxRestartsDefault = 16384
 
 // DefaultOptions returns the paper-faithful defaults for the given
 // conversion flavor.
@@ -60,7 +76,7 @@ func DefaultOptions(compress bool) Options {
 		SplitDelta:    4,
 		SplitPercent:  75,
 		MaxStates:     1 << 16,
-		MaxRestarts:   16384,
+		MaxRestarts:   maxRestartsDefault,
 		MaxRetSubsets: 10,
 	}
 }
@@ -76,12 +92,21 @@ func (o *Options) fillDefaults() {
 		o.MaxStates = 1 << 16
 	}
 	if o.MaxRestarts == 0 {
-		o.MaxRestarts = 1024
+		o.MaxRestarts = maxRestartsDefault
 	}
 	if o.MaxRetSubsets == 0 {
 		o.MaxRetSubsets = 10
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 }
+
+// parallelFrontierMin gates the worker pool: frontiers smaller than this
+// expand inline, so tiny conversions never pay goroutine overhead. A
+// package variable so the determinism property test can force the
+// parallel path onto small corpora.
+var parallelFrontierMin = 32
 
 // Convert builds the meta-state automaton for a MIMD state graph. The
 // graph is cloned first; when time splitting runs, the automaton's G
@@ -93,12 +118,12 @@ func Convert(g *cfg.Graph, opt Options) (*Automaton, error) {
 		// does not cover the aggregates its subsumed subsets produced.
 		return nil, fmt.Errorf("msc: MergeSubsets requires Compress")
 	}
-	work := g.Clone()
+	c := newConverter(g.Clone(), opt)
 
 	restarts := 0
 	splits := 0
 	for {
-		a, didSplit, err := convertOnce(work, opt)
+		a, didSplit, err := c.convertOnce()
 		if err != nil {
 			return nil, err
 		}
@@ -106,16 +131,17 @@ func Convert(g *cfg.Graph, opt Options) (*Automaton, error) {
 			a.Splits = splits
 			a.Restarts = restarts
 			if opt.MergeSubsets {
-				mergeSubsets(a)
+				c.mergeSubsets(a)
 			}
-			opt.Metrics.Add(obs.CounterSplits, int64(splits))
-			opt.Metrics.Add(obs.CounterRestarts, int64(restarts))
-			opt.Metrics.Set(obs.CounterMetaStates, int64(len(a.States)))
-			opt.Metrics.Set(obs.CounterMIMDStates, int64(a.G.NumBlocks()))
+			c.splits, c.restarts = int64(splits), int64(restarts)
+			c.flushMetrics(a)
 			return a, nil
 		}
 		// §2.4: splitting changed the MIMD graph, so the construction of
 		// the meta-state automaton is restarted to ensure consistency.
+		// The restart is warm: the interner keeps its table capacity,
+		// recycled meta states keep their sets, and the contribution
+		// memo keeps every entry except the blocks the split mutated.
 		splits++
 		restarts++
 		if restarts > opt.MaxRestarts {
@@ -133,230 +159,327 @@ func MustConvert(g *cfg.Graph, opt Options) *Automaton {
 	return a
 }
 
-// convertOnce runs one pass of meta-state conversion. If time splitting
-// decides to split a MIMD state it mutates g and returns didSplit=true
-// (the caller restarts).
-func convertOnce(g *cfg.Graph, opt Options) (a *Automaton, didSplit bool, err error) {
-	barriers := bitset.New(len(g.Blocks))
-	for _, b := range g.Blocks {
+// converter carries the state that survives §2.4 restarts (the warm
+// part: intern-table capacity, contribution memo, recycled meta states,
+// expander scratch) plus the per-pass automaton under construction.
+type converter struct {
+	g   *cfg.Graph
+	opt Options
+
+	barriers *bitset.Set
+	memo     contribMemo
+	itab     internTable
+	pool     setPool
+	exps     []*expander // exps[0] drives sequential generations
+	msFree   []*MetaState
+
+	// per-pass state
+	a      *Automaton
+	curIdx int // index of the state being committed (-1 before the loop)
+
+	// waits/scratch are commit-step scratch for the §2.6 filter.
+	waits, scratch *bitset.Set
+
+	// batched counters, flushed to opt.Metrics once per Convert
+	explored, internHits, filtered int64
+	memoHits, parallelGens         int64
+	worklistHigh                   int64
+	mergeCandidates                int64
+	splits, restarts               int64
+}
+
+func newConverter(g *cfg.Graph, opt Options) *converter {
+	c := &converter{
+		g:       g,
+		opt:     opt,
+		waits:   bitset.New(len(g.Blocks)),
+		scratch: bitset.New(len(g.Blocks)),
+	}
+	c.exps = append(c.exps, newExpander(g, nil, opt, &c.memo, &c.pool))
+	return c
+}
+
+// beginPass prepares per-pass state: the barrier set and contribution
+// memo reflect the (possibly re-split) graph, the interner is emptied
+// but keeps its capacity, and discarded meta states are recycled.
+func (c *converter) beginPass() {
+	barriers := bitset.New(len(c.g.Blocks))
+	for _, b := range c.g.Blocks {
 		if b != nil && b.Barrier {
 			barriers.Add(b.ID)
 		}
 	}
+	c.barriers = barriers
+	c.memo.update(c.g, barriers, c.opt)
+	c.itab.reset()
+	for _, e := range c.exps {
+		e.barriers = barriers
+	}
 
-	a = &Automaton{
-		G:        g,
+	var states []*MetaState
+	if c.a != nil {
+		// The previous pass's automaton was discarded by a restart:
+		// recycle its states and keep the slice capacity.
+		c.msFree = append(c.msFree, c.a.States...)
+		states = c.a.States[:0]
+	}
+	c.a = &Automaton{
+		G:        c.g,
 		Barriers: barriers,
-		Opt:      opt,
-		byKey:    make(map[string]int),
+		Opt:      c.opt,
+		States:   states,
+		index:    &c.itab,
+		memo:     &c.memo,
 	}
+	c.curIdx = -1
+}
 
-	// intern returns the meta state ID for set, creating it if new and
-	// pushing it on the worklist.
-	var work []int
-	intern := func(set *bitset.Set) (int, error) {
-		key := set.Key()
-		if id, ok := a.byKey[key]; ok {
-			return id, nil
-		}
-		if len(a.States) >= opt.MaxStates {
-			return 0, fmt.Errorf("msc: meta-state space exceeded %d states (see Options.MaxStates)", opt.MaxStates)
-		}
-		ms := &MetaState{ID: len(a.States), Set: set.Clone()}
-		a.States = append(a.States, ms)
-		a.byKey[key] = ms.ID
-		work = append(work, ms.ID)
-		opt.Metrics.Add(obs.CounterMetaExplored, 1)
-		opt.Metrics.Max(obs.CounterWorklistHigh, int64(len(work)))
-		return ms.ID, nil
+// intern returns the meta state ID for set, creating the state if new.
+// Only the single-threaded commit step calls it, which is what makes
+// state numbering — and therefore the whole automaton — deterministic.
+func (c *converter) intern(set *bitset.Set) (int, error) {
+	h := set.Hash()
+	if id, ok := c.itab.lookup(h, set, c.a.States); ok {
+		c.internHits++
+		return id, nil
 	}
+	if len(c.a.States) >= c.opt.MaxStates {
+		return 0, fmt.Errorf("msc: meta-state space exceeded %d states (see Options.MaxStates)", c.opt.MaxStates)
+	}
+	ms := c.newMetaState(set)
+	ms.ID = len(c.a.States)
+	c.a.States = append(c.a.States, ms)
+	c.itab.insert(h, ms.ID)
+	c.explored++
+	if pending := int64(len(c.a.States) - c.curIdx - 1); pending > c.worklistHigh {
+		c.worklistHigh = pending
+	}
+	return ms.ID, nil
+}
 
-	start, err := intern(bitset.Of(g.Entry))
+// newMetaState builds a meta state holding a private copy of set,
+// recycling a state (and its set's backing array) from a discarded
+// restart pass when available.
+func (c *converter) newMetaState(set *bitset.Set) *MetaState {
+	if n := len(c.msFree); n > 0 {
+		ms := c.msFree[n-1]
+		c.msFree = c.msFree[:n-1]
+		ms.Set.CopyFrom(set)
+		ms.Trans = ms.Trans[:0]
+		ms.Exit = false
+		return ms
+	}
+	return &MetaState{Set: set.Clone()}
+}
+
+// convertOnce runs one pass of meta-state conversion. If time splitting
+// decides to split a MIMD state it mutates c.g and returns didSplit=true
+// (the caller restarts).
+//
+// The frontier is expanded in BFS generations. Because the sequential
+// algorithm appends newly interned states to a FIFO worklist, it
+// processes states in exactly ID order; a generation [lo, hi) therefore
+// reproduces one BFS level. Expansion (the expensive cartesian-product
+// enumeration) is read-only against the graph and memo, so a generation
+// can fan out across workers; the commit step then walks the results in
+// ID order and performs every intern, transition append, and time-split
+// check exactly as the sequential loop would. The automaton that falls
+// out is byte-identical for any worker count.
+func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
+	c.beginPass()
+	a = c.a
+
+	start, err := c.intern(bitset.Of(c.g.Entry))
 	if err != nil {
 		return nil, false, err
 	}
 	a.Start = start
 
-	for len(work) > 0 {
-		id := work[0]
-		work = work[1:]
-		ms := a.States[id]
+	for genStart := 0; genStart < len(a.States); {
+		genEnd := len(a.States)
+		frontier := a.States[genStart:genEnd]
 
-		if opt.TimeSplit {
-			if split := timeSplitState(g, ms.Set, opt); split {
-				return nil, true, nil
+		if c.opt.Workers > 1 && len(frontier) >= parallelFrontierMin {
+			results := c.expandParallel(frontier)
+			for i, ms := range frontier {
+				c.curIdx = genStart + i
+				if c.opt.TimeSplit {
+					if changed := timeSplitState(c.g, ms.Set, c.opt); len(changed) > 0 {
+						c.memo.invalidate(changed)
+						return nil, true, nil
+					}
+				}
+				if err := c.commit(ms, results[i]); err != nil {
+					return nil, false, err
+				}
+			}
+		} else {
+			e := c.exps[0]
+			for i, ms := range frontier {
+				c.curIdx = genStart + i
+				if c.opt.TimeSplit {
+					if changed := timeSplitState(c.g, ms.Set, c.opt); len(changed) > 0 {
+						c.memo.invalidate(changed)
+						return nil, true, nil
+					}
+				}
+				if err := c.commit(ms, e.expand(ms.Set)); err != nil {
+					return nil, false, err
+				}
 			}
 		}
+		genStart = genEnd
+	}
+	return a, false, nil
+}
 
-		for _, raw := range successors(g, a, ms.Set, opt) {
-			if raw.Empty() {
-				ms.Exit = true
-				continue
-			}
-			target := raw
-			if !opt.BarrierExact {
-				target = barrierSync(raw, barriers)
-				if !target.Equal(raw) {
-					// §2.6 filtering dropped barrier-wait members from
-					// this aggregate (or collapsed it to the release
-					// state).
-					opt.Metrics.Add(obs.CounterMetaFiltered, 1)
+// expandParallel fans one BFS generation out across the worker pool.
+// Workers claim frontier slots through an atomic cursor, each with its
+// own scratch expander; nothing is interned here, so no ordering is
+// imposed and no locks are taken on the hot path.
+func (c *converter) expandParallel(frontier []*MetaState) []expansion {
+	workers := min(c.opt.Workers, len(frontier))
+	for len(c.exps) < workers {
+		c.exps = append(c.exps, newExpander(c.g, c.barriers, c.opt, &c.memo, &c.pool))
+	}
+	results := make([]expansion, len(frontier))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(e *expander) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frontier) {
+					return
 				}
+				results[i] = e.expand(frontier[i].Set)
+			}
+		}(c.exps[w])
+	}
+	wg.Wait()
+	c.parallelGens++
+	return results
+}
+
+// commit applies one meta state's expansion: §2.6 barrier filtering,
+// interning of targets (and of explicit release states), transition
+// recording, and canonical ordering. It mirrors the sequential loop body
+// statement for statement; see convertOnce for why that yields
+// byte-identical automata under parallel expansion.
+func (c *converter) commit(ms *MetaState, exp expansion) error {
+	if exp.overApprox {
+		c.a.OverApprox = true
+	}
+	for _, raw := range exp.raw {
+		if raw.Empty() {
+			ms.Exit = true
+			c.pool.put(raw)
+			continue
+		}
+		target := raw
+		if !c.opt.BarrierExact {
+			c.waits.IntersectOf(raw, c.barriers)
+			if !c.waits.Equal(raw) && !c.waits.Empty() {
+				// §2.6 filtering drops the barrier-wait members from this
+				// mixed aggregate — those PEs wait while the rest proceed.
+				c.filtered++
 				// A mixed aggregate means the barrier may also release
 				// here: if at run time every still-live PE lands on the
 				// barrier, the all-barrier meta state is entered
 				// (§3.2.4). Base enumeration produces that candidate on
 				// its own; the compressed single-union candidate hides
 				// it, so the release state is interned explicitly.
-				if waits := raw.Intersect(barriers); !waits.Empty() && !waits.Equal(raw) {
-					rel, err := intern(waits)
-					if err != nil {
-						return nil, false, err
-					}
-					ms.Trans = append(ms.Trans, rel)
+				rel, err := c.intern(c.waits)
+				if err != nil {
+					return err
 				}
-			}
-			to, err := intern(target)
-			if err != nil {
-				return nil, false, err
-			}
-			ms.Trans = append(ms.Trans, to)
-		}
-		ms.Trans = a.sortSuccs(ms.Trans)
-	}
-	return a, false, nil
-}
-
-// barrierSync implements the §2.6 filter: if every MIMD state in s is a
-// barrier-wait state, all processors have arrived and the barrier
-// releases (the all-barrier meta state is entered); otherwise the
-// barrier states are removed — those PEs wait while the rest proceed.
-func barrierSync(s, barriers *bitset.Set) *bitset.Set {
-	waits := s.Intersect(barriers)
-	if waits.Equal(s) {
-		return waits
-	}
-	return s.Minus(waits)
-}
-
-// successors enumerates every distinct aggregate successor set of a
-// meta state: the §2.3 reach recursion expressed as a deduplicated
-// cartesian product of each member state's possible contributions.
-func successors(g *cfg.Graph, a *Automaton, set *bitset.Set, opt Options) []*bitset.Set {
-	partials := map[string]*bitset.Set{"": bitset.New(0)}
-	for _, id := range set.Elems() {
-		choices := contributions(g, a, id, set, opt)
-		next := make(map[string]*bitset.Set, len(partials)*len(choices))
-		for _, p := range partials {
-			for _, c := range choices {
-				u := p.Union(c)
-				next[u.Key()] = u
+				ms.Trans = append(ms.Trans, rel)
+				c.scratch.MinusOf(raw, c.waits)
+				target = c.scratch
 			}
 		}
-		partials = next
+		to, err := c.intern(target)
+		if err != nil {
+			return err
+		}
+		ms.Trans = append(ms.Trans, to)
+		c.pool.put(raw)
 	}
-	out := make([]*bitset.Set, 0, len(partials))
-	for _, s := range partials {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out
+	ms.Trans = c.a.sortSuccs(ms.Trans)
+	return nil
 }
 
-// contributions returns the possible successor sets contributed by one
-// MIMD state within the meta state `within`.
-func contributions(g *cfg.Graph, a *Automaton, id int, within *bitset.Set, opt Options) []*bitset.Set {
-	b := g.Block(id)
-
-	// Exact barrier mode: a barrier state in a mixed meta state waits in
-	// place; only when every member is a barrier does it proceed.
-	if opt.BarrierExact && b.Barrier && !within.Subset(a.Barriers) {
-		return []*bitset.Set{bitset.Of(id)}
+// flushMetrics publishes the batched counters. Counters accumulate
+// across every restart pass, matching the semantics the per-intern
+// recording had before batching.
+func (c *converter) flushMetrics(a *Automaton) {
+	m := c.opt.Metrics
+	var memoHits int64 = 0
+	for _, e := range c.exps {
+		memoHits += e.memoHits
 	}
-
-	switch b.Term {
-	case cfg.End, cfg.Halt:
-		// No exit arcs: the process ends here and contributes nothing.
-		return []*bitset.Set{bitset.New(0)}
-	case cfg.Goto:
-		return []*bitset.Set{bitset.Of(b.Next)}
-	case cfg.Branch:
-		if b.Next == b.FNext {
-			return []*bitset.Set{bitset.Of(b.Next)}
-		}
-		if opt.Compress {
-			// §2.5: both successors are always assumed taken.
-			return []*bitset.Set{bitset.Of(b.Next, b.FNext)}
-		}
-		// §2.3: TRUE, FALSE, or (multiple processes) both.
-		return []*bitset.Set{
-			bitset.Of(b.Next),
-			bitset.Of(b.FNext),
-			bitset.Of(b.Next, b.FNext),
-		}
-	case cfg.RetBr:
-		if opt.Compress {
-			return []*bitset.Set{bitset.Of(b.RetTargets...)}
-		}
-		if len(b.RetTargets) > opt.MaxRetSubsets {
-			// Exact enumeration would need 2^k-1 subsets; fall back to
-			// the all-targets rule and mark the automaton so dispatch
-			// accepts covering supersets.
-			a.OverApprox = true
-			return []*bitset.Set{bitset.Of(b.RetTargets...)}
-		}
-		return nonEmptySubsets(b.RetTargets)
-	case cfg.Spawn:
-		// §3.2.5: a spawn looks like a conditional jump whose both paths
-		// must be taken (the compressed rule), one by the original
-		// processes and one by the created ones.
-		return []*bitset.Set{bitset.Of(b.Next, b.SpawnNext)}
-	}
-	return []*bitset.Set{bitset.New(0)}
-}
-
-// nonEmptySubsets enumerates every non-empty subset of ids.
-func nonEmptySubsets(ids []int) []*bitset.Set {
-	n := len(ids)
-	out := make([]*bitset.Set, 0, (1<<n)-1)
-	for mask := 1; mask < 1<<n; mask++ {
-		s := bitset.New(0)
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				s.Add(ids[i])
-			}
-		}
-		out = append(out, s)
-	}
-	return out
+	m.Add(obs.CounterMetaExplored, c.explored)
+	m.Max(obs.CounterWorklistHigh, c.worklistHigh)
+	m.Add(obs.CounterMetaFiltered, c.filtered)
+	m.Add(obs.CounterInternHits, c.internHits)
+	m.Add(obs.CounterContribMemoHits, memoHits)
+	m.Add(obs.CounterParallelGens, c.parallelGens)
+	m.Set(obs.CounterConvertWorkers, int64(c.opt.Workers))
+	m.Add(obs.CounterMergeScanned, c.mergeCandidates)
+	m.Add(obs.CounterSplits, c.splits)
+	m.Add(obs.CounterRestarts, c.restarts)
+	m.Set(obs.CounterMetaStates, int64(len(a.States)))
+	m.Set(obs.CounterMIMDStates, int64(a.G.NumBlocks()))
 }
 
 // mergeSubsets folds meta states that are strict subsets of other meta
 // states into the (smallest) superset, which can always emulate them
 // (§2.5). Transitions and the start state are redirected; unreachable
 // states are pruned and IDs are compacted.
-func mergeSubsets(a *Automaton) {
+//
+// Candidate supersets are bucketed by popcount: a strict superset of s
+// necessarily has Len() strictly greater than s's (interning guarantees
+// distinct states have distinct sets), so the scan walks the buckets in
+// ascending width and stops at the first hit — replacing the old O(n²)
+// all-pairs scan while choosing the identical (smallest-Len, then
+// smallest-ID) superset.
+func (c *converter) mergeSubsets(a *Automaton) {
+	maxLen := 0
+	lens := make([]int, len(a.States))
+	for i, s := range a.States {
+		lens[i] = s.Set.Len()
+		if lens[i] > maxLen {
+			maxLen = lens[i]
+		}
+	}
+	buckets := make([][]*MetaState, maxLen+1)
+	for i, s := range a.States {
+		buckets[lens[i]] = append(buckets[lens[i]], s) // ID-ascending within a bucket
+	}
+
 	// For each state find the smallest strict superset, if any.
 	redirect := make([]int, len(a.States))
 	for i := range redirect {
 		redirect[i] = i
 	}
+	merged := int64(0)
 	for _, s := range a.States {
-		best := -1
-		for _, t := range a.States {
-			if t.ID == s.ID || !s.Set.Subset(t.Set) {
-				continue
+	search:
+		for l := lens[s.ID] + 1; l <= maxLen; l++ {
+			for _, t := range buckets[l] {
+				c.mergeCandidates++
+				if s.Set.Subset(t.Set) {
+					redirect[s.ID] = t.ID
+					merged++
+					break search
+				}
 			}
-			if best == -1 || t.Set.Len() < a.States[best].Set.Len() ||
-				(t.Set.Len() == a.States[best].Set.Len() && t.ID < best) {
-				best = t.ID
-			}
-		}
-		if best >= 0 {
-			redirect[s.ID] = best
-			a.Opt.Metrics.Add(obs.CounterMetaMerged, 1)
 		}
 	}
+	c.opt.Metrics.Add(obs.CounterMetaMerged, merged)
+
 	// Chase chains (subset of a subset of ...).
 	resolve := func(id int) int {
 		for redirect[id] != id {
@@ -397,13 +520,13 @@ func mergeSubsets(a *Automaton) {
 			live = append(live, s)
 		}
 	}
-	a.byKey = make(map[string]int, len(live))
+	c.itab.reset()
 	for _, s := range live {
 		s.ID = remap[s.ID]
 		for i := range s.Trans {
 			s.Trans[i] = remap[s.Trans[i]]
 		}
-		a.byKey[s.Set.Key()] = s.ID
+		c.itab.insert(s.Set.Hash(), s.ID)
 	}
 	a.States = live
 	a.Start = remap[a.Start]

@@ -439,3 +439,32 @@ func SeqLoopsSrc(k int) string {
 	sb.WriteString("    return;\n}\n")
 	return sb.String()
 }
+
+// TestZeroOptionsBackfillMatchesDefaults pins fillDefaults to
+// DefaultOptions: a zero-valued Options must convert under exactly the
+// documented defaults. The MaxRestarts pair in particular diverged once
+// (16384 vs 1024), silently giving zero-valued Options a 16x smaller
+// restart budget than the documented default.
+func TestZeroOptionsBackfillMatchesDefaults(t *testing.T) {
+	var o Options
+	o.fillDefaults()
+	d := DefaultOptions(false)
+	d.fillDefaults() // resolves Workers the same way
+	if o.MaxRestarts != d.MaxRestarts || o.MaxRestarts != maxRestartsDefault {
+		t.Fatalf("MaxRestarts backfill = %d, DefaultOptions = %d, want both %d",
+			o.MaxRestarts, d.MaxRestarts, maxRestartsDefault)
+	}
+	if o.MaxStates != d.MaxStates {
+		t.Fatalf("MaxStates backfill = %d, DefaultOptions = %d", o.MaxStates, d.MaxStates)
+	}
+	if o.SplitDelta != d.SplitDelta || o.SplitPercent != d.SplitPercent {
+		t.Fatalf("split thresholds backfill (%d, %d) != DefaultOptions (%d, %d)",
+			o.SplitDelta, o.SplitPercent, d.SplitDelta, d.SplitPercent)
+	}
+	if o.MaxRetSubsets != d.MaxRetSubsets {
+		t.Fatalf("MaxRetSubsets backfill = %d, DefaultOptions = %d", o.MaxRetSubsets, d.MaxRetSubsets)
+	}
+	if o.Workers < 1 || d.Workers < 1 {
+		t.Fatalf("Workers not resolved: backfill = %d, DefaultOptions = %d", o.Workers, d.Workers)
+	}
+}

@@ -1,0 +1,141 @@
+package msc
+
+import "msc/internal/bitset"
+
+// internTable is the hash-consed meta-state index: an open-addressing
+// table from 64-bit set hashes to meta-state IDs. It replaces the old
+// map[string]int keyed by Set.Key() — interning a set costs one word
+// hash and a probe instead of a heap-allocated string per lookup.
+// Collisions are resolved by linear probing; slots cache the full hash
+// so a probe only touches the candidate's Set on a hash match.
+//
+// The table is NOT safe for concurrent mutation. Conversion interns only
+// from the single-threaded commit step (see convert.go's determinism
+// argument); concurrent read-only lookups (Automaton.Find from the
+// execution engines) are safe once conversion has finished.
+type internTable struct {
+	slots []internSlot
+	n     int
+}
+
+type internSlot struct {
+	hash uint64
+	id   int32 // state ID, or internEmpty
+}
+
+const internEmpty = int32(-1)
+
+// reset empties the table, keeping the allocated slot array (warm
+// restarts reuse the capacity the previous conversion pass grew).
+func (t *internTable) reset() {
+	for i := range t.slots {
+		t.slots[i].id = internEmpty
+	}
+	t.n = 0
+}
+
+// lookup returns the ID of the state whose set equals set, if interned.
+func (t *internTable) lookup(hash uint64, set *bitset.Set, states []*MetaState) (int, bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		s := t.slots[i]
+		if s.id == internEmpty {
+			return 0, false
+		}
+		if s.hash == hash && states[s.id].Set.Equal(set) {
+			return int(s.id), true
+		}
+	}
+}
+
+// insert adds a (hash, id) pair. The caller must have established via
+// lookup that no equal set is present.
+func (t *internTable) insert(hash uint64, id int) {
+	if len(t.slots) == 0 || t.n >= len(t.slots)*3/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hash & mask
+	for t.slots[i].id != internEmpty {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = internSlot{hash: hash, id: int32(id)}
+	t.n++
+}
+
+func (t *internTable) grow() {
+	newCap := 64
+	if len(t.slots) > 0 {
+		newCap = len(t.slots) * 2
+	}
+	old := t.slots
+	t.slots = make([]internSlot, newCap)
+	for i := range t.slots {
+		t.slots[i].id = internEmpty
+	}
+	mask := uint64(newCap - 1)
+	for _, s := range old {
+		if s.id == internEmpty {
+			continue
+		}
+		i := s.hash & mask
+		for t.slots[i].id != internEmpty {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// setTable is the per-expansion dedup table for partial successor
+// products: open addressing from set hashes to indices into the caller's
+// slice of candidate sets. Slots are generation-stamped so reset() is
+// O(1) between the members of one meta state instead of clearing.
+type setTable struct {
+	hashes []uint64
+	vals   []int32
+	stamps []uint32
+	stamp  uint32
+}
+
+// reset prepares the table for up to n insertions.
+func (t *setTable) reset(n int) {
+	need := 64
+	for need < n*2 {
+		need *= 2
+	}
+	if len(t.hashes) < need {
+		t.hashes = make([]uint64, need)
+		t.vals = make([]int32, need)
+		t.stamps = make([]uint32, need)
+		t.stamp = 1
+		return
+	}
+	t.stamp++
+	if t.stamp == 0 { // stamp wrapped: clear and restart
+		for i := range t.stamps {
+			t.stamps[i] = 0
+		}
+		t.stamp = 1
+	}
+}
+
+// lookupOrInsert returns (index, true) when an equal set is already
+// present in pool, and otherwise records idx for the set and returns
+// (idx, false).
+func (t *setTable) lookupOrInsert(hash uint64, set *bitset.Set, pool []*bitset.Set, idx int) (int, bool) {
+	mask := uint64(len(t.hashes) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		if t.stamps[i] != t.stamp {
+			t.hashes[i] = hash
+			t.vals[i] = int32(idx)
+			t.stamps[i] = t.stamp
+			return idx, false
+		}
+		if t.hashes[i] == hash && pool[t.vals[i]].Equal(set) {
+			return int(t.vals[i]), true
+		}
+	}
+}

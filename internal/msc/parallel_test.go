@@ -1,0 +1,182 @@
+package msc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msc/internal/cfg"
+	"msc/internal/mimdc"
+	"msc/internal/progen"
+)
+
+// forceParallel lowers the frontier gate so even tiny corpora exercise
+// the worker-pool path, restoring it when the test ends.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parallelFrontierMin
+	parallelFrontierMin = 2
+	t.Cleanup(func() { parallelFrontierMin = old })
+}
+
+// fingerprint serializes every observable byte of an automaton: the
+// textual form, both Graphviz renderings (ID numbering, arc order, heat
+// labels), and the scalar results. Two automata with equal fingerprints
+// are indistinguishable to every consumer, goldens included.
+func fingerprint(a *Automaton) string {
+	share := make([]float64, len(a.States))
+	for i := range share {
+		share[i] = float64(i) / float64(len(a.States)+1)
+	}
+	return fmt.Sprintf("start=%d splits=%d restarts=%d overapprox=%v blocks=%d\n%s\n%s\n%s",
+		a.Start, a.Splits, a.Restarts, a.OverApprox, a.G.NumBlocks(),
+		a.String(), a.Dot("fp"), a.DotHeat("fp", share))
+}
+
+// parallelMatrix is the option matrix the determinism property is
+// checked under: base enumeration, compression with subset merging,
+// time splitting (restarts + warm memo invalidation), and exact barrier
+// tracking.
+func parallelMatrix() map[string]Options {
+	base := DefaultOptions(false)
+	base.MaxStates = 1 << 14
+	compressed := DefaultOptions(true)
+	timesplit := DefaultOptions(false)
+	timesplit.TimeSplit = true
+	timesplit.MaxStates = 1 << 14
+	exact := DefaultOptions(true)
+	exact.BarrierExact = true
+	return map[string]Options{
+		"base":         base,
+		"compressed":   compressed,
+		"timesplit":    timesplit,
+		"barrierexact": exact,
+	}
+}
+
+// checkParallelEqual converts g sequentially and with a forced worker
+// pool and requires byte-identical automata (or identical errors, e.g.
+// the MaxStates guard firing at the same state count).
+func checkParallelEqual(t *testing.T, name string, g *cfg.Graph, opt Options) {
+	t.Helper()
+	seqOpt := opt
+	seqOpt.Workers = 1
+	parOpt := opt
+	parOpt.Workers = 4
+
+	aSeq, errSeq := Convert(g, seqOpt)
+	aPar, errPar := Convert(g, parOpt)
+	switch {
+	case (errSeq == nil) != (errPar == nil):
+		t.Fatalf("%s: sequential err = %v, parallel err = %v", name, errSeq, errPar)
+	case errSeq != nil:
+		if errSeq.Error() != errPar.Error() {
+			t.Fatalf("%s: error text diverged:\nseq: %v\npar: %v", name, errSeq, errPar)
+		}
+		return
+	}
+	if fpSeq, fpPar := fingerprint(aSeq), fingerprint(aPar); fpSeq != fpPar {
+		t.Fatalf("%s: parallel automaton differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			name, fpSeq, fpPar)
+	}
+	if err := Check(aPar); err != nil {
+		t.Fatalf("%s: parallel automaton fails Check: %v", name, err)
+	}
+}
+
+// corpusGraphs loads every MIMDC program shipped in the repository
+// (examples/ and testdata/, including the vet negatives: a program that
+// deadlocks at run time still has a well-defined automaton). Programs
+// that fail to parse or analyze are skipped — this property test is
+// about conversion, not the front end.
+func corpusGraphs(t *testing.T) map[string]*cfg.Graph {
+	t.Helper()
+	out := make(map[string]*cfg.Graph)
+	for _, dir := range []string{"../../examples", "../../testdata"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || filepath.Ext(path) != ".mc" {
+				return err
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			prog, err := mimdc.Parse(string(src))
+			if err != nil {
+				return nil
+			}
+			if err := mimdc.Analyze(prog); err != nil {
+				return nil
+			}
+			g, err := cfg.Build(prog)
+			if err != nil {
+				return nil
+			}
+			out[filepath.Base(path)] = cfg.Simplify(g)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+	if len(out) < 5 {
+		t.Fatalf("corpus too small: found %d programs", len(out))
+	}
+	return out
+}
+
+// TestParallelDeterministicCorpus is the property test for the
+// concurrent frontier: over the whole shipped program corpus and the
+// full option matrix, a forced multi-worker conversion must produce an
+// automaton byte-identical to the sequential one.
+func TestParallelDeterministicCorpus(t *testing.T) {
+	forceParallel(t)
+	for prog, g := range corpusGraphs(t) {
+		for mode, opt := range parallelMatrix() {
+			t.Run(prog+"/"+mode, func(t *testing.T) {
+				checkParallelEqual(t, prog+"/"+mode, g, opt)
+			})
+		}
+	}
+}
+
+// TestParallelDeterministicRandom extends the property to randomized
+// progen programs (barriers, calls, loops), which reach graph shapes
+// the curated corpus does not.
+func TestParallelDeterministicRandom(t *testing.T) {
+	forceParallel(t)
+	for seed := int64(1); seed <= 12; seed++ {
+		src := progen.Source(progen.Params{
+			Seed:     seed,
+			Barriers: seed%2 == 0,
+			Floats:   seed%3 == 0,
+			Calls:    true,
+			MaxDepth: 3,
+			MaxStmts: 5,
+			Vars:     4,
+			LoopTrip: 3,
+		})
+		g := cfg.Simplify(cfg.MustBuild(src))
+		for mode, opt := range parallelMatrix() {
+			name := fmt.Sprintf("seed%d/%s", seed, mode)
+			t.Run(name, func(t *testing.T) {
+				checkParallelEqual(t, name, g, opt)
+			})
+		}
+	}
+}
+
+// TestParallelDeterministicFigures pins the property on the paper's own
+// examples, whose automata are already golden-checked elsewhere.
+func TestParallelDeterministicFigures(t *testing.T) {
+	forceParallel(t)
+	for name, src := range map[string]string{"listing4": listing4, "listing3": listing3} {
+		g := graph(t, src)
+		for mode, opt := range parallelMatrix() {
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				checkParallelEqual(t, name+"/"+mode, g, opt)
+			})
+		}
+	}
+}

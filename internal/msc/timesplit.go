@@ -12,8 +12,10 @@ import (
 // threads idle while expensive ones run. The fix is to break each
 // too-expensive MIMD state into a prefix of approximately the minimum
 // cost, unconditionally followed by the remainder, and restart the
-// conversion. Reports whether any state was split (mutating g).
-func timeSplitState(g *cfg.Graph, set *bitset.Set, opt Options) bool {
+// conversion. Returns the IDs of the blocks it split (mutating g), or
+// nil when nothing was split; the caller invalidates exactly those
+// entries of the contribution memo on the warm restart.
+func timeSplitState(g *cfg.Graph, set *bitset.Set, opt Options) []int {
 	// Ignore zero-execution-time components: "you can't do anything
 	// about them anyway".
 	var members []*cfg.Block
@@ -33,26 +35,26 @@ func timeSplitState(g *cfg.Graph, set *bitset.Set, opt Options) bool {
 		members = append(members, b)
 	}
 	if len(members) < 2 {
-		return false
+		return nil
 	}
 
 	// Is enough time wasted to be worth splitting? Not if the difference
 	// is at noise level (split_delta), nor if utilization is already
 	// above the acceptable percentage (split_percent).
 	if min+opt.SplitDelta > max {
-		return false
+		return nil
 	}
 	if min > (opt.SplitPercent*max)/100 {
-		return false
+		return nil
 	}
 
-	didSplit := false
+	var changed []int
 	for _, b := range members {
 		if b.Cost() > min && splitBlock(g, b, min) {
-			didSplit = true
+			changed = append(changed, b.ID)
 		}
 	}
-	return didSplit
+	return changed
 }
 
 // splitBlock breaks b into a head of at most budget cycles followed

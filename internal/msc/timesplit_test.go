@@ -53,7 +53,7 @@ func TestFigure4Splitting(t *testing.T) {
 	}
 	// Post-condition: no meta state still wants splitting.
 	for _, s := range a.States {
-		if timeSplitState(a.G.Clone(), s.Set, opt) {
+		if len(timeSplitState(a.G.Clone(), s.Set, opt)) > 0 {
 			t.Fatalf("ms%d %s still imbalanced after conversion", s.ID, s.Set)
 		}
 	}

@@ -45,6 +45,14 @@ const (
 	CounterVetDiags        = "vet.diagnostics"
 	CounterVetErrors       = "vet.errors"
 	CounterVetWarnings     = "vet.warnings"
+
+	// Conversion-core counters (the hash-consed interner, contribution
+	// memo, and parallel frontier expansion; see docs/PERFORMANCE.md).
+	CounterInternHits      = "convert.intern_hits"
+	CounterContribMemoHits = "convert.contrib_memo_hits"
+	CounterParallelGens    = "convert.parallel_generations"
+	CounterConvertWorkers  = "convert.workers"
+	CounterMergeScanned    = "convert.merge_candidates_scanned"
 )
 
 // Phase names recorded by msc.Compile, in pipeline order.

@@ -193,3 +193,60 @@ func TestExpandCallsRandomEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelConversionScale pushes large generated programs through
+// the whole public pipeline with the conversion worker pool forced on
+// and off: the automata must be byte-identical (state numbering,
+// transition order, renderings) and the compiled programs must execute
+// identically. This is the end-to-end face of the msc-internal
+// determinism property tests.
+func TestParallelConversionScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep skipped in -short")
+	}
+	for seed := int64(700); seed < 706; seed++ {
+		src := progen.Source(progen.Params{
+			Seed: seed, Barriers: true, Floats: true, Calls: true,
+			MaxDepth: 4, MaxStmts: 7, Vars: 6, LoopTrip: 4,
+		})
+		name := fmt.Sprintf("seed%d", seed)
+		seqConf := msc.DefaultConfig()
+		seqConf.ConvertWorkers = 1
+		parConf := msc.DefaultConfig()
+		parConf.ConvertWorkers = 4
+		seq, err := msc.Compile(src, seqConf)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v\n%s", name, err, src)
+		}
+		par, err := msc.Compile(src, parConf)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v\n%s", name, err, src)
+		}
+		if seq.Automaton.String() != par.Automaton.String() {
+			t.Fatalf("%s: automata diverge\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+				name, seq.Automaton, par.Automaton)
+		}
+		if seq.Automaton.Dot(name) != par.Automaton.Dot(name) {
+			t.Fatalf("%s: Dot renderings diverge", name)
+		}
+		rc := msc.RunConfig{N: 32}
+		rs, err := seq.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("%s: seq simd: %v", name, err)
+		}
+		rp, err := par.RunSIMD(rc)
+		if err != nil {
+			t.Fatalf("%s: par simd: %v", name, err)
+		}
+		if rs.Time != rp.Time {
+			t.Fatalf("%s: cycle counts diverge: %d != %d", name, rs.Time, rp.Time)
+		}
+		for pe := 0; pe < 32; pe++ {
+			for slot := range rs.Mem[pe] {
+				if rs.Mem[pe][slot] != rp.Mem[pe][slot] {
+					t.Fatalf("%s: PE %d slot %d: %d != %d", name, pe, slot, rs.Mem[pe][slot], rp.Mem[pe][slot])
+				}
+			}
+		}
+	}
+}
