@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check cover bench fuzz experiments examples vet-examples clean
+.PHONY: all build test check stress cover bench fuzz experiments examples vet-examples clean
 
 all: build test check
 
@@ -11,11 +11,17 @@ test:
 	go test ./...
 
 # Static hygiene + race detector: the gate CI and pre-commit should run.
-check: vet-examples
+check: vet-examples stress
 	go vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go test -race ./...
+
+# Robustness stress gate: the deterministic fault-injection matrix plus
+# the cancellation/budget/step-limit/leak tests, under the race
+# detector. See docs/ROBUSTNESS.md.
+stress:
+	go test -race -timeout 5m -run 'Fault|Cancel|Budget|StepLimit|Robust|Degrade|Leak' ./...
 
 # Run `msc vet` over every MIMDC program in the repo except the seeded
 # failure corpus (testdata/vet/bad/). Fails on error-severity findings;

@@ -25,21 +25,93 @@
 package msc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"msc/internal/analysis"
 	"msc/internal/cfg"
 	"msc/internal/codegen"
+	"msc/internal/faultinject"
 	"msc/internal/gobackend"
 	"msc/internal/interp"
 	"msc/internal/mimdc"
 	"msc/internal/mimdsim"
 	metastate "msc/internal/msc"
+	"msc/internal/mscerr"
 	"msc/internal/obs"
 	"msc/internal/simd"
 )
+
+// Typed pipeline errors, re-exported from the shared leaf package so
+// engines and the root API report one taxonomy. Match with errors.As:
+//
+//	var be *msc.BudgetError      // a resource budget was exceeded
+//	var se *msc.StepLimitError   // an engine hit its step budget
+//	var ie *msc.InternalError    // a contained compiler panic
+type (
+	BudgetError    = mscerr.BudgetError
+	StepLimitError = mscerr.StepLimitError
+	InternalError  = mscerr.InternalError
+)
+
+// DefaultMaxSteps is the default engine step budget (RunConfig.MaxSteps
+// when zero): large enough for every paper workload, small enough that a
+// non-terminating program fails in seconds rather than hanging.
+const DefaultMaxSteps = mscerr.DefaultMaxSteps
+
+// Limits bounds the resources one Compile may consume. The zero value
+// means "no limit" for every field; overruns surface as *BudgetError
+// (and, with Config.Degrade, trigger the degradation ladder instead).
+type Limits struct {
+	// Deadline is the wall-clock budget per compile attempt. Exceeding
+	// it returns a *BudgetError with Resource "wall_clock".
+	Deadline time.Duration
+	// MaxStates caps the meta-state automaton size (Resource
+	// "meta_states"). Non-zero wins over Config.MaxStates.
+	MaxStates int
+	// MaxCSICandidates caps the merge candidates the CSI permutation
+	// search may examine per meta state (Resource "csi_candidates").
+	MaxCSICandidates int64
+	// MaxMemBytes caps the approximate conversion-core memory high-water
+	// mark, estimated from interner and pool stats (Resource
+	// "mem_bytes"). Approximate: the estimate tracks the dominant
+	// allocations (meta-state sets and the intern table), not the Go
+	// heap.
+	MaxMemBytes int64
+}
+
+// Validate reports the first out-of-range field.
+func (l Limits) Validate() error {
+	if l.Deadline < 0 {
+		return fmt.Errorf("msc: Limits.Deadline must be >= 0 (0 means no deadline), got %v", l.Deadline)
+	}
+	if l.MaxStates < 0 {
+		return fmt.Errorf("msc: Limits.MaxStates must be >= 0 (0 means Config.MaxStates), got %d", l.MaxStates)
+	}
+	if l.MaxCSICandidates < 0 {
+		return fmt.Errorf("msc: Limits.MaxCSICandidates must be >= 0 (0 means unlimited), got %d", l.MaxCSICandidates)
+	}
+	if l.MaxMemBytes < 0 {
+		return fmt.Errorf("msc: Limits.MaxMemBytes must be >= 0 (0 means unlimited), got %d", l.MaxMemBytes)
+	}
+	return nil
+}
+
+// DegradeStep records one rung of the graceful-degradation ladder: the
+// budget overrun that triggered it and the cheaper setting retried with.
+type DegradeStep struct {
+	// Phase is the pipeline phase that exceeded its budget.
+	Phase string `json:"phase"`
+	// Resource is the budget that was exceeded (BudgetError.Resource).
+	Resource string `json:"resource"`
+	// Action describes the setting that was relaxed for the retry.
+	Action string `json:"action"`
+}
 
 // Config selects the conversion and encoding options.
 type Config struct {
@@ -77,6 +149,17 @@ type Config struct {
 	// analyzer runs and Compiled.Diagnostics is populated regardless;
 	// Vet only decides whether errors abort the pipeline.
 	Vet bool
+	// Limits bounds the resources one compile may consume (wall clock,
+	// meta states, CSI search, approximate memory). The zero value means
+	// no limits. Overruns return *BudgetError — or, with Degrade set,
+	// walk the degradation ladder instead.
+	Limits Limits
+	// Degrade opts in to graceful degradation: when a compile attempt
+	// exceeds a budget in Limits, retry with progressively cheaper
+	// settings (barrier-exact → §2.6 filtering, then time-splitting off,
+	// then CSI → linear schedule) instead of failing. Each rung is
+	// recorded in Compiled.Degradations and the degrade.steps counter.
+	Degrade bool
 	// Metrics, when non-nil, receives the compile-phase wall times and
 	// domain counters (the obs glossary in docs/OBSERVABILITY.md).
 	// Compile records into its own recorder regardless and exposes the
@@ -100,7 +183,7 @@ func (c Config) Validate() error {
 	if c.ConvertWorkers < 0 {
 		return fmt.Errorf("msc: Config.ConvertWorkers must be >= 0 (0 means GOMAXPROCS), got %d", c.ConvertWorkers)
 	}
-	return nil
+	return c.Limits.Validate()
 }
 
 // DefaultConfig is the recommended production configuration: the
@@ -125,6 +208,10 @@ type Compiled struct {
 	// position). Populated whether or not Config.Vet is set; with Vet
 	// set, Compile fails instead when any finding is error severity.
 	Diagnostics []Diagnostic
+	// Degradations lists the degradation-ladder rungs taken to get this
+	// result (empty when the first attempt fit the budgets). Each entry
+	// names the budget exceeded and the setting relaxed in response.
+	Degradations []DegradeStep
 }
 
 // Diagnostic and Severity re-export the static analyzer's finding
@@ -182,6 +269,10 @@ type CompileStats struct {
 	VetDiagnostics int64 `json:"vet_diagnostics"`
 	VetErrors      int64 `json:"vet_errors"`
 	VetWarnings    int64 `json:"vet_warnings"`
+	// Robustness: degradation-ladder rungs taken and total budget
+	// overruns (summed across budget.* counters) during this compile.
+	DegradeSteps   int64 `json:"degrade_steps"`
+	BudgetOverruns int64 `json:"budget_overruns"`
 }
 
 // statsFromRecorder builds the typed view over the well-known names.
@@ -208,11 +299,25 @@ func statsFromRecorder(r *obs.Recorder) *CompileStats {
 		VetDiagnostics:       m.Counter(obs.CounterVetDiags),
 		VetErrors:            m.Counter(obs.CounterVetErrors),
 		VetWarnings:          m.Counter(obs.CounterVetWarnings),
+		DegradeSteps:         m.Counter(obs.CounterDegradeSteps),
+		BudgetOverruns:       m.PrefixSum(obs.BudgetCounterPrefix),
 	}
 }
 
-// Compile runs the whole pipeline on MIMDC source.
+// Compile runs the whole pipeline on MIMDC source. It is
+// CompileContext with a background context.
 func Compile(source string, conf Config) (*Compiled, error) {
+	return CompileContext(context.Background(), source, conf)
+}
+
+// CompileContext runs the whole pipeline on MIMDC source under ctx.
+// Cancellation is checked at every phase boundary, per committed meta
+// state inside conversion, and the conversion worker pool drains before
+// returning — no goroutines outlive a canceled compile. Budget overruns
+// (Config.Limits) return *BudgetError, or walk the degradation ladder
+// when Config.Degrade is set; panics in any phase are contained as
+// *InternalError.
+func CompileContext(ctx context.Context, source string, conf Config) (*Compiled, error) {
 	if err := conf.Validate(); err != nil {
 		return nil, err
 	}
@@ -221,35 +326,162 @@ func Compile(source string, conf Config) (*Compiled, error) {
 		rec = obs.NewRecorder()
 	}
 
-	stop := rec.Phase(obs.PhaseParse)
-	ast, err := mimdc.Parse(source)
-	stop()
-	if err != nil {
-		return nil, fmt.Errorf("msc: parse: %w", err)
+	var degradations []DegradeStep
+	for {
+		c, err := compileOnce(ctx, source, conf, rec)
+		if err == nil {
+			c.Degradations = degradations
+			return c, nil
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			return nil, err
+		}
+		rec.Add(obs.BudgetCounterPrefix+be.Resource, 1)
+		if !conf.Degrade {
+			return nil, err
+		}
+		step, ok := degradeStep(&conf, be)
+		if !ok {
+			return nil, err
+		}
+		rec.Add(obs.CounterDegradeSteps, 1)
+		degradations = append(degradations, step)
+	}
+}
+
+// degradeStep takes one rung down the degradation ladder: it relaxes
+// the most expensive still-enabled setting in conf and reports what it
+// did, or reports false when the ladder is exhausted. A CSI-search
+// overrun skips straight to disabling CSI — relaxing conversion
+// settings would not shrink the schedule search.
+func degradeStep(conf *Config, be *BudgetError) (DegradeStep, bool) {
+	step := DegradeStep{Phase: be.Phase, Resource: be.Resource}
+	if be.Resource == "csi_candidates" && conf.CSI {
+		conf.CSI = false
+		step.Action = "csi off (linear schedule)"
+		return step, true
+	}
+	switch {
+	case conf.BarrierExact:
+		conf.BarrierExact = false
+		step.Action = "barrier-exact off (§2.6 barrier filtering)"
+	case conf.TimeSplit:
+		conf.TimeSplit = false
+		step.Action = "time-splitting off"
+	case conf.CSI:
+		conf.CSI = false
+		step.Action = "csi off (linear schedule)"
+	default:
+		return DegradeStep{}, false
+	}
+	return step, true
+}
+
+// pipelineRun threads the per-attempt context and phase bookkeeping
+// through compileOnce.
+type pipelineRun struct {
+	ctx   context.Context
+	rec   *obs.Recorder
+	phase string // last phase entered, for wall-clock attribution
+}
+
+// run executes one pipeline phase under the attempt context: it checks
+// cancellation at the boundary, fires the fault-injection hook, records
+// the phase wall time, and contains panics as *InternalError.
+func (pr *pipelineRun) run(phase string, fn func() error) (err error) {
+	pr.phase = phase
+	if cerr := pr.ctx.Err(); cerr != nil {
+		return fmt.Errorf("msc: canceled before %s: %w", phase, cerr)
+	}
+	stop := pr.rec.Phase(phase)
+	defer stop()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InternalError{Phase: phase, Panic: fmt.Sprint(r), Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.OnPhase(phase); ferr != nil {
+		return ferr
+	}
+	return fn()
+}
+
+// compileOnce runs the pipeline once under the attempt's own deadline
+// (Limits.Deadline is per attempt, so a degraded retry gets a fresh
+// budget).
+func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recorder) (*Compiled, error) {
+	start := time.Now()
+	ownDeadline := conf.Limits.Deadline > 0
+	if ownDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, conf.Limits.Deadline)
+		defer cancel()
+	}
+	pr := &pipelineRun{ctx: ctx, rec: rec}
+
+	c, err := pipeline(pr, source, conf, rec)
+	if err != nil && ownDeadline && errors.Is(err, context.DeadlineExceeded) {
+		// The attempt's own wall-clock budget ran out (as opposed to a
+		// caller-imposed deadline, which would not have ownDeadline set
+		// tighter than it): report it as a budget overrun so Degrade can
+		// retry with cheaper settings.
+		return nil, &BudgetError{
+			Phase:    pr.phase,
+			Resource: "wall_clock",
+			Limit:    int64(conf.Limits.Deadline),
+			Used:     int64(time.Since(start)),
+		}
+	}
+	return c, err
+}
+
+// pipeline is the phase sequence itself.
+func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*Compiled, error) {
+	var ast *mimdc.Program
+	if err := pr.run(obs.PhaseParse, func() error {
+		a, err := mimdc.Parse(source)
+		if err != nil {
+			return fmt.Errorf("msc: parse: %w", err)
+		}
+		ast = a
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	rec.Add(obs.CounterTokens, int64(ast.Tokens))
 
-	stop = rec.Phase(obs.PhaseAnalyze)
-	err = mimdc.Analyze(ast)
-	stop()
-	if err != nil {
-		return nil, fmt.Errorf("msc: analyze: %w", err)
+	if err := pr.run(obs.PhaseAnalyze, func() error {
+		if err := mimdc.Analyze(ast); err != nil {
+			return fmt.Errorf("msc: analyze: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	stop = rec.Phase(obs.PhaseLower)
-	g, err := cfg.BuildWith(ast, cfg.Options{ExpandCalls: conf.ExpandCalls})
-	stop()
-	if err != nil {
-		return nil, fmt.Errorf("msc: lower: %w", err)
+	var g *cfg.Graph
+	if err := pr.run(obs.PhaseLower, func() error {
+		gr, err := cfg.BuildWith(ast, cfg.Options{ExpandCalls: conf.ExpandCalls})
+		if err != nil {
+			return fmt.Errorf("msc: lower: %w", err)
+		}
+		g = gr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	stop = rec.Phase(obs.PhaseSimplify)
-	sstats := cfg.SimplifyWithStats(g)
-	stop()
-	rec.Add(obs.CounterBlocksBefore, int64(sstats.BlocksBefore))
-	rec.Add(obs.CounterBlocksAfter, int64(sstats.BlocksAfter))
-	if err := cfg.Verify(g); err != nil {
-		return nil, fmt.Errorf("msc: internal error: %w", err)
+	if err := pr.run(obs.PhaseSimplify, func() error {
+		sstats := cfg.SimplifyWithStats(g)
+		rec.Add(obs.CounterBlocksBefore, int64(sstats.BlocksBefore))
+		rec.Add(obs.CounterBlocksAfter, int64(sstats.BlocksAfter))
+		if err := cfg.Verify(g); err != nil {
+			return fmt.Errorf("msc: internal error: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	mopt := metastate.DefaultOptions(conf.Compress)
@@ -264,45 +496,79 @@ func Compile(source string, conf Config) (*Compiled, error) {
 	if conf.MaxStates != 0 {
 		mopt.MaxStates = conf.MaxStates
 	}
+	if conf.Limits.MaxStates != 0 {
+		mopt.MaxStates = conf.Limits.MaxStates
+	}
+	mopt.MaxMemBytes = conf.Limits.MaxMemBytes
 	mopt.Workers = conf.ConvertWorkers
 	mopt.Metrics = rec
-	stop = rec.Phase(obs.PhaseConvert)
-	a, err := metastate.Convert(g, mopt)
-	stop()
-	if err != nil {
-		return nil, fmt.Errorf("msc: convert: %w", err)
-	}
-
-	stop = rec.Phase(obs.PhaseCheck)
-	err = metastate.Check(a)
-	stop()
-	if err != nil {
-		return nil, fmt.Errorf("msc: internal error: %w", err)
-	}
-
-	stop = rec.Phase(obs.PhaseVet)
-	diags := analysis.Analyze(g, a)
-	stop()
-	nErr, nWarn, _ := analysis.CountBySeverity(diags)
-	rec.Add(obs.CounterVetDiags, int64(len(diags)))
-	rec.Add(obs.CounterVetErrors, int64(nErr))
-	rec.Add(obs.CounterVetWarnings, int64(nWarn))
-	if conf.Vet && nErr > 0 {
-		var sb []string
-		for _, d := range diags {
-			if d.Sev == analysis.SevError {
-				sb = append(sb, d.String())
+	var a *metastate.Automaton
+	if err := pr.run(obs.PhaseConvert, func() error {
+		au, err := metastate.ConvertContext(pr.ctx, g, mopt)
+		if err != nil {
+			var be *BudgetError
+			if errors.As(err, &be) {
+				return be
 			}
+			return fmt.Errorf("msc: convert: %w", err)
 		}
-		return nil, fmt.Errorf("msc: vet: %s", strings.Join(sb, "; "))
+		a = au
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	stop = rec.Phase(obs.PhaseCodegen)
-	p, err := codegen.Compile(a, codegen.Options{Hash: conf.Hash, CSI: conf.CSI, Metrics: rec})
-	stop()
-	if err != nil {
-		return nil, fmt.Errorf("msc: codegen: %w", err)
+	if err := pr.run(obs.PhaseCheck, func() error {
+		if err := metastate.Check(a); err != nil {
+			return fmt.Errorf("msc: internal error: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+
+	var diags []Diagnostic
+	if err := pr.run(obs.PhaseVet, func() error {
+		diags = analysis.Analyze(g, a)
+		nErr, nWarn, _ := analysis.CountBySeverity(diags)
+		rec.Add(obs.CounterVetDiags, int64(len(diags)))
+		rec.Add(obs.CounterVetErrors, int64(nErr))
+		rec.Add(obs.CounterVetWarnings, int64(nWarn))
+		if conf.Vet && nErr > 0 {
+			var sb []string
+			for _, d := range diags {
+				if d.Sev == analysis.SevError {
+					sb = append(sb, d.String())
+				}
+			}
+			return fmt.Errorf("msc: vet: %s", strings.Join(sb, "; "))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var p *simd.Program
+	if err := pr.run(obs.PhaseCodegen, func() error {
+		pg, err := codegen.Compile(a, codegen.Options{
+			Hash:             conf.Hash,
+			CSI:              conf.CSI,
+			MaxCSICandidates: conf.Limits.MaxCSICandidates,
+			Metrics:          rec,
+		})
+		if err != nil {
+			var be *BudgetError
+			if errors.As(err, &be) {
+				return be
+			}
+			return fmt.Errorf("msc: codegen: %w", err)
+		}
+		p = pg
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
 	return &Compiled{
 		Source:      source,
 		AST:         ast,
@@ -339,6 +605,12 @@ type RunConfig struct {
 	// and Timeline in typed form (SIMD engine only); use obs.JSONLSink
 	// for machine-readable traces or any custom obs.Sink.
 	Sink obs.Sink
+	// MaxSteps bounds the engine's step count (meta-state executions on
+	// the SIMD machine, per-PE blocks on the MIMD reference machine,
+	// rounds in the interpreter); 0 means DefaultMaxSteps. Exceeding it
+	// returns a *StepLimitError instead of hanging on a non-terminating
+	// program (`msc vet` flags definite no-halt/livelock statically).
+	MaxSteps int
 }
 
 // Validate reports the first out-of-range field with a descriptive
@@ -353,36 +625,64 @@ func (rc RunConfig) Validate() error {
 	if rc.InitialActive > rc.N {
 		return fmt.Errorf("msc: RunConfig.InitialActive %d exceeds machine width N=%d", rc.InitialActive, rc.N)
 	}
+	if rc.MaxSteps < 0 {
+		return fmt.Errorf("msc: RunConfig.MaxSteps must be >= 0 (0 means the default of %d), got %d", DefaultMaxSteps, rc.MaxSteps)
+	}
 	return nil
 }
 
 // RunSIMD executes the converted program on the SIMD machine.
 func (c *Compiled) RunSIMD(rc RunConfig) (*simd.Result, error) {
+	return c.RunSIMDContext(context.Background(), rc)
+}
+
+// RunSIMDContext is RunSIMD under a context: cancellation is checked
+// every few thousand meta-state executions.
+func (c *Compiled) RunSIMDContext(ctx context.Context, rc RunConfig) (*simd.Result, error) {
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
 	return simd.Run(c.Program, simd.Config{
 		N: rc.N, InitialActive: rc.InitialActive,
 		Trace: rc.Trace, Timeline: rc.Timeline, Sink: rc.Sink,
+		MaxMeta: rc.MaxSteps, Ctx: ctx,
 	})
 }
 
 // RunMIMD executes the MIMD state graph on the MIMD reference machine
 // (ideal MIMD: one pc per processor, runtime barrier cost).
 func (c *Compiled) RunMIMD(rc RunConfig) (*mimdsim.Result, error) {
+	return c.RunMIMDContext(context.Background(), rc)
+}
+
+// RunMIMDContext is RunMIMD under a context: cancellation is checked
+// every few thousand per-PE blocks.
+func (c *Compiled) RunMIMDContext(ctx context.Context, rc RunConfig) (*mimdsim.Result, error) {
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
-	return mimdsim.Run(c.Graph, mimdsim.Config{N: rc.N, InitialActive: rc.InitialActive})
+	return mimdsim.Run(c.Graph, mimdsim.Config{
+		N: rc.N, InitialActive: rc.InitialActive,
+		MaxBlocks: rc.MaxSteps, Ctx: ctx,
+	})
 }
 
 // RunInterp executes the §1.1 baseline: the MIMD program interpreted on
 // the SIMD machine.
 func (c *Compiled) RunInterp(rc RunConfig) (*interp.Result, error) {
+	return c.RunInterpContext(context.Background(), rc)
+}
+
+// RunInterpContext is RunInterp under a context: cancellation is
+// checked every few thousand interpreter rounds.
+func (c *Compiled) RunInterpContext(ctx context.Context, rc RunConfig) (*interp.Result, error) {
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
-	return interp.Run(c.Graph, interp.Config{N: rc.N, InitialActive: rc.InitialActive})
+	return interp.Run(c.Graph, interp.Config{
+		N: rc.N, InitialActive: rc.InitialActive,
+		MaxRounds: rc.MaxSteps, Ctx: ctx,
+	})
 }
 
 // MPL renders the converted program in the MPL-like text form of the

@@ -68,18 +68,24 @@ func readReport(path string) (*harness.BenchReport, error) {
 }
 
 // metric is one gated comparison column; lower is better for all of
-// them, so a regression is new > old * (1 + tol/100).
+// them, so a regression is new > old * (1 + tol/100). Metrics with
+// gateFromZero set also regress when a zero baseline becomes nonzero
+// (a percentage is undefined there, but the jump itself is the signal
+// — e.g. a workload that starts needing the degradation ladder).
 type metric struct {
-	name string
-	get  func(*harness.BenchResult) int64
+	name         string
+	get          func(*harness.BenchResult) int64
+	gateFromZero bool
 }
 
 var metrics = []metric{
-	{"meta_states", func(r *harness.BenchResult) int64 { return int64(r.MetaStates) }},
-	{"mimd_states", func(r *harness.BenchResult) int64 { return int64(r.MIMDStates) }},
-	{"simd_cycles", func(r *harness.BenchResult) int64 { return r.SIMDCycles }},
-	{"mimd_cycles", func(r *harness.BenchResult) int64 { return r.MIMDCycles }},
-	{"interp_cycles", func(r *harness.BenchResult) int64 { return r.InterpCycles }},
+	{name: "meta_states", get: func(r *harness.BenchResult) int64 { return int64(r.MetaStates) }},
+	{name: "mimd_states", get: func(r *harness.BenchResult) int64 { return int64(r.MIMDStates) }},
+	{name: "simd_cycles", get: func(r *harness.BenchResult) int64 { return r.SIMDCycles }},
+	{name: "mimd_cycles", get: func(r *harness.BenchResult) int64 { return r.MIMDCycles }},
+	{name: "interp_cycles", get: func(r *harness.BenchResult) int64 { return r.InterpCycles }},
+	{name: "degrade_steps", get: func(r *harness.BenchResult) int64 { return r.DegradeSteps }, gateFromZero: true},
+	{name: "budget_overruns", get: func(r *harness.BenchResult) int64 { return r.BudgetOverruns }, gateFromZero: true},
 }
 
 // diff compares cur against old and returns hard regressions and
@@ -102,6 +108,9 @@ func diff(old, cur *harness.BenchReport, tol float64) (regressions, notes []stri
 		for _, m := range metrics {
 			ov, cv := m.get(o), m.get(c)
 			if ov <= 0 {
+				if m.gateFromZero && cv > ov {
+					regressions = append(regressions, fmt.Sprintf("%s: %s %d -> %d (was zero)", o.Name, m.name, ov, cv))
+				}
 				continue
 			}
 			pct := 100 * float64(cv-ov) / float64(ov)

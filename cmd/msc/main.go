@@ -79,6 +79,8 @@ func convFlags(fs *flag.FlagSet) func() msc.Config {
 		csi      = fs.Bool("csi", false, "apply common subexpression induction (§3.1)")
 		hash     = fs.Bool("hash", false, "encode multiway branches with customized hash functions (§3.2)")
 		maxState = fs.Int("max-states", 0, "meta-state space bound (0 = default 65536)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget per compile attempt (0 = none)")
+		degrade  = fs.Bool("degrade", false, "on budget overrun, retry with progressively cheaper settings")
 	)
 	return func() msc.Config {
 		return msc.Config{
@@ -89,6 +91,8 @@ func convFlags(fs *flag.FlagSet) func() msc.Config {
 			CSI:          *csi,
 			Hash:         *hash,
 			MaxStates:    *maxState,
+			Limits:       msc.Limits{Deadline: *timeout},
+			Degrade:      *degrade,
 		}
 	}
 }
@@ -128,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		active    = fs.Int("active", 0, "PEs initially in main (0 = all; rest wait for spawn)")
 		trace     = fs.Bool("trace", false, "trace meta-state execution (simd engine)")
 		timeline  = fs.Bool("timeline", false, "per-PE occupancy timeline (simd engine)")
+		maxSteps  = fs.Int("max-steps", 0, "engine step budget; non-terminating programs fail instead of hanging (0 = default)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -155,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *doRun {
-		return execute(stdout, stderr, c, *engine, *n, *active, *trace, *timeline)
+		return execute(stdout, stderr, c, *engine, *n, *active, *maxSteps, *trace, *timeline)
 	}
 
 	switch *emit {
@@ -184,6 +189,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 func stats(w io.Writer, c *msc.Compiled) {
+	for _, d := range c.Degradations {
+		fmt.Fprintf(w, "degraded:           %s (%s budget exceeded in %s)\n", d.Action, d.Resource, d.Phase)
+	}
 	fmt.Fprintf(w, "MIMD states:        %d\n", c.MIMDStates())
 	fmt.Fprintf(w, "meta states:        %d\n", c.MetaStates())
 	fmt.Fprintf(w, "transitions:        %d\n", c.Automaton.NumTransitions())
@@ -210,6 +218,9 @@ func stats(w io.Writer, c *msc.Compiled) {
 		fmt.Fprintf(w, "dispatch entries:   %d\n", s.DispatchEntries)
 		fmt.Fprintf(w, "vet diagnostics:    %d (%d errors, %d warnings)\n",
 			s.VetDiagnostics, s.VetErrors, s.VetWarnings)
+		if s.DegradeSteps > 0 || s.BudgetOverruns > 0 {
+			fmt.Fprintf(w, "budget overruns:    %d (degrade steps %d)\n", s.BudgetOverruns, s.DegradeSteps)
+		}
 		for _, p := range s.PhaseWall {
 			fmt.Fprintf(w, "phase %-13s %10.3fms\n", p.Name+":", float64(p.Wall)/1e6)
 		}
@@ -225,6 +236,7 @@ func profile(args []string, stdout, stderr io.Writer) error {
 	var (
 		n         = fs.Int("n", 16, "machine width (number of PEs)")
 		active    = fs.Int("active", 0, "PEs initially in main (0 = all; rest wait for spawn)")
+		maxSteps  = fs.Int("max-steps", 0, "engine step budget; non-terminating programs fail instead of hanging (0 = default)")
 		top       = fs.Int("top", 0, "show only the hottest K meta states (0 = all)")
 		dot       = fs.Bool("dot", false, "emit a Graphviz heatmap of the automaton instead of the table")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
@@ -252,7 +264,7 @@ func profile(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.RunSIMD(msc.RunConfig{N: *n, InitialActive: *active})
+	res, err := c.RunSIMD(msc.RunConfig{N: *n, InitialActive: *active, MaxSteps: *maxSteps})
 	if err != nil {
 		return err
 	}
@@ -317,8 +329,8 @@ func writeProfile(w io.Writer, c *msc.Compiled, res *simd.Result, top int) error
 	return nil
 }
 
-func execute(stdout, stderr io.Writer, c *msc.Compiled, engine string, n, active int, trace, timeline bool) error {
-	rc := msc.RunConfig{N: n, InitialActive: active}
+func execute(stdout, stderr io.Writer, c *msc.Compiled, engine string, n, active, maxSteps int, trace, timeline bool) error {
+	rc := msc.RunConfig{N: n, InitialActive: active, MaxSteps: maxSteps}
 	if trace {
 		rc.Trace = stderr
 	}

@@ -8,6 +8,7 @@
 package codegen
 
 import (
+	"errors"
 	"fmt"
 
 	"msc/internal/bitset"
@@ -15,6 +16,7 @@ import (
 	"msc/internal/csi"
 	"msc/internal/hashgen"
 	"msc/internal/msc"
+	"msc/internal/mscerr"
 	"msc/internal/obs"
 	"msc/internal/simd"
 )
@@ -30,6 +32,11 @@ type Options struct {
 	// body, factoring operations shared by multiple threads into single
 	// broadcast slots (§3.1, [Die92]).
 	CSI bool
+	// MaxCSICandidates bounds the total merge candidates the CSI
+	// permutation search may examine per meta state (0 = unlimited).
+	// Exceeding it returns an *mscerr.BudgetError so callers can fall
+	// back to the linear schedule deliberately.
+	MaxCSICandidates int64
 	// Metrics, when non-nil, receives coding counters: CSI cycles and
 	// slots saved, hash-search candidates tried, hash tables built, and
 	// total dispatch entries.
@@ -91,8 +98,15 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 		for i, b := range members {
 			threads[i] = csi.Thread{Guard: bitset.Of(b.ID), Code: b.Code}
 		}
-		sched, err := csi.Induce(threads)
+		sched, err := csi.InduceLimited(threads, csi.Limits{MaxCandidates: opt.MaxCSICandidates})
 		if err != nil {
+			var be *mscerr.BudgetError
+			if errors.As(err, &be) {
+				// Attribute the overrun to the codegen phase the pipeline
+				// reports; the resource name still says csi_candidates.
+				be.Phase = "codegen"
+				return nil, be
+			}
 			return nil, fmt.Errorf("codegen: ms%d: %w", ms.ID, err)
 		}
 		opt.Metrics.Add(obs.CounterCSISavedCycles, int64(sched.Saved()))

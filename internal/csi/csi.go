@@ -32,6 +32,7 @@ import (
 
 	"msc/internal/bitset"
 	"msc/internal/ir"
+	"msc/internal/mscerr"
 )
 
 // Thread is one MIMD state's straight-line code within a meta state,
@@ -69,9 +70,25 @@ func (s *Schedule) Saved() int { return s.NaiveCost - s.Cost }
 // full serialization.
 func (s *Schedule) SlotsSaved() int { return s.NaiveSlots - len(s.Slots) }
 
+// Limits bounds the schedule search.
+type Limits struct {
+	// MaxCandidates caps the merge-candidate pairs the improvement
+	// search may examine across all rounds; 0 means unlimited.
+	// Exceeding it aborts with an *mscerr.BudgetError (resource
+	// "csi_candidates") rather than silently truncating the search, so
+	// the caller can degrade to the linear (serialized) schedule
+	// explicitly.
+	MaxCandidates int64
+}
+
 // Induce computes a CSI schedule for the given threads. Thread guards
 // must be pairwise disjoint.
 func Induce(threads []Thread) (*Schedule, error) {
+	return InduceLimited(threads, Limits{})
+}
+
+// InduceLimited is Induce under a search budget.
+func InduceLimited(threads []Thread, lim Limits) (*Schedule, error) {
 	// Instruction identity here is value identity: two instructions are
 	// the same broadcast iff op/imm/type/symbol agree. Source positions
 	// are diagnostic-only and must not split classes, so work on
@@ -104,8 +121,14 @@ func Induce(threads []Thread) (*Schedule, error) {
 
 	sched := &Schedule{NaiveCost: naive, NaiveSlots: naiveSlots, LowerBound: lowerBound(threads)}
 	g := buildGraph(threads)
-	g.improve()
-	sched.Slots = g.linearize()
+	if err := g.improve(lim.MaxCandidates); err != nil {
+		return nil, err
+	}
+	slots, err := g.linearize()
+	if err != nil {
+		return nil, err
+	}
+	sched.Slots = slots
 	for _, sl := range sched.Slots {
 		sched.Cost += sl.Instr.Cost()
 	}
@@ -293,7 +316,11 @@ func (r *reachability) reaches(a, b *node) bool {
 
 // improve is the permutation-in-range search: repeatedly merge the most
 // expensive pair of identical, guard-disjoint, order-independent slots.
-func (g *graph) improve() {
+// maxCandidates (0 = unlimited) bounds the total pairs examined; the
+// overrun is a typed budget error so callers can fall back to the
+// linear schedule deliberately.
+func (g *graph) improve(maxCandidates int64) error {
+	var candidates int64
 	for {
 		reach := g.closure()
 		var bestA, bestB *node
@@ -306,6 +333,12 @@ func (g *graph) improve() {
 				if b.dead || a.instr != b.instr || a.instr.Cost() <= bestCost {
 					continue
 				}
+				if candidates++; maxCandidates > 0 && candidates > maxCandidates {
+					return &mscerr.BudgetError{
+						Phase: "csi", Resource: "csi_candidates",
+						Limit: maxCandidates, Used: candidates,
+					}
+				}
 				if a.guard.Intersects(b.guard) {
 					continue
 				}
@@ -317,7 +350,7 @@ func (g *graph) improve() {
 			}
 		}
 		if bestA == nil {
-			return
+			return nil
 		}
 		// Merge bestB into bestA. The merge changes the precedence
 		// relation (bestA inherits bestB's chain positions), so the
@@ -335,8 +368,10 @@ func (g *graph) improve() {
 
 // linearize topologically sorts the precedence DAG into the final slot
 // order, preferring earlier positions in lower-numbered threads for
-// determinism.
-func (g *graph) linearize() []Slot {
+// determinism. A precedence cycle (impossible on a correct merge) is
+// reported as an error rather than a panic so the pipeline stays up on
+// the malformed meta state.
+func (g *graph) linearize() ([]Slot, error) {
 	next := make([]int, len(g.threads)) // next unscheduled position per chain
 	var slots []Slot
 	scheduled := map[*node]bool{}
@@ -373,9 +408,10 @@ func (g *graph) linearize() []Slot {
 				}
 			}
 			if allDone {
-				return slots
+				return slots, nil
 			}
-			panic("csi: precedence cycle in linearize (merge bug)")
+			return nil, fmt.Errorf("csi: precedence cycle in linearize (merge bug; %d of %d nodes scheduled)",
+				len(slots), len(g.nodes))
 		}
 		scheduled[pick] = true
 		slots = append(slots, Slot{Guard: pick.guard, Instr: pick.instr})

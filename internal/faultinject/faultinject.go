@@ -1,0 +1,182 @@
+// Package faultinject is the deterministic fault-injection harness the
+// robustness tests drive the pipeline's failure paths with. A Plan
+// names one fault — panic at a phase, budget exhaustion at a phase,
+// cancellation after the k-th interned meta state, or a slow phase —
+// and the pipeline's phase runner and the conversion core call the
+// cheap hooks below (one atomic load when no plan is active, so the
+// hooks are build-tag-free and always compiled in).
+//
+// Plans are deterministic: an explicit Plan literal always fires the
+// same way, and FromSeed derives the same plan from the same seed, so
+// a failing fault-matrix case reproduces from its seed alone.
+//
+// The package is standard library only and imports only
+// internal/mscerr, keeping it a dependency leaf every internal package
+// may use.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"msc/internal/mscerr"
+)
+
+// Fault enumerates the injectable failure modes.
+type Fault uint8
+
+const (
+	// None is the zero plan: all hooks are no-ops.
+	None Fault = iota
+	// PanicAtPhase panics on entry to the target phase; the phase
+	// runner must contain it into an *mscerr.InternalError.
+	PanicAtPhase
+	// BudgetAtPhase returns an *mscerr.BudgetError (resource
+	// "faultinject") from the target phase's entry hook.
+	BudgetAtPhase
+	// CancelAfterStates invokes Plan.Cancel once the converter has
+	// interned Plan.States fresh meta states, exercising cooperative
+	// cancellation mid-frontier.
+	CancelAfterStates
+	// SlowPhase sleeps Plan.Delay on entry to the target phase, so
+	// wall-clock deadlines fire at a chosen point.
+	SlowPhase
+)
+
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case PanicAtPhase:
+		return "panic-at-phase"
+	case BudgetAtPhase:
+		return "budget-exhaust-at-phase"
+	case CancelAfterStates:
+		return "cancel-after-k-states"
+	case SlowPhase:
+		return "slow-phase"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Plan is one deterministic fault. The zero value injects nothing.
+type Plan struct {
+	// Phase is the pipeline phase the fault targets (obs phase names;
+	// CancelAfterStates ignores it and targets conversion).
+	Phase string
+	Fault Fault
+	// States is the fresh-intern count after which CancelAfterStates
+	// fires (the k in cancel-after-k-states).
+	States int
+	// Delay is the SlowPhase sleep.
+	Delay time.Duration
+	// Times bounds how often the fault fires; 0 means every time. A
+	// degradation test uses Times=1 so only the first compile attempt
+	// is sabotaged.
+	Times int
+	// Cancel is the hook CancelAfterStates invokes — normally the
+	// context.CancelFunc of the compile under test.
+	Cancel func()
+
+	hits atomic.Int64
+}
+
+// FromSeed derives a deterministic plan from a seed: the same seed and
+// phase list always produce the same plan, so the fault matrix can be
+// swept reproducibly.
+func FromSeed(seed int64, phases []string) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	return &Plan{
+		Phase:  phases[rng.Intn(len(phases))],
+		Fault:  Fault(1 + rng.Intn(4)),
+		States: 1 + rng.Intn(64),
+		Delay:  time.Duration(1+rng.Intn(5)) * time.Millisecond,
+	}
+}
+
+// active is the installed plan; nil (the common case) makes every hook
+// a single atomic load.
+var active atomic.Pointer[Plan]
+
+// Activate installs the plan and returns the deactivator. Tests defer
+// the deactivator so no plan leaks across test cases; activation is
+// process-global, so fault tests must not run in parallel with each
+// other.
+func Activate(p *Plan) (deactivate func()) {
+	p.hits.Store(0)
+	active.Store(p)
+	return func() { active.CompareAndSwap(p, nil) }
+}
+
+// Active reports the installed plan, or nil.
+func Active() *Plan { return active.Load() }
+
+// fire consumes one firing, honoring the Times bound.
+func (p *Plan) fire() bool {
+	if p.Times <= 0 {
+		return true
+	}
+	return p.hits.Add(1) <= int64(p.Times)
+}
+
+// OnPhase is the hook pipeline phase runners call on phase entry. It
+// panics (PanicAtPhase), returns a budget error (BudgetAtPhase),
+// sleeps (SlowPhase), or does nothing.
+func OnPhase(phase string) error {
+	p := active.Load()
+	if p == nil || p.Phase != phase {
+		return nil
+	}
+	switch p.Fault {
+	case PanicAtPhase:
+		if p.fire() {
+			panic(fmt.Sprintf("faultinject: injected panic at phase %q", phase))
+		}
+	case BudgetAtPhase:
+		if p.fire() {
+			return &mscerr.BudgetError{Phase: phase, Resource: "faultinject", Limit: 0, Used: 1}
+		}
+	case SlowPhase:
+		if p.fire() {
+			time.Sleep(p.Delay)
+		}
+	}
+	return nil
+}
+
+// OnState is the hook the conversion core calls once per freshly
+// interned meta state; the k-th call fires CancelAfterStates.
+func OnState() {
+	p := active.Load()
+	if p == nil || p.Fault != CancelAfterStates || p.Cancel == nil {
+		return
+	}
+	if p.hits.Add(1) == int64(p.States) {
+		p.Cancel()
+	}
+}
+
+// LeakCheck snapshots the goroutine count and returns a checker that
+// waits (bounded) for the count to drop back to the baseline. Used
+// after cancellation tests to prove worker pools drained: goroutines
+// started by the canceled operation must exit, not leak.
+func LeakCheck() func() error {
+	before := runtime.NumGoroutine()
+	return func() error {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("faultinject: goroutine leak: %d at baseline, %d after drain", before, n)
+			}
+			runtime.Gosched()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}

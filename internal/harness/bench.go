@@ -33,6 +33,13 @@ type BenchResult struct {
 
 	// Compile carries the full compile-phase metrics for the workload.
 	Compile *msc.CompileStats `json:"compile,omitempty"`
+
+	// DegradeSteps and BudgetOverruns surface the robustness counters at
+	// the top level so benchdiff can gate on them: a workload that
+	// suddenly needs the degradation ladder (or trips a budget) is a
+	// regression even when its cycle counts look fine.
+	DegradeSteps   int64 `json:"degrade_steps"`
+	BudgetOverruns int64 `json:"budget_overruns"`
 }
 
 // BenchReport is the whole suite's results in one JSON-encodable value.
@@ -74,6 +81,10 @@ func Bench() (*BenchReport, error) {
 			InterpCycles:  interpRes.Time,
 			Utilization:   simdRes.Utilization(wl.Width),
 			Compile:       c.Stats,
+		}
+		if c.Stats != nil {
+			r.DegradeSteps = c.Stats.DegradeSteps
+			r.BudgetOverruns = c.Stats.BudgetOverruns
 		}
 		if simdRes.Time > 0 {
 			r.SpeedupVsInterp = float64(interpRes.Time) / float64(simdRes.Time)

@@ -18,10 +18,12 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"msc/internal/cfg"
 	"msc/internal/ir"
+	"msc/internal/mscerr"
 )
 
 // Interpreter cost model (cycles), following the §1.1 step structure.
@@ -41,9 +43,17 @@ const (
 type Config struct {
 	N             int
 	InitialActive int
-	// MaxRounds bounds interpreter rounds (default 4e6).
+	// MaxRounds bounds interpreter rounds (default
+	// mscerr.DefaultMaxSteps); exceeding it returns an
+	// *mscerr.StepLimitError.
 	MaxRounds int
+	// Ctx, when non-nil, is checked every ctxCheckEvery rounds for
+	// cooperative cancellation.
+	Ctx context.Context
 }
+
+// ctxCheckEvery is the round interval between cancellation checks.
+const ctxCheckEvery = 1024
 
 // Result reports an interpreter execution.
 type Result struct {
@@ -108,7 +118,7 @@ func Run(g *cfg.Graph, conf Config) (*Result, error) {
 		return nil, fmt.Errorf("interp: InitialActive %d out of range [1,%d]", conf.InitialActive, conf.N)
 	}
 	if conf.MaxRounds == 0 {
-		conf.MaxRounds = 4_000_000
+		conf.MaxRounds = mscerr.DefaultMaxSteps
 	}
 
 	progWords := 0
@@ -138,7 +148,12 @@ func Run(g *cfg.Graph, conf Config) (*Result, error) {
 
 	for round := 0; ; round++ {
 		if round >= conf.MaxRounds {
-			return nil, fmt.Errorf("interp: exceeded %d rounds (non-terminating program?)", conf.MaxRounds)
+			return nil, &mscerr.StepLimitError{Engine: "interp", Limit: int64(conf.MaxRounds), Steps: int64(round)}
+		}
+		if conf.Ctx != nil && round%ctxCheckEvery == 0 {
+			if err := conf.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("interp: run canceled at round %d: %w", round, err)
+			}
 		}
 		anyWork, err := m.round()
 		if err != nil {

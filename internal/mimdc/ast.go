@@ -376,7 +376,10 @@ func formatStmt(b *strings.Builder, s Stmt, depth int) {
 		indent(b, depth)
 		b.WriteString(";\n")
 	default:
-		panic(fmt.Sprintf("formatStmt: unknown statement %T", s))
+		// Unknown node: emit a visible placeholder instead of panicking
+		// so diagnostics can still render a partially-built AST.
+		indent(b, depth)
+		fmt.Fprintf(b, "/* unknown statement %T */;\n", s)
 	}
 }
 
@@ -426,6 +429,8 @@ func FormatExpr(e Expr) string {
 	case *Conv:
 		return FormatExpr(e.X) // conversions are implicit in source
 	default:
-		panic(fmt.Sprintf("FormatExpr: unknown expression %T", e))
+		// Unknown node: render a visible placeholder rather than taking
+		// down the caller; formatters are used in diagnostics paths.
+		return fmt.Sprintf("/* unknown expression %T */", e)
 	}
 }

@@ -7,10 +7,12 @@
 package mimdsim
 
 import (
+	"context"
 	"fmt"
 
 	"msc/internal/cfg"
 	"msc/internal/ir"
+	"msc/internal/mscerr"
 )
 
 // Config controls a simulation run.
@@ -26,9 +28,18 @@ type Config struct {
 	// code avoids, §5). Defaults to DefaultBarrierCost when zero.
 	BarrierCost int
 	// MaxBlocks bounds the number of blocks a single PE may execute,
-	// guarding against non-terminating programs. Defaults to 1e6.
+	// guarding against non-terminating programs. Defaults to
+	// mscerr.DefaultMaxSteps; exceeding it returns an
+	// *mscerr.StepLimitError.
 	MaxBlocks int
+	// Ctx, when non-nil, is checked every ctxCheckEvery blocks per PE
+	// for cooperative cancellation.
+	Ctx context.Context
 }
+
+// ctxCheckEvery is the per-PE block interval between cancellation
+// checks.
+const ctxCheckEvery = 1024
 
 // DefaultBarrierCost models a software barrier on a fine-grain MIMD
 // machine (the "cost of runtime synchronization" of §5).
@@ -102,7 +113,7 @@ func Run(g *cfg.Graph, conf Config) (*Result, error) {
 		conf.BarrierCost = DefaultBarrierCost
 	}
 	if conf.MaxBlocks == 0 {
-		conf.MaxBlocks = 1_000_000
+		conf.MaxBlocks = mscerr.DefaultMaxSteps
 	}
 
 	m := &machine{
@@ -188,7 +199,12 @@ func (m *machine) runPE(i int) error {
 		p.released = false
 		p.blocks++
 		if p.blocks > m.cfg.MaxBlocks {
-			return fmt.Errorf("mimdsim: PE %d exceeded %d blocks (non-terminating program?)", i, m.cfg.MaxBlocks)
+			return &mscerr.StepLimitError{Engine: "mimd", Limit: int64(m.cfg.MaxBlocks), Steps: int64(p.blocks)}
+		}
+		if m.cfg.Ctx != nil && p.blocks%ctxCheckEvery == 0 {
+			if err := m.cfg.Ctx.Err(); err != nil {
+				return fmt.Errorf("mimdsim: run canceled at PE %d block %d: %w", i, p.blocks, err)
+			}
 		}
 		m.res.Blocks++
 		m.res.BlockVisits[b.ID]++

@@ -1,6 +1,7 @@
 package msc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +9,8 @@ import (
 
 	"msc/internal/bitset"
 	"msc/internal/cfg"
+	"msc/internal/faultinject"
+	"msc/internal/mscerr"
 	"msc/internal/obs"
 )
 
@@ -52,6 +55,13 @@ type Options struct {
 	// byte-identical automaton (see docs/PERFORMANCE.md for the
 	// determinism argument); Workers only trades wall-clock for cores.
 	Workers int
+	// MaxMemBytes bounds the converter's approximate memory high-water
+	// mark (meta-state sets live or pooled, plus the intern table), the
+	// §1.2 guard in bytes rather than states. 0 means unbounded.
+	// Overruns return an *mscerr.BudgetError with resource "mem_bytes".
+	// The estimate is computed from commit-step state only, so it is
+	// identical for any worker count.
+	MaxMemBytes int64
 	// Metrics, when non-nil, receives conversion counters: meta states
 	// explored (interned across every restart attempt), work-list
 	// high-water mark, barrier-filtered aggregates, subset-merged
@@ -112,6 +122,16 @@ var parallelFrontierMin = 32
 // graph is cloned first; when time splitting runs, the automaton's G
 // field holds the split copy.
 func Convert(g *cfg.Graph, opt Options) (*Automaton, error) {
+	return ConvertContext(context.Background(), g, opt)
+}
+
+// ConvertContext is Convert with cooperative cancellation: the commit
+// loop checks ctx once per meta state, and the worker pool stops
+// claiming frontier slots when ctx is done. Cancellation always drains
+// the pool before returning (no goroutine outlives the call), and the
+// converter's warm structures stay consistent, so a subsequent
+// conversion of the same graph yields the byte-identical automaton.
+func ConvertContext(ctx context.Context, g *cfg.Graph, opt Options) (*Automaton, error) {
 	opt.fillDefaults()
 	if opt.MergeSubsets && !opt.Compress {
 		// Without the both-successors rule, a superset state's dispatch
@@ -119,6 +139,7 @@ func Convert(g *cfg.Graph, opt Options) (*Automaton, error) {
 		return nil, fmt.Errorf("msc: MergeSubsets requires Compress")
 	}
 	c := newConverter(g.Clone(), opt)
+	c.ctx = ctx
 
 	restarts := 0
 	splits := 0
@@ -165,6 +186,7 @@ func MustConvert(g *cfg.Graph, opt Options) *Automaton {
 type converter struct {
 	g   *cfg.Graph
 	opt Options
+	ctx context.Context
 
 	barriers *bitset.Set
 	memo     contribMemo
@@ -244,17 +266,53 @@ func (c *converter) intern(set *bitset.Set) (int, error) {
 		return id, nil
 	}
 	if len(c.a.States) >= c.opt.MaxStates {
-		return 0, fmt.Errorf("msc: meta-state space exceeded %d states (see Options.MaxStates)", c.opt.MaxStates)
+		return 0, &mscerr.BudgetError{
+			Phase: "convert", Resource: "meta_states",
+			Limit: int64(c.opt.MaxStates), Used: int64(len(c.a.States)) + 1,
+		}
+	}
+	if c.opt.MaxMemBytes > 0 {
+		if used := c.approxMemBytes(); used > c.opt.MaxMemBytes {
+			return 0, &mscerr.BudgetError{
+				Phase: "convert", Resource: "mem_bytes",
+				Limit: c.opt.MaxMemBytes, Used: used,
+			}
+		}
 	}
 	ms := c.newMetaState(set)
 	ms.ID = len(c.a.States)
 	c.a.States = append(c.a.States, ms)
 	c.itab.insert(h, ms.ID)
 	c.explored++
+	faultinject.OnState()
 	if pending := int64(len(c.a.States) - c.curIdx - 1); pending > c.worklistHigh {
 		c.worklistHigh = pending
 	}
 	return ms.ID, nil
+}
+
+// approxMemBytes estimates the converter's memory high-water mark: one
+// full-width set (plus struct overhead) per meta state, live or pooled,
+// and the intern table's slot array. It is intentionally approximate —
+// a budget, not an accountant — and computed from commit-step state
+// only, so sequential and parallel conversions agree exactly.
+func (c *converter) approxMemBytes() int64 {
+	const perState = 96 // MetaState + Set headers, amortized Trans slice
+	setBytes := int64((len(c.g.Blocks)+63)/64*8 + perState)
+	states := int64(len(c.a.States) + len(c.msFree))
+	return states*setBytes + int64(len(c.itab.slots))*16
+}
+
+// checkCtx surfaces cooperative cancellation; called once per committed
+// meta state, so cancellation latency is one state's expansion.
+func (c *converter) checkCtx() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("msc: convert canceled after %d meta states: %w", len(c.a.States), err)
+	}
+	return nil
 }
 
 // newMetaState builds a meta state holding a private copy of set,
@@ -302,6 +360,9 @@ func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
 		if c.opt.Workers > 1 && len(frontier) >= parallelFrontierMin {
 			results := c.expandParallel(frontier)
 			for i, ms := range frontier {
+				if err := c.checkCtx(); err != nil {
+					return nil, false, err
+				}
 				c.curIdx = genStart + i
 				if c.opt.TimeSplit {
 					if changed := timeSplitState(c.g, ms.Set, c.opt); len(changed) > 0 {
@@ -316,6 +377,9 @@ func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
 		} else {
 			e := c.exps[0]
 			for i, ms := range frontier {
+				if err := c.checkCtx(); err != nil {
+					return nil, false, err
+				}
 				c.curIdx = genStart + i
 				if c.opt.TimeSplit {
 					if changed := timeSplitState(c.g, ms.Set, c.opt); len(changed) > 0 {
@@ -337,6 +401,13 @@ func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
 // Workers claim frontier slots through an atomic cursor, each with its
 // own scratch expander; nothing is interned here, so no ordering is
 // imposed and no locks are taken on the hot path.
+//
+// Two containment guarantees: on context cancellation workers stop
+// claiming new slots and the unconditional Wait drains them, so a
+// canceled conversion never leaks a goroutine; and a worker panic is
+// captured and re-raised on the calling goroutine after the drain, so
+// the pipeline's phase runner can contain it (a goroutine panic would
+// otherwise kill the process no matter what the caller deferred).
 func (c *converter) expandParallel(frontier []*MetaState) []expansion {
 	workers := min(c.opt.Workers, len(frontier))
 	for len(c.exps) < workers {
@@ -344,12 +415,21 @@ func (c *converter) expandParallel(frontier []*MetaState) []expansion {
 	}
 	results := make([]expansion, len(frontier))
 	var next atomic.Int64
+	var panicked atomic.Pointer[workerPanic]
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(e *expander) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &workerPanic{val: r})
+				}
+			}()
 			for {
+				if c.ctx != nil && c.ctx.Err() != nil {
+					return // canceled: stop claiming; commit loop reports
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(frontier) {
 					return
@@ -359,9 +439,15 @@ func (c *converter) expandParallel(frontier []*MetaState) []expansion {
 		}(c.exps[w])
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
 	c.parallelGens++
 	return results
 }
+
+// workerPanic carries the first panic value out of the worker pool.
+type workerPanic struct{ val any }
 
 // commit applies one meta state's expansion: §2.6 barrier filtering,
 // interning of targets (and of explicit release states), transition

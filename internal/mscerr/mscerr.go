@@ -1,0 +1,76 @@
+// Package mscerr holds the typed failure values shared by the pipeline
+// and the execution engines. It is a dependency leaf (standard library
+// only, imported by internal packages and re-exported by the root
+// package) so that a budget overrun detected deep inside the converter
+// and one detected by a simulator surface as the same Go type to API
+// callers, who match them with errors.As.
+//
+// The taxonomy (see docs/ROBUSTNESS.md):
+//
+//   - *BudgetError — a configured resource limit was exhausted (meta
+//     states, wall clock, CSI search candidates, approximate memory).
+//     The program may well be valid; retrying with a bigger budget or
+//     cheaper settings (Config.Degrade) can succeed.
+//   - *StepLimitError — an execution engine hit its step budget, the
+//     runtime analogue of a budget error (non-termination guard).
+//   - *InternalError — a contained panic: an internal invariant broke.
+//     Retrying will not help; this is a compiler bug carrying the phase
+//     and stack for the report.
+//
+// Cancellation is not a type of its own: context errors propagate
+// unwrapped-able via errors.Is(err, context.Canceled/DeadlineExceeded).
+package mscerr
+
+import "fmt"
+
+// DefaultMaxSteps is the default simulator step budget shared by all
+// three engines (meta-state executions on the SIMD machine, per-PE
+// blocks on the MIMD reference, rounds on the interpreter). Large
+// enough for every shipped workload, small enough that a runaway
+// program fails in seconds rather than hanging the process.
+const DefaultMaxSteps = 1 << 24
+
+// BudgetError reports a resource budget exhausted during compilation.
+// Phase is the pipeline phase that overran ("convert", "codegen", ...);
+// Resource names the budget ("meta_states", "wall_clock_ms",
+// "csi_candidates", "mem_bytes", or "faultinject" for injected faults);
+// Used and Limit quantify the overrun in the resource's unit.
+type BudgetError struct {
+	Phase    string
+	Resource string
+	Limit    int64
+	Used     int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("%s: %s budget exceeded: used %d of %d (see msc.Limits; Config.Degrade retries with cheaper settings)",
+		e.Phase, e.Resource, e.Used, e.Limit)
+}
+
+// StepLimitError reports an execution engine exhausting its step budget
+// — the runtime non-termination guard. Engine is "simd", "mimd", or
+// "interp"; Steps is how many steps ran (for the MIMD reference, the
+// per-PE block count that tripped first).
+type StepLimitError struct {
+	Engine string
+	Limit  int64
+	Steps  int64
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("%s: exceeded step limit of %d (non-terminating program? `msc vet` flags definite no-halt/livelock statically; raise RunConfig.MaxSteps to run longer)",
+		e.Engine, e.Limit)
+}
+
+// InternalError is a contained panic: an internal invariant failed
+// inside a pipeline phase and the phase runner recovered it. It always
+// indicates a bug in this package, never bad input.
+type InternalError struct {
+	Phase string
+	Panic string // the recovered panic value, stringified
+	Stack []byte // debug.Stack() at recovery
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("internal error in %s: %s (contained panic; this is a compiler bug)", e.Phase, e.Panic)
+}

@@ -53,7 +53,17 @@ const (
 	CounterParallelGens    = "convert.parallel_generations"
 	CounterConvertWorkers  = "convert.workers"
 	CounterMergeScanned    = "convert.merge_candidates_scanned"
+
+	// Robustness counters (resource budgets and the graceful-degradation
+	// ladder; see docs/ROBUSTNESS.md). Budget overruns are recorded per
+	// resource under BudgetCounterPrefix, e.g. "budget.meta_states".
+	CounterDegradeSteps = "degrade.steps"
 )
+
+// BudgetCounterPrefix prefixes per-resource budget-overrun counters
+// ("budget.meta_states", "budget.wall_clock", ...). Sum them with
+// Metrics.PrefixSum.
+const BudgetCounterPrefix = "budget."
 
 // Phase names recorded by msc.Compile, in pipeline order.
 const (
@@ -232,6 +242,18 @@ func (m *Metrics) Counter(name string) int64 {
 		}
 	}
 	return 0
+}
+
+// PrefixSum sums every counter whose name starts with prefix; use it
+// with BudgetCounterPrefix to total budget overruns across resources.
+func (m *Metrics) PrefixSum(prefix string) int64 {
+	var sum int64
+	for _, c := range m.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			sum += c.Value
+		}
+	}
+	return sum
 }
 
 // JSON encodes the metrics as indented JSON.

@@ -1,11 +1,13 @@
 package simd
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"msc/internal/bitset"
 	"msc/internal/ir"
+	"msc/internal/mscerr"
 	"msc/internal/obs"
 )
 
@@ -17,15 +19,25 @@ const (
 	PCIdle = -2
 )
 
+// ctxCheckEvery is how many meta-state executions pass between
+// cooperative cancellation checks — frequent enough that a canceled run
+// stops within microseconds, rare enough to stay off the hot path.
+const ctxCheckEvery = 1024
+
 // Config controls a SIMD run.
 type Config struct {
 	// N is the machine width. InitialActive PEs begin at the program
 	// entry (zero means all).
 	N             int
 	InitialActive int
-	// MaxMeta bounds meta-state executions (non-termination guard);
-	// defaults to 1e6.
+	// MaxMeta bounds meta-state executions (the non-termination guard);
+	// defaults to mscerr.DefaultMaxSteps. Exceeding it returns an
+	// *mscerr.StepLimitError.
 	MaxMeta int
+	// Ctx, when non-nil, is checked every ctxCheckEvery meta states for
+	// cooperative cancellation; a canceled run returns ctx's error
+	// (matchable with errors.Is) with no state leaked.
+	Ctx context.Context
 	// Trace, when non-nil, receives one line per meta-state execution:
 	// the state, its live/enabled census, and the aggregate that chose
 	// the next state. It is shorthand for attaching an obs.TextSink.
@@ -192,7 +204,7 @@ func Run(p *Program, conf Config) (*Result, error) {
 		return nil, fmt.Errorf("simd: InitialActive %d out of range [1,%d]", conf.InitialActive, conf.N)
 	}
 	if conf.MaxMeta == 0 {
-		conf.MaxMeta = 1_000_000
+		conf.MaxMeta = mscerr.DefaultMaxSteps
 	}
 	start := p.Meta[p.Start]
 	if start.Set.Len() != 1 {
@@ -224,7 +236,12 @@ func Run(p *Program, conf Config) (*Result, error) {
 	cur := p.Start
 	for step := 0; ; step++ {
 		if step >= conf.MaxMeta {
-			return nil, fmt.Errorf("simd: exceeded %d meta-state executions (non-terminating program?)", conf.MaxMeta)
+			return nil, &mscerr.StepLimitError{Engine: "simd", Limit: int64(conf.MaxMeta), Steps: int64(step)}
+		}
+		if conf.Ctx != nil && step%ctxCheckEvery == 0 {
+			if err := conf.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("simd: run canceled at step %d: %w", step, err)
+			}
 		}
 		mc := p.Meta[cur]
 		m.res.MetaExecs++

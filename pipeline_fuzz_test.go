@@ -1,6 +1,8 @@
 package msc_test
 
 import (
+	"errors"
+	"os"
 	"strings"
 	"testing"
 
@@ -80,6 +82,55 @@ func FuzzPipelineEquivalence(f *testing.F) {
 						golden[pe] = append(golden[pe], int64(ref.Mem[pe][slot]))
 					}
 				}
+			}
+		}
+	})
+}
+
+// FuzzPipelineRobustness feeds raw (possibly hostile) source through the
+// hardened pipeline under tight budgets: non-terminating loops, deeply
+// nested control flow, and barrier storms. Every outcome must be a
+// clean result or a typed, non-internal error — no hang (the step and
+// state budgets bound all engines), no contained-panic leak, and the
+// degradation ladder must never be needed for the committed seeds.
+func FuzzPipelineRobustness(f *testing.F) {
+	for _, path := range []string{
+		"testdata/robust/nonterminating.mc",
+		"testdata/robust/deepnest.mc",
+		"testdata/robust/barrierstorm.mc",
+	} {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		conf := msc.Config{
+			Compress: true, CSI: true, Hash: true,
+			Limits: msc.Limits{MaxStates: 2000, MaxMemBytes: 64 << 20},
+		}
+		c, err := msc.Compile(src, conf)
+		if err != nil {
+			var ie *msc.InternalError
+			if errors.As(err, &ie) {
+				t.Fatalf("contained compiler panic in %s: %v\n%s\n%s", ie.Phase, err, ie.Stack, src)
+			}
+			return // front-end rejections and budget overruns are expected
+		}
+		rc := msc.RunConfig{N: 4, MaxSteps: 1 << 15}
+		for _, run := range []func() error{
+			func() error { _, err := c.RunSIMD(rc); return err },
+			func() error { _, err := c.RunMIMD(rc); return err },
+			func() error { _, err := c.RunInterp(rc); return err },
+		} {
+			if err := run(); err != nil {
+				var ie *msc.InternalError
+				if errors.As(err, &ie) {
+					t.Fatalf("internal error from engine: %v\n%s", err, src)
+				}
+				// Step limits, deadlocked barriers, runtime faults: all
+				// fine as long as they come back as ordinary errors.
 			}
 		}
 	})
