@@ -35,16 +35,21 @@ cover:
 	go test -cover ./...
 
 # Full benchmark run: the Go benchmark suite (wall/alloc numbers), a
-# fresh machine-readable report, and a regression gate against the
-# pinned baseline (deterministic metrics hard-fail beyond 10%; wall
-# times warn only). See docs/PERFORMANCE.md.
+# fresh machine-readable report, and regression gates against the
+# pinned baselines: the seed at the default 10% tolerance, and the
+# post-telemetry baseline (BENCH_pr4.json, pre-telemetry) at 2% on the
+# deterministic metrics — the disabled telemetry path must not change
+# a single state or cycle count. Wall times warn only (benchdiff
+# -wall-tol gates them on quiet machines). See docs/PERFORMANCE.md.
 bench:
 	go test -bench=. -benchmem ./...
 	go run ./cmd/mscbench -json BENCH_current.json
 	go run ./cmd/benchdiff BENCH_seed.json BENCH_current.json
+	go run ./cmd/benchdiff -tol 2 BENCH_pr4.json BENCH_current.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=60s ./internal/mimdc/
+	go test -fuzz=FuzzPromEscape -fuzztime=30s ./internal/telemetry/
 
 # Regenerate EXPERIMENTS.md (all paper artifacts + ablations).
 experiments:

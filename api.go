@@ -45,6 +45,7 @@ import (
 	"msc/internal/mscerr"
 	"msc/internal/obs"
 	"msc/internal/simd"
+	"msc/internal/telemetry"
 )
 
 // Typed pipeline errors, re-exported from the shared leaf package so
@@ -164,8 +165,23 @@ type Config struct {
 	// domain counters (the obs glossary in docs/OBSERVABILITY.md).
 	// Compile records into its own recorder regardless and exposes the
 	// typed view as Compiled.Stats; setting Metrics shares the recorder,
-	// e.g. to publish it over expvar while compilation proceeds.
+	// e.g. to publish it over expvar while compilation proceeds. The
+	// recorder's backing telemetry registry additionally accumulates
+	// compile-latency and meta-state histograms, servable in Prometheus
+	// form via obs.DebugServer.MountMetrics.
 	Metrics *obs.Recorder
+	// Tracer, when non-nil, records the compile as a hierarchical span
+	// tree: one compile root (per attempt when degrading), a phase.*
+	// child per pipeline phase, and — via the conversion options — one
+	// span per frontier generation and parallel worker. Budget overruns,
+	// degradation rungs, and contained panics attach as span events.
+	// Export with telemetry.Tracer.WriteJSONL or WriteChromeTrace (the
+	// `msc trace` subcommand drives this). Nil costs nothing: every span
+	// operation no-ops on the nil tracer.
+	Tracer *telemetry.Tracer
+	// TraceParent optionally parents the compile span under an existing
+	// span of Tracer (e.g. a service request span). Zero means root.
+	TraceParent telemetry.SpanID
 }
 
 // Validate reports the first out-of-range field. Compile rejects
@@ -325,19 +341,28 @@ func CompileContext(ctx context.Context, source string, conf Config) (*Compiled,
 	if rec == nil {
 		rec = obs.NewRecorder()
 	}
+	start := time.Now()
+	span := conf.Tracer.StartSpan("compile", conf.TraceParent,
+		telemetry.Int("source_bytes", int64(len(source))))
+	defer span.End()
 
 	var degradations []DegradeStep
 	for {
-		c, err := compileOnce(ctx, source, conf, rec)
+		c, err := compileOnce(ctx, source, conf, rec, span)
 		if err == nil {
 			c.Degradations = degradations
+			observeCompile(rec, span, start, c)
 			return c, nil
 		}
 		var be *BudgetError
 		if !errors.As(err, &be) {
+			span.Event("error", telemetry.String("error", err.Error()))
 			return nil, err
 		}
 		rec.Add(obs.BudgetCounterPrefix+be.Resource, 1)
+		span.Event("budget_overrun",
+			telemetry.String("phase", be.Phase), telemetry.String("resource", be.Resource),
+			telemetry.Int("limit", be.Limit), telemetry.Int("used", be.Used))
 		if !conf.Degrade {
 			return nil, err
 		}
@@ -346,8 +371,32 @@ func CompileContext(ctx context.Context, source string, conf Config) (*Compiled,
 			return nil, err
 		}
 		rec.Add(obs.CounterDegradeSteps, 1)
+		span.Event("degrade",
+			telemetry.String("resource", step.Resource), telemetry.String("action", step.Action))
 		degradations = append(degradations, step)
 	}
+}
+
+// Histogram buckets for the compile-level telemetry: latency from 100µs
+// to ~17min, automaton sizes from 1 to 256k meta states, engine runs
+// from 100 cycles to 1e10. Fixed here so Prometheus expositions are
+// comparable across processes.
+var (
+	latencyBuckets = telemetry.ExpBuckets(1e5, 10, 8)
+	statesBuckets  = telemetry.ExpBuckets(1, 4, 10)
+	cyclesBuckets  = telemetry.ExpBuckets(100, 10, 9)
+)
+
+// observeCompile lands the per-compile histogram observations in the
+// recorder's backing registry and finishes the compile span.
+func observeCompile(rec *obs.Recorder, span *telemetry.Span, start time.Time, c *Compiled) {
+	reg := rec.Registry()
+	reg.Histogram("compile.latency_ns", "compile wall time (ns)", latencyBuckets).
+		Observe(time.Since(start).Nanoseconds())
+	reg.Histogram("compile.meta_states", "meta states per compile", statesBuckets).
+		Observe(int64(c.MetaStates()))
+	span.SetAttr(telemetry.Int("meta_states", int64(c.MetaStates())))
+	span.SetAttr(telemetry.Int("mimd_states", int64(c.MIMDStates())))
 }
 
 // degradeStep takes one rung down the degradation ladder: it relaxes
@@ -381,25 +430,35 @@ func degradeStep(conf *Config, be *BudgetError) (DegradeStep, bool) {
 // pipelineRun threads the per-attempt context and phase bookkeeping
 // through compileOnce.
 type pipelineRun struct {
-	ctx   context.Context
-	rec   *obs.Recorder
-	phase string // last phase entered, for wall-clock attribution
+	ctx    context.Context
+	rec    *obs.Recorder
+	tracer *telemetry.Tracer
+	parent *telemetry.Span // compile span; nil when tracing is off
+	span   *telemetry.Span // current phase span, for child spans
+	phase  string          // last phase entered, for wall-clock attribution
 }
 
 // run executes one pipeline phase under the attempt context: it checks
 // cancellation at the boundary, fires the fault-injection hook, records
-// the phase wall time, and contains panics as *InternalError.
+// the phase wall time and span, and contains panics as *InternalError.
+// A contained panic still closes the phase span, carrying a "panic"
+// event — a trace of a crashed compile shows where and why it died.
 func (pr *pipelineRun) run(phase string, fn func() error) (err error) {
 	pr.phase = phase
 	if cerr := pr.ctx.Err(); cerr != nil {
 		return fmt.Errorf("msc: canceled before %s: %w", phase, cerr)
 	}
 	stop := pr.rec.Phase(phase)
+	span := pr.parent.StartChild("phase." + phase)
+	pr.span = span
 	defer stop()
 	defer func() {
 		if r := recover(); r != nil {
+			span.Event("panic", telemetry.String("value", fmt.Sprint(r)))
 			err = &InternalError{Phase: phase, Panic: fmt.Sprint(r), Stack: debug.Stack()}
 		}
+		span.End()
+		pr.span = nil
 	}()
 	if ferr := faultinject.OnPhase(phase); ferr != nil {
 		return ferr
@@ -410,7 +469,7 @@ func (pr *pipelineRun) run(phase string, fn func() error) (err error) {
 // compileOnce runs the pipeline once under the attempt's own deadline
 // (Limits.Deadline is per attempt, so a degraded retry gets a fresh
 // budget).
-func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recorder) (*Compiled, error) {
+func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recorder, span *telemetry.Span) (*Compiled, error) {
 	start := time.Now()
 	ownDeadline := conf.Limits.Deadline > 0
 	if ownDeadline {
@@ -418,7 +477,7 @@ func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recor
 		ctx, cancel = context.WithTimeout(ctx, conf.Limits.Deadline)
 		defer cancel()
 	}
-	pr := &pipelineRun{ctx: ctx, rec: rec}
+	pr := &pipelineRun{ctx: ctx, rec: rec, tracer: conf.Tracer, parent: span}
 
 	c, err := pipeline(pr, source, conf, rec)
 	if err != nil && ownDeadline && errors.Is(err, context.DeadlineExceeded) {
@@ -502,8 +561,12 @@ func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*
 	mopt.MaxMemBytes = conf.Limits.MaxMemBytes
 	mopt.Workers = conf.ConvertWorkers
 	mopt.Metrics = rec
+	mopt.Trace = conf.Tracer
 	var a *metastate.Automaton
 	if err := pr.run(obs.PhaseConvert, func() error {
+		if pr.span != nil {
+			mopt.TraceParent = pr.span.ID
+		}
 		au, err := metastate.ConvertContext(pr.ctx, g, mopt)
 		if err != nil {
 			var be *BudgetError
@@ -611,6 +674,20 @@ type RunConfig struct {
 	// returns a *StepLimitError instead of hanging on a non-terminating
 	// program (`msc vet` flags definite no-halt/livelock statically).
 	MaxSteps int
+	// Tracer, when non-nil, records the execution as a run.<engine> span
+	// carrying the machine shape and final cycle count; TraceParent
+	// optionally nests it under an existing span (e.g. the compile span,
+	// giving one compile→run trace). Nil costs nothing.
+	Tracer      *telemetry.Tracer
+	TraceParent telemetry.SpanID
+	// Profiler, when non-nil, receives sampled attribution of engine
+	// cycles to meta states and source blocks; render the result with
+	// telemetry.Profiler.WriteFolded (the `msc profile -folded` output).
+	Profiler *telemetry.Profiler
+	// Metrics, when non-nil, accumulates an engine.cycles histogram
+	// (labeled by engine) per run — the scrape-side complement of the
+	// per-run Result struct.
+	Metrics *telemetry.Registry
 }
 
 // Validate reports the first out-of-range field with a descriptive
@@ -642,11 +719,31 @@ func (c *Compiled) RunSIMDContext(ctx context.Context, rc RunConfig) (*simd.Resu
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
-	return simd.Run(c.Program, simd.Config{
+	span := rc.Tracer.StartSpan("run.simd", rc.TraceParent, telemetry.Int("n", int64(rc.N)))
+	res, err := simd.Run(c.Program, simd.Config{
 		N: rc.N, InitialActive: rc.InitialActive,
 		Trace: rc.Trace, Timeline: rc.Timeline, Sink: rc.Sink,
-		MaxMeta: rc.MaxSteps, Ctx: ctx,
+		MaxMeta: rc.MaxSteps, Ctx: ctx, Profiler: rc.Profiler,
 	})
+	if res != nil {
+		finishRun(span, rc, "simd", res.Time)
+	} else {
+		finishRun(span, rc, "simd", -1)
+	}
+	return res, err
+}
+
+// finishRun closes a run span and lands the engine-cycle histogram; a
+// negative cycle count means the run failed before producing a result.
+func finishRun(span *telemetry.Span, rc RunConfig, engine string, cycles int64) {
+	if cycles >= 0 {
+		span.SetAttr(telemetry.Int("cycles", cycles))
+		rc.Metrics.Histogram("engine.cycles", "engine cycles per run", cyclesBuckets,
+			telemetry.Label{Name: "engine", Value: engine}).Observe(cycles)
+	} else {
+		span.Event("error")
+	}
+	span.End()
 }
 
 // RunMIMD executes the MIMD state graph on the MIMD reference machine
@@ -661,10 +758,17 @@ func (c *Compiled) RunMIMDContext(ctx context.Context, rc RunConfig) (*mimdsim.R
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
-	return mimdsim.Run(c.Graph, mimdsim.Config{
+	span := rc.Tracer.StartSpan("run.mimd", rc.TraceParent, telemetry.Int("n", int64(rc.N)))
+	res, err := mimdsim.Run(c.Graph, mimdsim.Config{
 		N: rc.N, InitialActive: rc.InitialActive,
-		MaxBlocks: rc.MaxSteps, Ctx: ctx,
+		MaxBlocks: rc.MaxSteps, Ctx: ctx, Profiler: rc.Profiler,
 	})
+	if res != nil {
+		finishRun(span, rc, "mimd", res.Time)
+	} else {
+		finishRun(span, rc, "mimd", -1)
+	}
+	return res, err
 }
 
 // RunInterp executes the §1.1 baseline: the MIMD program interpreted on
@@ -679,10 +783,17 @@ func (c *Compiled) RunInterpContext(ctx context.Context, rc RunConfig) (*interp.
 	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
-	return interp.Run(c.Graph, interp.Config{
+	span := rc.Tracer.StartSpan("run.interp", rc.TraceParent, telemetry.Int("n", int64(rc.N)))
+	res, err := interp.Run(c.Graph, interp.Config{
 		N: rc.N, InitialActive: rc.InitialActive,
-		MaxRounds: rc.MaxSteps, Ctx: ctx,
+		MaxRounds: rc.MaxSteps, Ctx: ctx, Profiler: rc.Profiler,
 	})
+	if res != nil {
+		finishRun(span, rc, "interp", res.Time)
+	} else {
+		finishRun(span, rc, "interp", -1)
+	}
+	return res, err
 }
 
 // MPL renders the converted program in the MPL-like text form of the

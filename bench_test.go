@@ -12,7 +12,9 @@ import (
 	"msc/internal/harness"
 	"msc/internal/hashgen"
 	metastate "msc/internal/msc"
+	"msc/internal/obs"
 	"msc/internal/progen"
+	"msc/internal/telemetry"
 )
 
 // BenchmarkF1CFGConstruction: Figure 1 — building the 4-state MIMD
@@ -440,4 +442,47 @@ func BenchmarkP4TimeSplitLarge(b *testing.B) {
 		splits = c.Automaton.Splits
 	}
 	b.ReportMetric(float64(splits), "splits")
+}
+
+// ---- Telemetry overhead (see docs/OBSERVABILITY.md) ------------------------
+
+// BenchmarkTelemetryDisabled is the baseline the disabled-path claim is
+// measured against: a full compile + SIMD run with no tracer, no
+// profiler, and no metrics attached. Every telemetry hook on this path
+// must reduce to a nil pointer compare.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := msc.Compile(harness.Divergent, msc.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RunSIMD(msc.RunConfig{N: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryEnabled is the same workload with the full stack
+// attached — tracer, metrics recorder, and exact (period-1) profiler —
+// bounding what "everything on" costs relative to the baseline above.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := telemetry.NewTracer()
+		rec := obs.NewRecorder()
+		conf := msc.DefaultConfig()
+		conf.Tracer = tr
+		conf.Metrics = rec
+		c, err := msc.Compile(harness.Divergent, conf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof := telemetry.NewProfiler(1)
+		if _, err := c.RunSIMD(msc.RunConfig{
+			N: 16, Tracer: tr, Profiler: prof, Metrics: rec.Registry(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

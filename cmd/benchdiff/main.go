@@ -7,7 +7,10 @@
 //
 // Usage:
 //
-//	benchdiff [-tol 10] OLD.json NEW.json
+//	benchdiff [-tol 10] [-wall-tol 0] OLD.json NEW.json
+//
+// -wall-tol > 0 additionally gates compile wall times at that percent
+// (warn-only by default, since wall times are machine noise).
 //
 // The repository pins BENCH_seed.json as the baseline; `make bench`
 // regenerates the current report and runs this comparison.
@@ -24,9 +27,10 @@ import (
 
 func main() {
 	tol := flag.Float64("tol", 10, "regression tolerance in percent for deterministic metrics")
+	wallTol := flag.Float64("wall-tol", 0, "gate compile wall-time regressions beyond this percent (0 = warn-only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol pct] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol pct] [-wall-tol pct] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	old, err := readReport(flag.Arg(0))
@@ -39,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	regressions, notes := diff(old, cur, *tol)
+	regressions, notes := diff(old, cur, *tol, *wallTol)
 	for _, n := range notes {
 		fmt.Println("note:", n)
 	}
@@ -91,7 +95,7 @@ var metrics = []metric{
 // diff compares cur against old and returns hard regressions and
 // informational notes. A workload present in old but missing from cur
 // is a regression (coverage loss); a new workload is a note.
-func diff(old, cur *harness.BenchReport, tol float64) (regressions, notes []string) {
+func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, notes []string) {
 	curBy := make(map[string]*harness.BenchResult, len(cur.Results))
 	for i := range cur.Results {
 		curBy[cur.Results[i].Name] = &cur.Results[i]
@@ -121,11 +125,17 @@ func diff(old, cur *harness.BenchReport, tol float64) (regressions, notes []stri
 				notes = append(notes, fmt.Sprintf("%s: %s improved %d -> %d (%.1f%%)", o.Name, m.name, ov, cv, pct))
 			}
 		}
-		// Wall times vary run to run; surface large swings without gating.
+		// Wall times vary run to run: by default surface large swings
+		// without gating; -wall-tol > 0 gates them hard (use on quiet
+		// machines to pin a no-overhead claim).
 		if o.Compile != nil && c.Compile != nil {
 			ow, cw := phaseTotal(o), phaseTotal(c)
 			if ow > 0 {
-				if pct := 100 * float64(cw-ow) / float64(ow); pct > 2*tol {
+				pct := 100 * float64(cw-ow) / float64(ow)
+				switch {
+				case wallTol > 0 && pct > wallTol:
+					regressions = append(regressions, fmt.Sprintf("%s: compile wall %dns -> %dns (%+.1f%%)", o.Name, ow, cw, pct))
+				case pct > 2*tol:
 					notes = append(notes, fmt.Sprintf("%s: compile wall %dns -> %dns (%+.1f%%, warn-only)", o.Name, ow, cw, pct))
 				}
 			}

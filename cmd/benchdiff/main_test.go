@@ -24,7 +24,7 @@ func row(name string, meta int, simd int64) harness.BenchResult {
 func TestDiffWithinToleranceIsClean(t *testing.T) {
 	old := report(row("a", 10, 100), row("b", 20, 200))
 	cur := report(row("a", 10, 105), row("b", 20, 200)) // +5% < 10%
-	regs, _ := diff(old, cur, 10)
+	regs, _ := diff(old, cur, 10, 0)
 	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
@@ -33,7 +33,7 @@ func TestDiffWithinToleranceIsClean(t *testing.T) {
 func TestDiffFlagsCycleRegression(t *testing.T) {
 	old := report(row("a", 10, 100))
 	cur := report(row("a", 10, 115)) // +15% > 10%
-	regs, _ := diff(old, cur, 10)
+	regs, _ := diff(old, cur, 10, 0)
 	if len(regs) != 1 || !strings.Contains(regs[0], "simd_cycles") {
 		t.Fatalf("want one simd_cycles regression, got %v", regs)
 	}
@@ -42,7 +42,7 @@ func TestDiffFlagsCycleRegression(t *testing.T) {
 func TestDiffFlagsStateGrowth(t *testing.T) {
 	old := report(row("a", 10, 100))
 	cur := report(row("a", 12, 100)) // +20% meta states
-	regs, _ := diff(old, cur, 10)
+	regs, _ := diff(old, cur, 10, 0)
 	if len(regs) != 1 || !strings.Contains(regs[0], "meta_states") {
 		t.Fatalf("want one meta_states regression, got %v", regs)
 	}
@@ -51,7 +51,7 @@ func TestDiffFlagsStateGrowth(t *testing.T) {
 func TestDiffImprovementIsNoteOnly(t *testing.T) {
 	old := report(row("a", 10, 100))
 	cur := report(row("a", 5, 40))
-	regs, notes := diff(old, cur, 10)
+	regs, notes := diff(old, cur, 10, 0)
 	if len(regs) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", regs)
 	}
@@ -63,7 +63,7 @@ func TestDiffImprovementIsNoteOnly(t *testing.T) {
 func TestDiffMissingWorkloadIsRegression(t *testing.T) {
 	old := report(row("a", 10, 100), row("gone", 10, 100))
 	cur := report(row("a", 10, 100), row("fresh", 10, 100))
-	regs, notes := diff(old, cur, 10)
+	regs, notes := diff(old, cur, 10, 0)
 	if len(regs) != 1 || !strings.Contains(regs[0], "gone") {
 		t.Fatalf("want missing-workload regression, got %v", regs)
 	}
@@ -83,11 +83,30 @@ func TestDiffWallTimeWarnsOnly(t *testing.T) {
 	slow.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 10_000_000}}}
 	fast := row("a", 10, 100)
 	fast.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 1_000_000}}}
-	regs, notes := diff(report(fast), report(slow), 10)
+	regs, notes := diff(report(fast), report(slow), 10, 0)
 	if len(regs) != 0 {
 		t.Fatalf("wall-time swing gated hard: %v", regs)
 	}
 	if len(notes) != 1 || !strings.Contains(notes[0], "warn-only") {
 		t.Fatalf("want one warn-only note, got %v", notes)
+	}
+}
+
+func TestDiffWallTolGatesHard(t *testing.T) {
+	slow := row("a", 10, 100)
+	slow.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 1_050_000}}}
+	fast := row("a", 10, 100)
+	fast.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 1_000_000}}}
+	// +5% wall: clean at the default, a hard regression at -wall-tol 2.
+	if regs, _ := diff(report(fast), report(slow), 10, 0); len(regs) != 0 {
+		t.Fatalf("warn-only mode gated hard: %v", regs)
+	}
+	regs, _ := diff(report(fast), report(slow), 10, 2)
+	if len(regs) != 1 || !strings.Contains(regs[0], "compile wall") {
+		t.Fatalf("want one wall regression at wall-tol 2, got %v", regs)
+	}
+	// Within the wall tolerance stays clean.
+	if regs, _ := diff(report(fast), report(slow), 10, 6); len(regs) != 0 {
+		t.Fatalf("+5%% gated at wall-tol 6: %v", regs)
 	}
 }

@@ -23,11 +23,22 @@
 //
 // Profiling:
 //
-//	msc profile [-n=16] [-top=K] [-dot] file.mc
+//	msc profile [-n=16] [-top=K] [-dot] [-folded [-sample-period=P]] file.mc
 //
 // runs the program on the SIMD engine and prints the per-meta-state
 // hot-spot table (visits, cycles, share of total time, mean live and
-// enabled PEs); -dot emits a Graphviz heatmap of the automaton instead.
+// enabled PEs); -dot emits a Graphviz heatmap of the automaton instead,
+// and -folded emits folded stacks (meta state -> block -> source line)
+// for flamegraph.pl or speedscope, sampled every -sample-period cycles.
+//
+// Tracing:
+//
+//	msc trace [-format=chrome|jsonl] [-o=FILE] [-run [-engine=E]] file.mc
+//
+// compiles (and with -run executes) the program with the hierarchical
+// tracer attached and exports the span tree: compile -> phases ->
+// conversion generations/workers -> engine run. The chrome format loads
+// directly into Perfetto or chrome://tracing.
 //
 // Static analysis:
 //
@@ -42,8 +53,9 @@
 //
 // Conversion options mirror the paper: -compress (§2.5), -timesplit
 // (§2.4), -exact-barriers (§2.6 alternative), -expand-calls (§2.2),
-// -csi (§3.1), -hash (§3.2). -pprof=ADDR serves net/http/pprof and
-// expvar (including the live compile metrics) for the process lifetime.
+// -csi (§3.1), -hash (§3.2). -pprof=ADDR serves net/http/pprof, expvar
+// (including the live compile metrics), and Prometheus text exposition
+// at /metrics for the process lifetime.
 package main
 
 import (
@@ -58,6 +70,7 @@ import (
 	"msc/internal/ir"
 	"msc/internal/obs"
 	"msc/internal/simd"
+	"msc/internal/telemetry"
 )
 
 func main() {
@@ -97,8 +110,9 @@ func convFlags(fs *flag.FlagSet) func() msc.Config {
 	}
 }
 
-// startDebug starts the pprof/expvar server when addr is non-empty and
-// publishes the compile recorder over expvar. The returned closer is
+// startDebug starts the pprof/expvar server when addr is non-empty,
+// publishes the compile recorder over expvar, and serves its metrics
+// registry as Prometheus text at /metrics. The returned closer is
 // always safe to call.
 func startDebug(addr string, rec *obs.Recorder, stderr io.Writer) (func(), error) {
 	if addr == "" {
@@ -109,7 +123,8 @@ func startDebug(addr string, rec *obs.Recorder, stderr io.Writer) (func(), error
 		return func() {}, err
 	}
 	rec.Publish("msc.compile")
-	fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof/ (expvar at /debug/vars)\n", srv.Addr())
+	srv.MountMetrics(rec.Registry())
+	fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof/ (expvar at /debug/vars, Prometheus at /metrics)\n", srv.Addr())
 	return func() { srv.Close() }, nil
 }
 
@@ -120,6 +135,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "vet" {
 		return vet(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "trace" {
+		return trace(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("msc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -239,6 +257,8 @@ func profile(args []string, stdout, stderr io.Writer) error {
 		maxSteps  = fs.Int("max-steps", 0, "engine step budget; non-terminating programs fail instead of hanging (0 = default)")
 		top       = fs.Int("top", 0, "show only the hottest K meta states (0 = all)")
 		dot       = fs.Bool("dot", false, "emit a Graphviz heatmap of the automaton instead of the table")
+		folded    = fs.Bool("folded", false, "emit folded stacks (flamegraph.pl / speedscope input) instead of the table")
+		period    = fs.Int64("sample-period", 1, "sampling period in cycles for -folded (1 = exact attribution)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -264,11 +284,20 @@ func profile(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.RunSIMD(msc.RunConfig{N: *n, InitialActive: *active, MaxSteps: *maxSteps})
+	rc := msc.RunConfig{N: *n, InitialActive: *active, MaxSteps: *maxSteps}
+	var prof *telemetry.Profiler
+	if *folded {
+		prof = telemetry.NewProfiler(*period)
+		rc.Profiler = prof
+	}
+	res, err := c.RunSIMD(rc)
 	if err != nil {
 		return err
 	}
 
+	if *folded {
+		return prof.WriteFolded(stdout, "simd")
+	}
 	if *dot {
 		fmt.Fprint(stdout, c.DotProfile(fs.Arg(0), res))
 		return nil

@@ -1,0 +1,109 @@
+// The `msc trace` subcommand: compile (and optionally run) a program
+// with the hierarchical tracer attached, then export the span tree.
+//
+//	msc trace [-format=chrome|jsonl] [-o=FILE] [-run [-engine=E] [-n=K]] file.mc
+//
+// The chrome format loads directly into Perfetto (ui.perfetto.dev) or
+// chrome://tracing; jsonl is one span per line for ad-hoc tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"msc"
+	"msc/internal/telemetry"
+)
+
+func trace(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("msc trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	conv := convFlags(fs)
+	var (
+		format   = fs.String("format", "chrome", "export format: chrome (Perfetto/chrome://tracing) | jsonl (one span per line)")
+		out      = fs.String("o", "", "write the trace to this file (default stdout)")
+		doRun    = fs.Bool("run", false, "also execute the program so run spans chain under the compile span")
+		engine   = fs.String("engine", "simd", "execution engine when -run is set: simd|mimd|interp")
+		n        = fs.Int("n", 16, "machine width (number of PEs)")
+		active   = fs.Int("active", 0, "PEs initially in main (0 = all; rest wait for spawn)")
+		maxSteps = fs.Int("max-steps", 0, "engine step budget; non-terminating programs fail instead of hanging (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("usage: msc trace [flags] file.mc")
+	}
+	if *format != "chrome" && *format != "jsonl" {
+		return fmt.Errorf("unknown -format %q (want chrome or jsonl)", *format)
+	}
+
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	tr := telemetry.NewTracer()
+	conf := conv()
+	conf.Tracer = tr
+	c, err := msc.Compile(string(src), conf)
+	if err != nil {
+		return err
+	}
+
+	if *doRun {
+		// Chain the run under the compile root so the exported tree
+		// shows the full compile -> phases -> run lifecycle.
+		var parent telemetry.SpanID
+		for _, s := range tr.Spans() {
+			if s.Name == "compile" {
+				parent = s.ID
+			}
+		}
+		rc := msc.RunConfig{
+			N: *n, InitialActive: *active, MaxSteps: *maxSteps,
+			Tracer: tr, TraceParent: parent,
+		}
+		switch *engine {
+		case "simd":
+			_, err = c.RunSIMD(rc)
+		case "mimd":
+			_, err = c.RunMIMD(rc)
+		case "interp":
+			_, err = c.RunInterp(rc)
+		default:
+			return fmt.Errorf("unknown -engine %q", *engine)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	var f *os.File
+	if *out != "" {
+		if f, err = os.Create(*out); err != nil {
+			return err
+		}
+		w = f
+	}
+	if *format == "jsonl" {
+		err = tr.WriteJSONL(w)
+	} else {
+		err = tr.WriteChromeTrace(w)
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "wrote %d spans to %s (%s format)\n", len(tr.Spans()), *out, *format)
+	}
+	return nil
+}

@@ -112,10 +112,15 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 		opt.Metrics.Add(obs.CounterCSISavedCycles, int64(sched.Saved()))
 		opt.Metrics.Add(obs.CounterCSISlotsSaved, int64(sched.SlotsSaved()))
 		for _, sl := range sched.Slots {
+			// A CSI-merged slot serves every state in its guard; the
+			// minimum member is the deterministic representative the
+			// profiler attributes its cycles to.
 			mc.Slots = append(mc.Slots, simd.Slot{
 				Kind:  simd.SlotExec,
 				Guard: sl.Guard,
 				Instr: sl.Instr,
+				Block: sl.Guard.Min(),
+				Pos:   sl.Instr.Pos,
 			})
 		}
 	} else {
@@ -126,6 +131,8 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 					Kind:  simd.SlotExec,
 					Guard: guard,
 					Instr: in,
+					Block: b.ID,
+					Pos:   in.Pos,
 				})
 			}
 		}
@@ -138,22 +145,22 @@ func compileMeta(a *msc.Automaton, ms *msc.MetaState, opt Options) (*simd.MetaCo
 		guard := bitset.Of(b.ID)
 		switch b.Term {
 		case cfg.End:
-			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotEnd, Guard: guard})
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotEnd, Guard: guard, Block: b.ID, Pos: b.Pos})
 			exitCheck = true
 		case cfg.Halt:
-			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotHalt, Guard: guard})
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotHalt, Guard: guard, Block: b.ID, Pos: b.Pos})
 			exitCheck = true
 		case cfg.Goto:
-			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotSetPC, Guard: guard, To: b.Next})
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotSetPC, Guard: guard, To: b.Next, Block: b.ID, Pos: b.Pos})
 		case cfg.Branch:
 			mc.Slots = append(mc.Slots, simd.Slot{
-				Kind: simd.SlotJumpF, Guard: guard, To: b.Next, FTo: b.FNext,
+				Kind: simd.SlotJumpF, Guard: guard, To: b.Next, FTo: b.FNext, Block: b.ID, Pos: b.Pos,
 			})
 		case cfg.RetBr:
-			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotRetBr, Guard: guard})
+			mc.Slots = append(mc.Slots, simd.Slot{Kind: simd.SlotRetBr, Guard: guard, Block: b.ID, Pos: b.Pos})
 		case cfg.Spawn:
 			mc.Slots = append(mc.Slots, simd.Slot{
-				Kind: simd.SlotSpawn, Guard: guard, To: b.Next, ChildTo: b.SpawnNext,
+				Kind: simd.SlotSpawn, Guard: guard, To: b.Next, ChildTo: b.SpawnNext, Block: b.ID, Pos: b.Pos,
 			})
 		}
 	}

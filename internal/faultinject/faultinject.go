@@ -160,13 +160,19 @@ func OnState() {
 }
 
 // LeakCheck snapshots the goroutine count and returns a checker that
-// waits (bounded) for the count to drop back to the baseline. Used
+// waits (bounded, 5s) for the count to drop back to the baseline. Used
 // after cancellation tests to prove worker pools drained: goroutines
 // started by the canceled operation must exit, not leak.
-func LeakCheck() func() error {
+func LeakCheck() func() error { return LeakCheckWithin(5 * time.Second) }
+
+// LeakCheckWithin is LeakCheck with an explicit drain grace period, for
+// teardown with a known bound tighter or looser than the default —
+// e.g. a telemetry exporter goroutine that must join at Close, where a
+// short grace keeps a leak from stalling the whole suite.
+func LeakCheckWithin(grace time.Duration) func() error {
 	before := runtime.NumGoroutine()
 	return func() error {
-		deadline := time.Now().Add(5 * time.Second)
+		deadline := time.Now().Add(grace)
 		for {
 			n := runtime.NumGoroutine()
 			if n <= before {

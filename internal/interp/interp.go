@@ -24,6 +24,7 @@ import (
 	"msc/internal/cfg"
 	"msc/internal/ir"
 	"msc/internal/mscerr"
+	"msc/internal/telemetry"
 )
 
 // Interpreter cost model (cycles), following the §1.1 step structure.
@@ -50,6 +51,13 @@ type Config struct {
 	// Ctx, when non-nil, is checked every ctxCheckEvery rounds for
 	// cooperative cancellation.
 	Ctx context.Context
+	// Profiler, when non-nil, receives sampled cycle attribution:
+	// handler-body cycles fold to the dispatching group's block (the
+	// first matching PE's — approximate, since one handler serves every
+	// matching PE), and the fetch/decode/mask/loop overhead to the
+	// dispatch frame (telemetry.NoBlock). Meta frame is telemetry.NoMeta
+	// — the interpreter has no meta states.
+	Profiler *telemetry.Profiler
 }
 
 // ctxCheckEvery is the round interval between cancellation checks.
@@ -232,6 +240,9 @@ func (m *machine) round() (bool, error) {
 	m.res.TypesPerRound += int64(len(kinds))
 	m.res.Time += FetchCost + DecodeCost + LoopCost
 	m.res.Overhead += FetchCost + DecodeCost + LoopCost
+	if m.conf.Profiler != nil {
+		m.conf.Profiler.Add(telemetry.NoMeta, telemetry.NoBlock, ir.Pos{}, FetchCost+DecodeCost+LoopCost)
+	}
 
 	// Deterministic dispatch order: ascending kind.
 	order := make([]opKind, 0, len(kinds))
@@ -249,6 +260,9 @@ func (m *machine) round() (bool, error) {
 	for _, k := range order {
 		m.res.Time += MaskCost
 		m.res.Overhead += MaskCost
+		if m.conf.Profiler != nil {
+			m.conf.Profiler.Add(telemetry.NoMeta, telemetry.NoBlock, ir.Pos{}, MaskCost)
+		}
 		m.res.PEHist[len(kinds[k])]++
 		if err := m.dispatch(k, kinds[k]); err != nil {
 			return false, err
@@ -279,6 +293,10 @@ func (m *machine) dispatch(k opKind, matching []int) error {
 	if k >= kindEnd {
 		// Terminator handlers.
 		m.res.Time += 3 // handler body
+		if m.conf.Profiler != nil && len(matching) > 0 {
+			b := m.g.Block(m.pes[matching[0]].blk)
+			m.conf.Profiler.Add(telemetry.NoMeta, b.ID, b.Pos, 3)
+		}
 		for _, i := range matching {
 			p := &m.pes[i]
 			b := m.g.Block(p.blk)
@@ -331,6 +349,12 @@ func (m *machine) dispatch(k opKind, matching []int) error {
 	// instruction word, so one handler serves all matching PEs.
 	op := ir.Op(k - kindOpBase)
 	m.res.Time += int64(op.Cost()) + 1 // +1 operand access
+	if m.conf.Profiler != nil && len(matching) > 0 {
+		// One handler serves every matching PE; attribute its cost to the
+		// first PE's block (deterministic, approximately proportional).
+		b := m.g.Block(m.pes[matching[0]].blk)
+		m.conf.Profiler.Add(telemetry.NoMeta, b.ID, b.Pos, int64(op.Cost())+1)
+	}
 	for _, i := range matching {
 		p := &m.pes[i]
 		b := m.g.Block(p.blk)

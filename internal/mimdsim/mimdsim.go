@@ -13,6 +13,7 @@ import (
 	"msc/internal/cfg"
 	"msc/internal/ir"
 	"msc/internal/mscerr"
+	"msc/internal/telemetry"
 )
 
 // Config controls a simulation run.
@@ -35,6 +36,11 @@ type Config struct {
 	// Ctx, when non-nil, is checked every ctxCheckEvery blocks per PE
 	// for cooperative cancellation.
 	Ctx context.Context
+	// Profiler, when non-nil, receives sampled attribution of useful
+	// cycles to MIMD blocks (meta frame telemetry.NoMeta — this machine
+	// has no meta states). The simulator runs PEs on one goroutine, so
+	// the profiler's single-consumer contract holds.
+	Profiler *telemetry.Profiler
 }
 
 // ctxCheckEvery is the per-PE block interval between cancellation
@@ -218,6 +224,9 @@ func (m *machine) runPE(i int) error {
 		p.clock += cost
 		m.res.Useful += cost
 		m.res.BlockCycles[b.ID] += cost
+		if m.cfg.Profiler != nil {
+			m.cfg.Profiler.Add(telemetry.NoMeta, b.ID, b.Pos, cost)
+		}
 
 		switch b.Term {
 		case cfg.End:

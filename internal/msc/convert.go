@@ -12,6 +12,7 @@ import (
 	"msc/internal/faultinject"
 	"msc/internal/mscerr"
 	"msc/internal/obs"
+	"msc/internal/telemetry"
 )
 
 // Options configures a conversion.
@@ -69,6 +70,13 @@ type Options struct {
 	// conversion core. All recording is nil-safe, so the hook costs
 	// nothing when absent.
 	Metrics *obs.Recorder
+	// Trace, when non-nil, records conversion spans: one per BFS
+	// frontier generation (with generation index and frontier size) and,
+	// inside parallel generations, one per worker on its own display
+	// lane. TraceParent parents the generation spans — typically the
+	// pipeline's phase.convert span. Nil-safe like Metrics.
+	Trace       *telemetry.Tracer
+	TraceParent telemetry.SpanID
 }
 
 // maxRestartsDefault is the single source of truth for the §2.4 restart
@@ -353,24 +361,30 @@ func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
 	}
 	a.Start = start
 
-	for genStart := 0; genStart < len(a.States); {
+	for gen, genStart := 0, 0; genStart < len(a.States); gen++ {
 		genEnd := len(a.States)
 		frontier := a.States[genStart:genEnd]
+		gspan := c.opt.Trace.StartSpan("convert.generation", c.opt.TraceParent,
+			telemetry.Int("gen", int64(gen)), telemetry.Int("frontier", int64(len(frontier))))
 
 		if c.opt.Workers > 1 && len(frontier) >= parallelFrontierMin {
-			results := c.expandParallel(frontier)
+			results := c.expandParallel(frontier, gspan)
 			for i, ms := range frontier {
 				if err := c.checkCtx(); err != nil {
+					gspan.End()
 					return nil, false, err
 				}
 				c.curIdx = genStart + i
 				if c.opt.TimeSplit {
 					if changed := timeSplitState(c.g, ms.Set, c.opt); len(changed) > 0 {
 						c.memo.invalidate(changed)
+						gspan.Event("restart", telemetry.Int("split_blocks", int64(len(changed))))
+						gspan.End()
 						return nil, true, nil
 					}
 				}
 				if err := c.commit(ms, results[i]); err != nil {
+					gspan.End()
 					return nil, false, err
 				}
 			}
@@ -378,20 +392,26 @@ func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
 			e := c.exps[0]
 			for i, ms := range frontier {
 				if err := c.checkCtx(); err != nil {
+					gspan.End()
 					return nil, false, err
 				}
 				c.curIdx = genStart + i
 				if c.opt.TimeSplit {
 					if changed := timeSplitState(c.g, ms.Set, c.opt); len(changed) > 0 {
 						c.memo.invalidate(changed)
+						gspan.Event("restart", telemetry.Int("split_blocks", int64(len(changed))))
+						gspan.End()
 						return nil, true, nil
 					}
 				}
 				if err := c.commit(ms, e.expand(ms.Set)); err != nil {
+					gspan.End()
 					return nil, false, err
 				}
 			}
 		}
+		gspan.SetAttr(telemetry.Int("new_states", int64(len(a.States)-genEnd)))
+		gspan.End()
 		genStart = genEnd
 	}
 	return a, false, nil
@@ -408,7 +428,7 @@ func (c *converter) convertOnce() (a *Automaton, didSplit bool, err error) {
 // captured and re-raised on the calling goroutine after the drain, so
 // the pipeline's phase runner can contain it (a goroutine panic would
 // otherwise kill the process no matter what the caller deferred).
-func (c *converter) expandParallel(frontier []*MetaState) []expansion {
+func (c *converter) expandParallel(frontier []*MetaState, gspan *telemetry.Span) []expansion {
 	workers := min(c.opt.Workers, len(frontier))
 	for len(c.exps) < workers {
 		c.exps = append(c.exps, newExpander(c.g, c.barriers, c.opt, &c.memo, &c.pool))
@@ -419,9 +439,21 @@ func (c *converter) expandParallel(frontier []*MetaState) []expansion {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(e *expander) {
+		go func(w int, e *expander) {
 			defer wg.Done()
+			// Worker spans get their own display lanes so the Chrome
+			// export shows the fan-out side by side; Span is
+			// concurrency-safe, so tracing the pool needs no extra
+			// synchronization. Nil gspan (tracing off) makes every span
+			// call a no-op.
+			wspan := gspan.StartChild("convert.worker", telemetry.Int("worker", int64(w)))
+			if wspan != nil {
+				wspan.Lane = workerLaneBase + w
+			}
+			claimed := int64(0)
 			defer func() {
+				wspan.SetAttr(telemetry.Int("claimed", claimed))
+				wspan.End()
 				if r := recover(); r != nil {
 					panicked.CompareAndSwap(nil, &workerPanic{val: r})
 				}
@@ -435,8 +467,9 @@ func (c *converter) expandParallel(frontier []*MetaState) []expansion {
 					return
 				}
 				results[i] = e.expand(frontier[i].Set)
+				claimed++
 			}
-		}(c.exps[w])
+		}(w, c.exps[w])
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
@@ -448,6 +481,10 @@ func (c *converter) expandParallel(frontier []*MetaState) []expansion {
 
 // workerPanic carries the first panic value out of the worker pool.
 type workerPanic struct{ val any }
+
+// workerLaneBase offsets conversion-worker span lanes so they render on
+// their own tracks in the Chrome trace viewer, below the main lane.
+const workerLaneBase = 100
 
 // commit applies one meta state's expansion: §2.6 barrier filtering,
 // interning of targets (and of explicit release states), transition

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Reserved per-PE occupancy values in timeline events. Non-negative
@@ -66,10 +67,38 @@ type Event struct {
 	PEs []int
 }
 
-// Sink consumes trace events. Implementations must be usable from the
-// single VM goroutine; they do not need to be concurrency-safe.
+// Sink consumes trace events.
+//
+// Concurrency contract: the engines emit from a single VM goroutine, so
+// the sinks in this package (TextSink, JSONLSink, MultiSink) are NOT
+// concurrency-safe — unsynchronized Emit calls from multiple goroutines
+// race on the underlying writers. A sink shared across goroutines (for
+// example, one stream collecting several engine runs) must be wrapped
+// in a SyncSink.
 type Sink interface {
 	Emit(e *Event) error
+}
+
+// SyncSink serializes Emit calls to the wrapped sink with a mutex,
+// making any Sink safe to share across goroutines. Events from
+// different goroutines interleave at Emit granularity — whole lines,
+// never partial writes.
+type SyncSink struct {
+	mu   sync.Mutex
+	Sink Sink
+}
+
+// NewSyncSink wraps s; a nil inner sink drops events.
+func NewSyncSink(s Sink) *SyncSink { return &SyncSink{Sink: s} }
+
+// Emit forwards to the wrapped sink under the lock.
+func (s *SyncSink) Emit(e *Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Sink == nil {
+		return nil
+	}
+	return s.Sink.Emit(e)
 }
 
 // TextSink renders events in the human-readable text format that

@@ -3,7 +3,9 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -109,5 +111,46 @@ func TestMultiSink(t *testing.T) {
 	}
 	if a.String() == "" || a.String() != b.String() {
 		t.Errorf("multi sink outputs differ: %q vs %q", a.String(), b.String())
+	}
+}
+
+// TestSyncSinkConcurrent shares one sink chain across goroutines the
+// way a multi-engine run would, under the race detector (make check
+// runs this package with -race): every event must land as a whole
+// line, never interleaved mid-write.
+func TestSyncSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSyncSink(MultiSink{&JSONLSink{W: &buf}, &TextSink{Trace: io.Discard}})
+	var wg sync.WaitGroup
+	const workers, events = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				e := &Event{Kind: EventMeta, Step: int64(i), Cycle: int64(w), Meta: w, Set: "{0}", Next: 1}
+				if err := s.Emit(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != workers*events {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*events)
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved write produced bad JSON line %q: %v", line, err)
+		}
+	}
+}
+
+func TestSyncSinkNilInner(t *testing.T) {
+	if err := NewSyncSink(nil).Emit(&Event{Kind: EventExit}); err != nil {
+		t.Fatal(err)
 	}
 }

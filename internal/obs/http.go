@@ -5,13 +5,17 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"msc/internal/telemetry"
 )
 
 // DebugServer serves the standard Go diagnostics endpoints —
 // /debug/pprof/* and /debug/vars — on its own mux so importing this
-// package never mutates http.DefaultServeMux.
+// package never mutates http.DefaultServeMux. MountMetrics adds a
+// Prometheus /metrics endpoint over a telemetry registry.
 type DebugServer struct {
 	ln  net.Listener
+	mux *http.ServeMux
 	srv *http.Server
 }
 
@@ -29,9 +33,16 @@ func StartDebugServer(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &DebugServer{ln: ln, mux: mux, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// MountMetrics serves reg in Prometheus text exposition format at
+// /metrics. Call it once per server; the registry may keep gaining
+// metrics afterwards — every scrape snapshots the current state.
+func (s *DebugServer) MountMetrics(reg *telemetry.Registry) {
+	s.mux.Handle("/metrics", telemetry.Handler(reg))
 }
 
 // Addr returns the bound address (useful with ":0").

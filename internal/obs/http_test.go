@@ -74,3 +74,54 @@ func TestDebugServerServesPprofAndExpvar(t *testing.T) {
 		t.Errorf("expvar counter after update = %d, want 8", m.Counter(CounterMetaStates))
 	}
 }
+
+// TestDebugServerMetrics mounts a recorder's registry at /metrics and
+// scrapes it: pipeline counters recorded through the Recorder must come
+// back in Prometheus text exposition form.
+func TestDebugServerMetrics(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	r := NewRecorder()
+	r.Add(CounterMetaStates, 5)
+	r.AddPhase(PhaseConvert, 1500)
+	srv.MountMetrics(r.Registry())
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	if !strings.Contains(body, "convert_meta_states 5") {
+		t.Errorf("scrape missing recorder counter:\n%s", body)
+	}
+	if !strings.Contains(body, "phase_convert 1500") {
+		t.Errorf("scrape missing phase wall time:\n%s", body)
+	}
+
+	// Metrics recorded after the mount appear on the next scrape.
+	r.Add(CounterMetaStates, 2)
+	resp2, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	b, err = io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "convert_meta_states 7") {
+		t.Errorf("rescrape missing updated counter:\n%s", b)
+	}
+}

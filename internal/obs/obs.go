@@ -21,6 +21,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"msc/internal/telemetry"
 )
 
 // Well-known counter names recorded by the compile pipeline. The
@@ -89,44 +91,82 @@ type Phase struct {
 	Wall time.Duration `json:"wall_ns"`
 }
 
+// PhaseMetricPrefix prefixes phase wall times when they appear in a
+// telemetry registry ("phase.parse" holds parse wall nanoseconds).
+const PhaseMetricPrefix = "phase."
+
 // Recorder accumulates phases and counters. It is safe for concurrent
 // use and all methods are no-ops on a nil receiver, so callers thread
 // an optional *Recorder without nil checks at every site.
+//
+// Values live in a telemetry.Registry — the single metrics source of
+// truth — so anything a Recorder records is also visible to Prometheus
+// scrapes of that registry. The Recorder itself only keeps the
+// first-use ordering that makes Snapshot output byte-stable. Phase wall
+// times are registry counters holding nanoseconds under
+// PhaseMetricPrefix + name.
 type Recorder struct {
-	mu       sync.Mutex
-	phases   []Phase
-	phaseIdx map[string]int
-	counters []Counter
-	countIdx map[string]int
+	mu         sync.Mutex
+	reg        *telemetry.Registry
+	phaseOrder []string
+	phaseByN   map[string]*telemetry.Counter
+	countOrder []string
+	countByN   map[string]*telemetry.Counter
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder backed by its own registry.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-func (r *Recorder) phaseSlot(name string) *Phase {
-	if r.phaseIdx == nil {
-		r.phaseIdx = make(map[string]int)
-	}
-	i, ok := r.phaseIdx[name]
-	if !ok {
-		i = len(r.phases)
-		r.phases = append(r.phases, Phase{Name: name})
-		r.phaseIdx[name] = i
-	}
-	return &r.phases[i]
+// NewRecorderIn returns a recorder whose values land in reg, so one
+// registry can aggregate pipeline counters with other telemetry (engine
+// histograms, trace-derived metrics) for a single /metrics exposition.
+func NewRecorderIn(reg *telemetry.Registry) *Recorder {
+	return &Recorder{reg: reg}
 }
 
-func (r *Recorder) counterSlot(name string) *Counter {
-	if r.countIdx == nil {
-		r.countIdx = make(map[string]int)
+// Registry returns the backing telemetry registry, creating it on
+// first use; nil for a nil recorder.
+func (r *Recorder) Registry() *telemetry.Registry {
+	if r == nil {
+		return nil
 	}
-	i, ok := r.countIdx[name]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.registry()
+}
+
+// registry lazily initializes the backing registry; callers hold r.mu.
+func (r *Recorder) registry() *telemetry.Registry {
+	if r.reg == nil {
+		r.reg = telemetry.NewRegistry()
+	}
+	return r.reg
+}
+
+func (r *Recorder) phaseSlot(name string) *telemetry.Counter {
+	if r.phaseByN == nil {
+		r.phaseByN = make(map[string]*telemetry.Counter)
+	}
+	c, ok := r.phaseByN[name]
 	if !ok {
-		i = len(r.counters)
-		r.counters = append(r.counters, Counter{Name: name})
-		r.countIdx[name] = i
+		c = r.registry().Counter(PhaseMetricPrefix+name, "phase wall time (ns)")
+		r.phaseByN[name] = c
+		r.phaseOrder = append(r.phaseOrder, name)
 	}
-	return &r.counters[i]
+	return c
+}
+
+func (r *Recorder) counterSlot(name string) *telemetry.Counter {
+	if r.countByN == nil {
+		r.countByN = make(map[string]*telemetry.Counter)
+	}
+	c, ok := r.countByN[name]
+	if !ok {
+		c = r.registry().Counter(name, "")
+		r.countByN[name] = c
+		r.countOrder = append(r.countOrder, name)
+	}
+	return c
 }
 
 // Phase starts timing the named phase and returns the stop function;
@@ -145,8 +185,9 @@ func (r *Recorder) AddPhase(name string, d time.Duration) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.phaseSlot(name).Wall += d
+	c := r.phaseSlot(name)
+	r.mu.Unlock()
+	c.Add(int64(d))
 }
 
 // Add adds delta to the named counter, creating it at zero first.
@@ -155,8 +196,9 @@ func (r *Recorder) Add(name string, delta int64) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counterSlot(name).Value += delta
+	c := r.counterSlot(name)
+	r.mu.Unlock()
+	c.Add(delta)
 }
 
 // Set sets the named counter.
@@ -165,8 +207,9 @@ func (r *Recorder) Set(name string, v int64) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counterSlot(name).Value = v
+	c := r.counterSlot(name)
+	r.mu.Unlock()
+	c.Set(v)
 }
 
 // Max raises the named counter to v if v is larger (high-water marks).
@@ -175,11 +218,9 @@ func (r *Recorder) Max(name string, v int64) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	c := r.counterSlot(name)
-	if v > c.Value {
-		c.Value = v
-	}
+	r.mu.Unlock()
+	c.Max(v)
 }
 
 // Value returns the named counter (zero when absent or nil receiver).
@@ -188,14 +229,9 @@ func (r *Recorder) Value(name string) int64 {
 		return 0
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.countIdx == nil {
-		return 0
-	}
-	if i, ok := r.countIdx[name]; ok {
-		return r.counters[i].Value
-	}
-	return 0
+	c := r.countByN[name]
+	r.mu.Unlock()
+	return c.Value() // nil-safe: reads zero when absent
 }
 
 // PhaseWall returns the accumulated wall time of the named phase.
@@ -204,14 +240,9 @@ func (r *Recorder) PhaseWall(name string) time.Duration {
 		return 0
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.phaseIdx == nil {
-		return 0
-	}
-	if i, ok := r.phaseIdx[name]; ok {
-		return r.phases[i].Wall
-	}
-	return 0
+	c := r.phaseByN[name]
+	r.mu.Unlock()
+	return time.Duration(c.Value())
 }
 
 // Snapshot returns a consistent copy of everything recorded so far.
@@ -222,8 +253,14 @@ func (r *Recorder) Snapshot() *Metrics {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m.Phases = append([]Phase(nil), r.phases...)
-	m.Counters = append([]Counter(nil), r.counters...)
+	m.Phases = make([]Phase, 0, len(r.phaseOrder))
+	for _, name := range r.phaseOrder {
+		m.Phases = append(m.Phases, Phase{Name: name, Wall: time.Duration(r.phaseByN[name].Value())})
+	}
+	m.Counters = make([]Counter, 0, len(r.countOrder))
+	for _, name := range r.countOrder {
+		m.Counters = append(m.Counters, Counter{Name: name, Value: r.countByN[name].Value()})
+	}
 	return m
 }
 

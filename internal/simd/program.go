@@ -66,6 +66,13 @@ type Slot struct {
 	Instr   ir.Instr    // SlotExec
 	To, FTo int         // SlotSetPC/SlotJumpF/SlotSpawn targets
 	ChildTo int         // SlotSpawn child entry
+	// Block and Pos attribute the slot back to the MIMD source: Block is
+	// the representative member state (the guard's minimum for CSI-merged
+	// slots) and Pos the source position of the instruction or, for
+	// terminator slots, the block. The sampling profiler folds engine
+	// cycles onto these.
+	Block int
+	Pos   ir.Pos
 }
 
 // Cost returns the slot's cycle cost.

@@ -9,6 +9,7 @@ import (
 	"msc/internal/ir"
 	"msc/internal/mscerr"
 	"msc/internal/obs"
+	"msc/internal/telemetry"
 )
 
 // Reserved pc values: a done PE finished its process (End); an idle PE
@@ -57,6 +58,12 @@ type Config struct {
 	// writers are wrapped in an obs.TextSink and both receive every
 	// event.
 	Sink obs.Sink
+	// Profiler, when non-nil, receives sampled cycle attribution: body
+	// slot cycles fold to (meta state, Slot.Block, Slot.Pos), dispatch
+	// cycles to the meta state's dispatch frame. The VM is a single
+	// goroutine, matching the profiler's single-consumer contract; when
+	// nil the hot path pays one pointer compare per slot.
+	Profiler *telemetry.Profiler
 }
 
 // Result reports a SIMD execution.
@@ -169,7 +176,8 @@ type vm struct {
 	mem  [][]ir.Word
 	pes  []vmPE
 	res  *Result
-	sink obs.Sink // nil when no tracing is attached
+	sink obs.Sink            // nil when no tracing is attached
+	prof *telemetry.Profiler // nil when no profiling is attached
 }
 
 // traceSink assembles the event sink from the config: the legacy
@@ -224,6 +232,7 @@ func Run(p *Program, conf Config) (*Result, error) {
 		},
 	}
 	m.sink = traceSink(conf)
+	m.prof = conf.Profiler
 	for i := range m.pes {
 		m.mem[i] = make([]ir.Word, p.Words)
 		if i < conf.InitialActive {
@@ -326,6 +335,9 @@ func (m *vm) execBody(mc *MetaCode) error {
 		st.Cycles += cost
 		st.BodyCycles += cost
 		st.LivePECycles += cost * live
+		if m.prof != nil {
+			m.prof.Add(mc.ID, s.Block, s.Pos, cost)
+		}
 
 		enabled := enabledPEs(m.pes, s.Guard)
 		m.res.EnabledCycles += cost * int64(len(enabled))
@@ -434,6 +446,9 @@ func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 	m.res.Time += int64(tr.Cost())
 	m.res.DispatchCycles += int64(tr.Cost())
 	m.res.MetaStats[mc.ID].Cycles += int64(tr.Cost())
+	if m.prof != nil {
+		m.prof.Add(mc.ID, telemetry.NoBlock, ir.Pos{}, int64(tr.Cost()))
+	}
 
 	agg := m.apc()
 	if agg.Empty() {

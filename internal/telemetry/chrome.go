@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace_event record. The exporter emits
+// complete ("X") events for spans and instant ("i") events for span
+// events; Perfetto and chrome://tracing both load the array form.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes every finished span as Chrome trace_event
+// JSON ({"traceEvents": [...]}), viewable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Spans become complete
+// events on their lane's track; span events become instant events at
+// their timestamp. Timestamps are microseconds from the tracer epoch.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	var events []chromeEvent
+	for _, s := range t.sortedSpans() {
+		js := t.jsonSpan(s)
+		args := js.Attrs
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["span"] = int64(js.Span)
+		if js.Parent != 0 {
+			args["parent"] = int64(js.Parent)
+		}
+		tid := js.Lane
+		if tid == 0 {
+			tid = 1
+		}
+		events = append(events, chromeEvent{
+			Name: js.Name,
+			Cat:  "msc",
+			Ph:   "X",
+			TS:   float64(js.StartNS) / 1e3,
+			Dur:  float64(js.DurNS) / 1e3,
+			PID:  1,
+			TID:  tid,
+		})
+		events[len(events)-1].Args = args
+		for _, e := range js.Events {
+			events = append(events, chromeEvent{
+				Name: e.Name,
+				Cat:  "msc.event",
+				Ph:   "i",
+				TS:   float64(e.TNS) / 1e3,
+				PID:  1,
+				TID:  tid,
+				S:    "t",
+				Args: e.Attrs,
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent     `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"trace": t.TraceID},
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return nil
+}

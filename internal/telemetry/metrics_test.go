@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("convert.meta_states", "meta states")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	c.Set(5)
+	c.Max(9)
+	c.Max(2)
+	if got := c.Value(); got != 9 {
+		t.Fatalf("counter after Set/Max = %d, want 9", got)
+	}
+	g := r.Gauge("pool.size", "pool size")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Same name and labels yields the same instrument.
+	if r.Counter("convert.meta_states", "meta states") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", ExpBuckets(1, 10, 3)) // 1, 10, 100
+	for _, v := range []int64{0, 1, 2, 10, 99, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1212 {
+		t.Fatalf("sum = %d, want 1212", h.Sum())
+	}
+	s := r.Snapshot()
+	if len(s) != 1 {
+		t.Fatalf("snapshot has %d metrics, want 1", len(s))
+	}
+	// Buckets: <=1: {0,1}; <=10: {2,10}; <=100: {99,100}; +Inf: {1000}.
+	want := []int64{2, 2, 2, 1}
+	for i, w := range want {
+		if s[0].BucketCounts[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (%v)", i, s[0].BucketCounts[i], w, s[0].BucketCounts)
+		}
+	}
+}
+
+func TestLabeledChildren(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("engine.cycles", "cycles", Label{"engine", "simd"})
+	b := r.Counter("engine.cycles", "cycles", Label{"engine", "mimd"})
+	if a == b {
+		t.Fatal("distinct label sets shared one instrument")
+	}
+	a.Add(1)
+	b.Add(2)
+	s := r.Snapshot()
+	if len(s) != 2 || s[0].Value != 1 || s[1].Value != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x", "")
+	h := r.Histogram("h", "", []float64{10})
+	g := r.Gauge("g", "")
+	c.Add(5)
+	h.Observe(3)
+	g.Set(100)
+	prev := r.Snapshot()
+	c.Add(2)
+	h.Observe(30)
+	g.Set(50)
+	d := Delta(r.Snapshot(), prev)
+	if d[0].Value != 2 {
+		t.Fatalf("counter delta = %d, want 2", d[0].Value)
+	}
+	if d[1].Count != 1 || d[1].Sum != 30 || d[1].BucketCounts[0] != 0 || d[1].BucketCounts[1] != 1 {
+		t.Fatalf("histogram delta = %+v", d[1])
+	}
+	if d[2].Value != 50 {
+		t.Fatalf("gauge delta should pass through current value, got %d", d[2].Value)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Add(1)
+	c.Set(2)
+	c.Max(3)
+	r.Gauge("g", "").Set(1)
+	r.Histogram("h", "", nil).Observe(1)
+	if c.Value() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry instruments must read zero")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUpdates exercises the atomic hot path under the race
+// detector: registration from many goroutines returns one instrument,
+// and updates never lose increments.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared", "")
+			h := r.Histogram("hist", "", ExpBuckets(1, 2, 8))
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("hist", "", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"msc/internal/ir"
+)
+
+// Frame identifies where engine cycles were spent: the meta state (or
+// -1 outside any meta state, e.g. on the MIMD reference machine), the
+// MIMD state / source block (or -1 for engine work not attributable to
+// a block, such as transition dispatch and interpreter fetch/decode),
+// and the source position threaded from the front end (zero when the
+// block has no position).
+type Frame struct {
+	Meta  int
+	Block int
+	Pos   ir.Pos
+}
+
+// NoBlock and NoMeta are the reserved Frame values for engine work that
+// belongs to no source block (dispatch, interpreter fetch/decode) or to
+// no meta state (the MIMD reference machine).
+const (
+	NoBlock = -1
+	NoMeta  = -1
+)
+
+// Profiler attributes engine cycles to Frames by sampling: one sample
+// is taken every Period cycles, each sample crediting Period cycles to
+// the frame executing when the boundary was crossed. Period 1 degrades
+// to exact attribution (the engines are deterministic simulators, so
+// exactness is affordable); larger periods make the hot path one
+// integer add in the common case.
+//
+// A Profiler is single-consumer: each engine run owns one (the engines
+// are single-goroutine). All methods no-op on a nil receiver, so the
+// disabled path costs one nil check.
+type Profiler struct {
+	period  int64
+	residue int64
+	samples map[Frame]int64
+	total   int64 // cycles offered to Add, sampled or not
+}
+
+// NewProfiler returns a profiler sampling every period cycles;
+// period <= 1 means exact attribution.
+func NewProfiler(period int64) *Profiler {
+	if period < 1 {
+		period = 1
+	}
+	return &Profiler{period: period, samples: make(map[Frame]int64)}
+}
+
+// Add advances the cycle cursor by cycles, crediting the frame with one
+// Period's worth of cycles for every sampling boundary crossed. The
+// no-sample path is two adds and a compare.
+func (p *Profiler) Add(meta, block int, pos ir.Pos, cycles int64) {
+	if p == nil || cycles <= 0 {
+		return
+	}
+	p.total += cycles
+	p.residue += cycles
+	if p.residue < p.period {
+		return
+	}
+	n := p.residue / p.period
+	p.residue -= n * p.period
+	p.samples[Frame{Meta: meta, Block: block, Pos: pos}] += n * p.period
+}
+
+// Sampled returns the total cycles credited to frames; Total the cycles
+// offered. Sampled <= Total, with equality at period 1.
+func (p *Profiler) Sampled() int64 {
+	if p == nil {
+		return 0
+	}
+	var s int64
+	for _, v := range p.samples {
+		s += v
+	}
+	return s
+}
+
+// Total returns the cycles offered to Add.
+func (p *Profiler) Total() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// AttributedFraction reports the fraction of sampled cycles credited to
+// a meta state or a source block (Meta >= 0 || Block >= 0) — the
+// `msc profile -folded` acceptance metric. SIMD dispatch cycles count
+// as attributed (they belong to the dispatching meta state and render
+// as "ms<N>;<dispatch>" frames); only fully anonymous engine overhead
+// such as interpreter fetch/decode is unattributed.
+func (p *Profiler) AttributedFraction() float64 {
+	s := p.Sampled()
+	if s == 0 {
+		return 0
+	}
+	var attributed int64
+	for f, v := range p.samples {
+		if f.Meta >= 0 || f.Block >= 0 {
+			attributed += v
+		}
+	}
+	return float64(attributed) / float64(s)
+}
+
+// FrameCount is one folded-stack row.
+type FrameCount struct {
+	Frame  Frame
+	Cycles int64
+}
+
+// Frames returns the sampled frames sorted by descending cycles (ties
+// by meta, block, position) — deterministic output for a deterministic
+// run.
+func (p *Profiler) Frames() []FrameCount {
+	if p == nil {
+		return nil
+	}
+	out := make([]FrameCount, 0, len(p.samples))
+	for f, v := range p.samples {
+		out = append(out, FrameCount{Frame: f, Cycles: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles > b.Cycles
+		}
+		if a.Frame.Meta != b.Frame.Meta {
+			return a.Frame.Meta < b.Frame.Meta
+		}
+		if a.Frame.Block != b.Frame.Block {
+			return a.Frame.Block < b.Frame.Block
+		}
+		return a.Frame.Pos.Before(b.Frame.Pos)
+	})
+	return out
+}
+
+// foldedFrame renders one stack frame path for a sample: engine root,
+// meta state, block, source line. Frames use ';' as the flamegraph
+// stack separator, so none of the components may contain one.
+func foldedFrame(root string, f Frame) string {
+	s := root
+	if f.Meta >= 0 {
+		s += fmt.Sprintf(";ms%d", f.Meta)
+	}
+	if f.Block >= 0 {
+		s += fmt.Sprintf(";b%d", f.Block)
+		if f.Pos.IsValid() {
+			s += fmt.Sprintf(";line_%d", f.Pos.Line)
+		}
+	} else {
+		s += ";<dispatch>"
+	}
+	return s
+}
+
+// WriteFolded writes the profile in folded-stack form — one
+// "frame;frame;frame cycles" line per distinct stack, descending — the
+// input format of Brendan Gregg's flamegraph.pl and of speedscope.
+// root names the engine (e.g. "simd"). Frames that render to the same
+// stack (same line, different column) are merged.
+func (p *Profiler) WriteFolded(w io.Writer, root string) error {
+	if p == nil {
+		return nil
+	}
+	cycles := map[string]int64{}
+	order := []string{} // first-seen order of stacks, already cycle-sorted
+	for _, fc := range p.Frames() {
+		s := foldedFrame(root, fc.Frame)
+		if _, seen := cycles[s]; !seen {
+			order = append(order, s)
+		}
+		cycles[s] += fc.Cycles
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return cycles[order[i]] > cycles[order[j]]
+	})
+	for _, s := range order {
+		if _, err := fmt.Fprintf(w, "%s %d\n", s, cycles[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"msc/internal/ir"
+)
+
+func TestProfilerExact(t *testing.T) {
+	p := NewProfiler(1)
+	p.Add(0, 3, ir.Pos{Line: 10, Col: 1}, 5)
+	p.Add(0, 3, ir.Pos{Line: 10, Col: 1}, 7)
+	p.Add(1, NoBlock, ir.Pos{}, 4)      // dispatch: attributed to ms1
+	p.Add(NoMeta, NoBlock, ir.Pos{}, 4) // anonymous overhead: unattributed
+	if p.Total() != 20 || p.Sampled() != 20 {
+		t.Fatalf("total = %d, sampled = %d, want 20/20", p.Total(), p.Sampled())
+	}
+	frames := p.Frames()
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d, want 3", len(frames))
+	}
+	if frames[0].Cycles != 12 || frames[0].Frame.Block != 3 {
+		t.Fatalf("hot frame = %+v", frames[0])
+	}
+	if got := p.AttributedFraction(); got != 16.0/20.0 {
+		t.Fatalf("attributed fraction = %v, want 0.8", got)
+	}
+}
+
+func TestProfilerSampling(t *testing.T) {
+	p := NewProfiler(100)
+	// 1000 cycles in 10-cycle chunks: exactly 10 samples of 100 cycles.
+	for i := 0; i < 100; i++ {
+		p.Add(0, 1, ir.Pos{Line: 2}, 10)
+	}
+	if p.Total() != 1000 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	if p.Sampled() != 1000 {
+		t.Fatalf("sampled = %d, want 1000 (10 boundary crossings x 100)", p.Sampled())
+	}
+	// A partial period leaves a residue below one period.
+	p.Add(0, 1, ir.Pos{Line: 2}, 99)
+	if p.Sampled() != 1000 || p.Total() != 1099 {
+		t.Fatalf("sampled = %d total = %d, want 1000/1099", p.Sampled(), p.Total())
+	}
+	if p.Total()-p.Sampled() >= 100 {
+		t.Fatal("residue must stay below one period")
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	p := NewProfiler(1)
+	p.Add(2, 5, ir.Pos{Line: 12, Col: 3}, 100)
+	p.Add(2, NoBlock, ir.Pos{}, 13)
+	p.Add(NoMeta, 4, ir.Pos{}, 7)
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf, "simd"); err != nil {
+		t.Fatal(err)
+	}
+	want := "simd;ms2;b5;line_12 100\nsimd;ms2;<dispatch> 13\nsimd;b4 7\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// Folded lines must be exactly "stack count" with ';' separators.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		i := strings.LastIndex(line, " ")
+		if i <= 0 || strings.ContainsAny(line[:i], " \t") {
+			t.Fatalf("not a folded-stack line: %q", line)
+		}
+	}
+}
+
+func TestProfilerNil(t *testing.T) {
+	var p *Profiler
+	p.Add(0, 0, ir.Pos{}, 10)
+	if p.Total() != 0 || p.Sampled() != 0 || p.Frames() != nil {
+		t.Fatal("nil profiler must read zero")
+	}
+	if err := p.WriteFolded(&bytes.Buffer{}, "simd"); err != nil {
+		t.Fatal(err)
+	}
+	if p.AttributedFraction() != 0 {
+		t.Fatal("nil profiler fraction must be 0")
+	}
+}

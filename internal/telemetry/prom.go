@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// PromName sanitizes an internal metric name into a valid Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. The pipeline's dotted names
+// ("convert.meta_states") become underscore form ("convert_meta_states");
+// any other invalid rune also maps to '_', and a leading digit gains a
+// '_' prefix. The mapping is stable, so the exposition format is
+// golden-lockable.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabelName sanitizes a label name ([a-zA-Z_][a-zA-Z0-9_]*; the
+// leading "__" prefix is reserved by Prometheus, so it is folded to a
+// single underscore).
+func promLabelName(name string) string {
+	n := PromName(name)
+	n = strings.ReplaceAll(n, ":", "_")
+	for strings.HasPrefix(n, "__") {
+		n = n[1:]
+	}
+	if n == "" {
+		n = "_"
+	}
+	return n
+}
+
+// promEscape escapes a label value or HELP text per the Prometheus text
+// format: backslash, double quote (label values only), and newline.
+func promEscape(v string, quoted bool) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '"':
+			if quoted {
+				sb.WriteString(`\"`)
+			} else {
+				sb.WriteRune(r)
+			}
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// promLabels renders a label set as {a="b",c="d"} (empty string for no
+// labels). extra is appended after the registered labels (used for the
+// histogram "le" bound).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", promLabelName(l.Name), promEscape(l.Value, true))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promBound formats a histogram upper bound the way Prometheus clients
+// do: +Inf for the overflow bucket, shortest float form otherwise.
+func promBound(b float64) string {
+	if b == inf {
+		return "+Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", b), "0"), ".")
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order, one HELP
+// and TYPE header per family. The output for a fixed registry state is
+// byte-stable and locked by testdata/telemetry/metrics.prom.golden.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snaps := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	seenHeader := make(map[string]bool)
+	for _, s := range snaps {
+		name := PromName(s.Name)
+		if !seenHeader[name] {
+			seenHeader[name] = true
+			if h := help[s.Name]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, promEscape(h, false)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, s.Kind); err != nil {
+				return err
+			}
+		}
+		switch s.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(s.Labels), s.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum int64
+			for i, c := range s.BucketCounts {
+				cum += c
+				bound := inf
+				if i < len(s.Bounds) {
+					bound = s.Bounds[i]
+				}
+				le := Label{Name: "le", Value: promBound(bound)}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(s.Labels, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(s.Labels), s.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(s.Labels), s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry in Prometheus text format; mount it at
+// /metrics (obs.DebugServer.MountMetrics does).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ValidPromLine loosely validates one exposition line, for the escaping
+// fuzz test: comment lines must be HELP/TYPE, sample lines must carry a
+// valid metric name, balanced quoting in the label block, and a value.
+func ValidPromLine(line string) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+			return fmt.Errorf("comment line is neither HELP nor TYPE: %q", line)
+		}
+		return nil
+	}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return fmt.Errorf("no metric name: %q", line)
+	}
+	name := rest[:i]
+	if PromName(name) != name {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, escaped := false, false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case inQuote && c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = j
+			case !inQuote && c == '\n':
+				return fmt.Errorf("raw newline in label block: %q", line)
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label block: %q", line)
+		}
+		rest = rest[end+1:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return fmt.Errorf("no value separator: %q", line)
+	}
+	val := strings.TrimSpace(rest)
+	if val == "" {
+		return fmt.Errorf("missing value: %q", line)
+	}
+	return nil
+}

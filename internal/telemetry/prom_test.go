@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = os.Getenv("UPDATE_TELEMETRY_GOLDEN") != ""
+
+// goldenPath points into the repository-root corpus (the issue's
+// testdata/telemetry/), shared with the root package's end-to-end
+// telemetry tests.
+func goldenPath(name string) string {
+	return filepath.Join("..", "..", "testdata", "telemetry", name)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (set UPDATE_TELEMETRY_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// goldenRegistry builds the fixed registry state the exposition golden
+// locks: one of each metric kind, dotted names, labels needing escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("convert.meta_states", "meta states in the final automaton").Set(17)
+	r.Counter("compile.total", "compiles started").Add(3)
+	r.Gauge("convert.workers", "conversion worker-pool size").Set(8)
+	h := r.Histogram("compile.latency_ns", "compile wall time", ExpBuckets(1000, 10, 4))
+	for _, v := range []int64{500, 5_000, 50_000, 5_000_000, 12_000_000} {
+		h.Observe(v)
+	}
+	r.Counter("engine.cycles", "engine cycles run", Label{"engine", "simd"}).Add(1234)
+	r.Counter("engine.cycles", "engine cycles run", Label{"engine", "mimd"}).Add(987)
+	r.Counter("weird.name-with/chars", `label escaping`, Label{"path", `a\b"c` + "\nd"}).Add(1)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if err := ValidPromLine(line); err != nil {
+			t.Fatalf("golden output is not valid exposition: %v", err)
+		}
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "convert_meta_states 17") {
+		t.Fatalf("handler output missing sanitized counter:\n%s", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"convert.meta_states": "convert_meta_states",
+		"budget.wall_clock":   "budget_wall_clock",
+		"9lives":              "_9lives",
+		"a b":                 "a_b",
+		"":                    "_",
+		"ok_name:sub":         "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// FuzzPromEscape drives arbitrary metric names, label names, and label
+// values through the exposition writer and asserts every emitted line
+// still parses as Prometheus text format — the name/label escaping can
+// never be broken by hostile input. Seeds cover the dotted pipeline
+// names and the standard escape triggers.
+func FuzzPromEscape(f *testing.F) {
+	f.Add("convert.meta_states", "engine", "simd")
+	f.Add("budget.wall_clock", "resource", "wall clock")
+	f.Add("weird.name-with/chars", "path", "a\\b\"c\nd")
+	f.Add("", "", "")
+	f.Add("9起", "label名", "value\nwith\nnewlines\"and\\slashes")
+	f.Fuzz(func(t *testing.T, name, lname, lvalue string) {
+		r := NewRegistry()
+		r.Counter(name, "fuzzed metric", Label{Name: lname, Value: lvalue}).Add(1)
+		h := r.Histogram(name+".hist", lvalue, []float64{1, 10})
+		h.Observe(5)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if err := ValidPromLine(line); err != nil {
+				t.Fatalf("name=%q lname=%q lvalue=%q: %v\nfull output:\n%s", name, lname, lvalue, err, buf.String())
+			}
+		}
+	})
+}

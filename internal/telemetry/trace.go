@@ -1,0 +1,334 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one Tracer; 0 is "no span" (a root).
+// IDs are assigned sequentially in start order, which makes traces of
+// deterministic runs deterministic apart from timestamps.
+type SpanID int64
+
+// Attr is one typed span attribute. Values should be strings, integers,
+// floats, or bools so both export formats encode them faithfully.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String, Int, and Bool are Attr constructors for the common cases.
+func String(k, v string) Attr    { return Attr{Key: k, Value: v} }
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// SpanEvent is one timestamped point event attached to a span —
+// budget overruns, degradation rungs, contained panics, fault
+// injections.
+type SpanEvent struct {
+	Name  string
+	Time  time.Duration // offset from the tracer epoch
+	Attrs []Attr
+}
+
+// Span is one timed operation in a trace tree. Starting and ending are
+// cheap (two clock reads and one append under the tracer lock); Event
+// and SetAttr are safe for concurrent use, so conversion workers may
+// annotate their spans freely. All methods no-op on a nil receiver.
+type Span struct {
+	tracer *Tracer
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	// Lane groups spans into display tracks in the Chrome export:
+	// spans that genuinely overlap in time (parallel conversion
+	// workers) must live on different lanes. Inherited from the parent
+	// by default.
+	Lane int
+
+	mu     sync.Mutex
+	start  time.Duration // offset from tracer epoch
+	dur    time.Duration // valid after End
+	ended  bool
+	attrs  []Attr
+	events []SpanEvent
+}
+
+// Tracer collects spans for one logical operation (a compile, a run, or
+// a whole CLI invocation). It is safe for concurrent use. The zero
+// value is not usable; construct with NewTracer. A nil *Tracer no-ops
+// on every method, so instrumented code threads an optional tracer
+// without guards.
+type Tracer struct {
+	// TraceID names the trace in exports. NewTracer derives one from
+	// the epoch; tests overwrite it for golden stability.
+	TraceID string
+	// Exporter, when non-nil, additionally receives every span at End
+	// (the streaming path; see NewStreamExporter).
+	Exporter SpanExporter
+
+	mu     sync.Mutex
+	spans  []*Span // finished spans, End order
+	nextID SpanID
+	epoch  time.Time
+	// now returns the offset since epoch; tests replace it with a
+	// deterministic fake for golden output.
+	now func() time.Duration
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	epoch := time.Now()
+	return &Tracer{
+		TraceID: fmt.Sprintf("msc-%d", epoch.UnixNano()),
+		epoch:   epoch,
+		now:     func() time.Duration { return time.Since(epoch) },
+	}
+}
+
+// NewTestTracer returns a tracer whose clock advances by step on every
+// reading and whose TraceID is fixed — deterministic output for golden
+// tests.
+func NewTestTracer(id string, step time.Duration) *Tracer {
+	var mu sync.Mutex
+	var t time.Duration
+	return &Tracer{
+		TraceID: id,
+		epoch:   time.Unix(0, 0),
+		now: func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			t += step
+			return t
+		},
+	}
+}
+
+// StartSpan opens a span under parent (0 for a root span). The span
+// must be closed with End; spans never closed are dropped from exports.
+func (t *Tracer) StartSpan(name string, parent SpanID, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{
+		tracer: t,
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		start:  t.now(),
+		attrs:  attrs,
+	}
+}
+
+// StartChild opens a child of s on the same lane.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tracer.StartSpan(name, s.ID, attrs...)
+	c.Lane = s.Lane
+	return c
+}
+
+// SetAttr attaches (or appends) an attribute.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// Event attaches a timestamped point event.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := s.tracer.now()
+	s.mu.Lock()
+	s.events = append(s.events, SpanEvent{Name: name, Time: now, Attrs: attrs})
+	s.mu.Unlock()
+}
+
+// End closes the span and hands it to the tracer (and the exporter, if
+// any). End is idempotent: closing an already closed span is a no-op,
+// so deferred Ends compose with early explicit ones.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = now - s.start
+	s.mu.Unlock()
+	t := s.tracer
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	exp := t.Exporter
+	t.mu.Unlock()
+	if exp != nil {
+		exp.ExportSpan(s)
+	}
+}
+
+// Spans returns the finished spans in End order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// jsonSpan is the JSONL wire form of a finished span.
+type jsonSpan struct {
+	Trace   string          `json:"trace"`
+	Span    SpanID          `json:"span"`
+	Parent  SpanID          `json:"parent,omitempty"`
+	Name    string          `json:"name"`
+	Lane    int             `json:"lane,omitempty"`
+	StartNS int64           `json:"start_ns"`
+	DurNS   int64           `json:"dur_ns"`
+	Attrs   map[string]any  `json:"attrs,omitempty"`
+	Events  []jsonSpanEvent `json:"events,omitempty"`
+}
+
+type jsonSpanEvent struct {
+	Name  string         `json:"name"`
+	TNS   int64          `json:"t_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// attrMap folds attrs into a map (later keys win); encoding/json sorts
+// map keys, so the encoded form is deterministic.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func (t *Tracer) jsonSpan(s *Span) jsonSpan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js := jsonSpan{
+		Trace:   t.TraceID,
+		Span:    s.ID,
+		Parent:  s.Parent,
+		Name:    s.Name,
+		Lane:    s.Lane,
+		StartNS: s.start.Nanoseconds(),
+		DurNS:   s.dur.Nanoseconds(),
+		Attrs:   attrMap(s.attrs),
+	}
+	for _, e := range s.events {
+		js.Events = append(js.Events, jsonSpanEvent{Name: e.Name, TNS: e.Time.Nanoseconds(), Attrs: attrMap(e.Attrs)})
+	}
+	return js
+}
+
+// WriteJSONL writes every finished span as one JSON object per line, in
+// span-ID (start) order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, s := range t.sortedSpans() {
+		b, err := json.Marshal(t.jsonSpan(s))
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedSpans returns finished spans in ID order (IDs are start order).
+func (t *Tracer) sortedSpans() []*Span {
+	spans := t.Spans()
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].ID < spans[j-1].ID; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+	return spans
+}
+
+// SpanExporter receives finished spans as they end.
+type SpanExporter interface {
+	ExportSpan(s *Span)
+}
+
+// StreamExporter writes finished spans as JSONL from a background
+// goroutine, so End never blocks on the writer. Close flushes and joins
+// the goroutine; faultinject.LeakCheck covers it in the robustness
+// tests (an exporter goroutine must never outlive Close).
+type StreamExporter struct {
+	t    *Tracer
+	ch   chan *Span
+	done chan struct{}
+	mu   sync.Mutex
+	err  error
+	w    io.Writer
+}
+
+// NewStreamExporter starts the exporter goroutine. Attach it with
+// tracer.Exporter = e; call Close when the trace is complete.
+func NewStreamExporter(t *Tracer, w io.Writer) *StreamExporter {
+	e := &StreamExporter{t: t, ch: make(chan *Span, 64), done: make(chan struct{}), w: w}
+	go e.loop()
+	return e
+}
+
+func (e *StreamExporter) loop() {
+	defer close(e.done)
+	for s := range e.ch {
+		b, err := json.Marshal(e.t.jsonSpan(s))
+		if err == nil {
+			b = append(b, '\n')
+			_, err = e.w.Write(b)
+		}
+		if err != nil {
+			e.mu.Lock()
+			if e.err == nil {
+				e.err = err
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// ExportSpan enqueues the span (blocking when the writer falls behind —
+// traces must be complete, not sampled).
+func (e *StreamExporter) ExportSpan(s *Span) { e.ch <- s }
+
+// Close flushes pending spans, stops the goroutine, and returns the
+// first write error.
+func (e *StreamExporter) Close() error {
+	close(e.ch)
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildTestTrace constructs the fixed span tree the export goldens
+// lock: a compile root with two phases, a conversion phase with two
+// parallel worker spans on their own lanes, and budget/panic events.
+func buildTestTrace() *Tracer {
+	tr := NewTestTracer("golden-trace", time.Millisecond)
+	root := tr.StartSpan("compile", 0, String("source", "golden.mc"))
+	parse := root.StartChild("phase.parse")
+	parse.SetAttr(Int("tokens", 42))
+	parse.End()
+	conv := root.StartChild("phase.convert")
+	gen := conv.StartChild("convert.generation", Int("gen", 0), Int("frontier", 2))
+	w0 := gen.StartChild("convert.worker", Int("worker", 0))
+	w0.Lane = 101
+	w1 := gen.StartChild("convert.worker", Int("worker", 1))
+	w1.Lane = 102
+	w1.End()
+	w0.End()
+	gen.End()
+	conv.Event("budget_overrun", String("resource", "meta_states"), Int("limit", 64))
+	conv.End()
+	root.Event("degrade", String("action", "csi off (linear schedule)"))
+	root.End()
+	run := tr.StartSpan("run.simd", 0, Int("n", 16))
+	run.SetAttr(Int("cycles", 1234))
+	run.End()
+	return tr
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestTrace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "spans.jsonl.golden", buf.Bytes())
+	// Every line must decode and carry the trace ID.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if m["trace"] != "golden-trace" {
+			t.Fatalf("line %q missing trace id", line)
+		}
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.chrome.golden", buf.Bytes())
+	// The document must be loadable JSON with the trace_event shape
+	// Perfetto expects: a traceEvents array of X/i phases.
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	lanes := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" {
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		lanes[e.TID] = true
+	}
+	// The two worker spans must land on their own lanes.
+	if !lanes[101] || !lanes[102] {
+		t.Fatalf("worker lanes missing from chrome export: %v", lanes)
+	}
+}
+
+func TestSpanTreeParents(t *testing.T) {
+	tr := buildTestTrace()
+	byID := map[SpanID]*Span{}
+	for _, s := range tr.Spans() {
+		byID[s.ID] = s
+	}
+	var workers, roots int
+	for _, s := range tr.Spans() {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		if byID[s.Parent] == nil {
+			t.Fatalf("span %d (%s) has dangling parent %d", s.ID, s.Name, s.Parent)
+		}
+		if s.Name == "convert.worker" {
+			workers++
+			if byID[s.Parent].Name != "convert.generation" {
+				t.Fatalf("worker span parent = %s", byID[s.Parent].Name)
+			}
+		}
+	}
+	if roots != 2 || workers != 2 {
+		t.Fatalf("roots = %d, workers = %d", roots, workers)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartSpan("x", 0)
+	s.SetAttr(Int("a", 1))
+	s.Event("e")
+	c := s.StartChild("y")
+	c.End()
+	s.End()
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer must have no spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil tracer JSONL must be empty")
+	}
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatal("nil tracer chrome export must still be a valid document")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan("x", 0)
+	s.End()
+	s.End()
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("double End recorded %d spans", n)
+	}
+}
+
+// TestConcurrentSpans exercises tracer and span mutation from many
+// goroutines under the race detector — the conversion worker pattern.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("root", 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := root.StartChild("worker", Int("worker", int64(w)))
+			for i := 0; i < 100; i++ {
+				s.Event("tick", Int("i", int64(i)))
+				s.SetAttr(Int("last", int64(i)))
+			}
+			s.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if n := len(tr.Spans()); n != 9 {
+		t.Fatalf("spans = %d, want 9", n)
+	}
+}
+
+func TestStreamExporter(t *testing.T) {
+	tr := NewTestTracer("stream", time.Millisecond)
+	var buf syncBuffer
+	exp := NewStreamExporter(tr, &buf)
+	tr.Exporter = exp
+	s := tr.StartSpan("a", 0)
+	s.StartChild("b").End()
+	s.End()
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exporter wrote %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the exporter goroutine
+// writes while the test goroutine may read after Close.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,7 +1,9 @@
 package msc_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"strings"
@@ -11,6 +13,7 @@ import (
 	"msc"
 	"msc/internal/faultinject"
 	"msc/internal/obs"
+	"msc/internal/telemetry"
 )
 
 // allPhases is the pipeline phase sequence the fault matrix sweeps.
@@ -333,5 +336,81 @@ func TestRunConfigMaxStepsValidate(t *testing.T) {
 	}
 	if msc.DefaultMaxSteps != 1<<24 {
 		t.Fatalf("DefaultMaxSteps = %d, want %d", msc.DefaultMaxSteps, 1<<24)
+	}
+}
+
+// TestFaultPanicSpanCloses proves the telemetry contract under failure:
+// a panic injected inside a phase still closes that phase's span (with
+// a "panic" event on it), the streaming exporter delivers the whole
+// span tree and joins its goroutine at Close, and nothing leaks.
+func TestFaultPanicSpanCloses(t *testing.T) {
+	src := readSource(t, "testdata/robust/barrierstorm.mc")
+	leak := faultinject.LeakCheckWithin(2 * time.Second)
+
+	tr := telemetry.NewTracer()
+	var buf bytes.Buffer
+	exp := telemetry.NewStreamExporter(tr, &buf)
+	tr.Exporter = exp
+
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert, Fault: faultinject.PanicAtPhase,
+	})
+	defer deactivate()
+
+	_, err := msc.Compile(src, msc.Config{Compress: true, Tracer: tr})
+	var ie *msc.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError, got %v", err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("exporter close: %v", err)
+	}
+
+	// The faulted phase's span must have been streamed (only ended
+	// spans are exported) and must carry the panic event.
+	type event struct {
+		Name  string         `json:"name"`
+		Attrs map[string]any `json:"attrs"`
+	}
+	type span struct {
+		Name   string  `json:"name"`
+		DurNS  int64   `json:"dur_ns"`
+		Events []event `json:"events"`
+	}
+	var convert *span
+	sawCompile := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var s span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("bad exported span %q: %v", line, err)
+		}
+		switch s.Name {
+		case "phase." + obs.PhaseConvert:
+			convert = &s
+		case "compile":
+			sawCompile = true
+		}
+	}
+	if convert == nil {
+		t.Fatal("panicked phase span was never exported (span leaked open)")
+	}
+	if !sawCompile {
+		t.Fatal("compile root span not exported on the error path")
+	}
+	found := false
+	for _, e := range convert.Events {
+		if e.Name == "panic" {
+			found = true
+			if v, _ := e.Attrs["value"].(string); !strings.Contains(v, "faultinject") {
+				t.Errorf("panic event value %q does not carry the panic text", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("phase span closed without a panic event: %+v", convert.Events)
+	}
+
+	if lerr := leak(); lerr != nil {
+		t.Fatal(lerr)
 	}
 }
