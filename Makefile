@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check stress cover bench fuzz experiments examples vet-examples clean
+.PHONY: all build test check stress stress-mscd cover bench fuzz experiments examples vet-examples clean
 
 all: build test check
 
@@ -13,15 +13,36 @@ test:
 # Static hygiene + race detector: the gate CI and pre-commit should run.
 check: vet-examples stress
 	go vet ./...
+	go build ./cmd/mscd ./cmd/mscload
+	go test ./cmd/...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go test -race ./...
 
 # Robustness stress gate: the deterministic fault-injection matrix plus
 # the cancellation/budget/step-limit/leak tests, under the race
-# detector. See docs/ROBUSTNESS.md.
-stress:
-	go test -race -timeout 5m -run 'Fault|Cancel|Budget|StepLimit|Robust|Degrade|Leak' ./...
+# detector, then the live-daemon load stage. See docs/ROBUSTNESS.md and
+# docs/SERVICE.md.
+stress: stress-mscd
+	go test -race -timeout 5m -run 'Fault|Cancel|Budget|StepLimit|Robust|Degrade|Leak|Concurrent|Service' ./...
+
+# Live-service load stage: build both binaries, start mscd on an
+# ephemeral port, hammer it with a fixed-seed mscload run (zero 5xx,
+# taxonomy expectations enforced by mscload's exit code), then SIGTERM
+# and require a clean drain (mscd exits 0 only when the drain and the
+# goroutine-leak self-check both pass).
+stress-mscd:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go build -o "$$tmp/mscd" ./cmd/mscd; \
+	go build -o "$$tmp/mscload" ./cmd/mscload; \
+	"$$tmp/mscd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" > "$$tmp/mscd.log" 2>&1 & mscd_pid=$$!; \
+	for i in $$(seq 1 100); do [ -f "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -f "$$tmp/addr" ] || { echo "mscd never wrote its address"; cat "$$tmp/mscd.log"; exit 1; }; \
+	"$$tmp/mscload" -addr-file "$$tmp/addr" -n 2000 -c 64 -seed 1 || \
+		{ echo "mscload failed"; cat "$$tmp/mscd.log"; kill $$mscd_pid; exit 1; }; \
+	kill -TERM $$mscd_pid; \
+	wait $$mscd_pid || { echo "mscd drain was not clean"; cat "$$tmp/mscd.log"; exit 1; }; \
+	echo "stress-mscd: ok"
 
 # Run `msc vet` over every MIMDC program in the repo except the seeded
 # failure corpus (testdata/vet/bad/). Fails on error-severity findings;

@@ -471,8 +471,16 @@ func (pr *pipelineRun) run(phase string, fn func() error) (err error) {
 // budget).
 func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recorder, span *telemetry.Span) (*Compiled, error) {
 	start := time.Now()
+	// The wall-clock budget is "ours" only when it is the binding
+	// deadline: a caller context that already expires sooner governs, and
+	// exceeding it must surface as the caller's DeadlineExceeded — not as
+	// a budget overrun that Degrade would pointlessly retry against a
+	// dead context.
 	ownDeadline := conf.Limits.Deadline > 0
 	if ownDeadline {
+		if pd, ok := ctx.Deadline(); ok && time.Until(pd) <= conf.Limits.Deadline {
+			ownDeadline = false
+		}
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, conf.Limits.Deadline)
 		defer cancel()
@@ -481,15 +489,16 @@ func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recor
 
 	c, err := pipeline(pr, source, conf, rec)
 	if err != nil && ownDeadline && errors.Is(err, context.DeadlineExceeded) {
-		// The attempt's own wall-clock budget ran out (as opposed to a
-		// caller-imposed deadline, which would not have ownDeadline set
-		// tighter than it): report it as a budget overrun so Degrade can
-		// retry with cheaper settings.
+		// The attempt's own wall-clock budget ran out: report it as a
+		// budget overrun so Degrade can retry with cheaper settings. The
+		// deadline error stays in the chain via Err, so callers matching
+		// errors.Is(err, context.DeadlineExceeded) still see it.
 		return nil, &BudgetError{
 			Phase:    pr.phase,
 			Resource: "wall_clock",
 			Limit:    int64(conf.Limits.Deadline),
 			Used:     int64(time.Since(start)),
+			Err:      context.DeadlineExceeded,
 		}
 	}
 	return c, err

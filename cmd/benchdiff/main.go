@@ -76,6 +76,11 @@ func readReport(path string) (*harness.BenchReport, error) {
 // gateFromZero set also regress when a zero baseline becomes nonzero
 // (a percentage is undefined there, but the jump itself is the signal
 // — e.g. a workload that starts needing the degradation ladder).
+// gateFromZero doubles as "zero is a legitimate value": for the other
+// (core) metrics a real run is never zero, so a zero on either side
+// means the metric is absent from that report and is diagnosed rather
+// than compared — a vanished simd_cycles must not read as a -100%
+// improvement, and a zero baseline must not silently skip the column.
 type metric struct {
 	name         string
 	get          func(*harness.BenchResult) int64
@@ -111,9 +116,32 @@ func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, not
 		}
 		for _, m := range metrics {
 			ov, cv := m.get(o), m.get(c)
-			if ov <= 0 {
-				if m.gateFromZero && cv > ov {
+			switch {
+			case ov <= 0 && cv <= 0:
+				// Absent (or legitimately zero) on both sides: nothing to
+				// compare.
+				continue
+			case ov <= 0:
+				// Zero baseline, nonzero new value: no percentage exists.
+				// For gateFromZero metrics the jump itself is the signal;
+				// for the rest, say explicitly that the column could not be
+				// gated instead of silently skipping it.
+				if m.gateFromZero {
 					regressions = append(regressions, fmt.Sprintf("%s: %s %d -> %d (was zero)", o.Name, m.name, ov, cv))
+				} else {
+					notes = append(notes, fmt.Sprintf("%s: %s baseline is zero (absent from old report?); new value %d not gated", o.Name, m.name, cv))
+				}
+				continue
+			case cv <= 0:
+				// Nonzero baseline vanished. For core metrics zero means
+				// the new report never measured it — a coverage loss, not a
+				// 100% improvement. gateFromZero counters may genuinely
+				// drop to zero; that is the improvement the gate exists
+				// for.
+				if m.gateFromZero {
+					notes = append(notes, fmt.Sprintf("%s: %s improved %d -> %d", o.Name, m.name, ov, cv))
+				} else {
+					regressions = append(regressions, fmt.Sprintf("%s: %s %d -> %d (metric missing from new report)", o.Name, m.name, ov, cv))
 				}
 				continue
 			}
@@ -127,10 +155,23 @@ func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, not
 		}
 		// Wall times vary run to run: by default surface large swings
 		// without gating; -wall-tol > 0 gates them hard (use on quiet
-		// machines to pin a no-overhead claim).
-		if o.Compile != nil && c.Compile != nil {
+		// machines to pin a no-overhead claim). One-sided compile stats
+		// are diagnosed, not silently skipped.
+		switch {
+		case o.Compile == nil && c.Compile == nil:
+			// Neither report carries compile stats: nothing to compare.
+		case o.Compile == nil:
+			notes = append(notes, fmt.Sprintf("%s: old report has no compile stats; wall comparison skipped", o.Name))
+		case c.Compile == nil:
+			notes = append(notes, fmt.Sprintf("%s: new report has no compile stats; wall comparison skipped", o.Name))
+		default:
 			ow, cw := phaseTotal(o), phaseTotal(c)
-			if ow > 0 {
+			switch {
+			case ow <= 0 && cw <= 0:
+				// No phase wall data on either side.
+			case ow <= 0:
+				notes = append(notes, fmt.Sprintf("%s: compile wall baseline is zero; new value %dns not gated", o.Name, cw))
+			default:
 				pct := 100 * float64(cw-ow) / float64(ow)
 				switch {
 				case wallTol > 0 && pct > wallTol:

@@ -110,3 +110,117 @@ func TestDiffWallTolGatesHard(t *testing.T) {
 		t.Fatalf("+5%% gated at wall-tol 6: %v", regs)
 	}
 }
+
+// TestDiffZeroAndAbsentMetrics covers the three degenerate shapes —
+// metric in baseline but absent (zero) in the new run, absent in
+// baseline but present in the new run, and zero on both sides — for
+// both core metrics (zero means "not measured") and gateFromZero
+// counters (zero is a legitimate value). None of them may divide by
+// zero, silently skip, or read a vanished metric as an improvement.
+func TestDiffZeroAndAbsentMetrics(t *testing.T) {
+	cases := []struct {
+		name      string
+		old, cur  harness.BenchResult
+		wantRegs  []string // substrings, one per expected regression
+		wantNotes []string // substrings that must appear in notes
+	}{
+		{
+			name: "core metric vanishes in new run",
+			old:  row("a", 10, 100),
+			cur: harness.BenchResult{Name: "a", Width: 16,
+				MIMDStates: 4, MetaStates: 10,
+				SIMDCycles: 0, MIMDCycles: 50, InterpCycles: 400},
+			wantRegs: []string{"simd_cycles", "missing from new report"},
+		},
+		{
+			name: "core metric absent in baseline",
+			old: harness.BenchResult{Name: "a", Width: 16,
+				MIMDStates: 4, MetaStates: 10,
+				SIMDCycles: 0, MIMDCycles: 50, InterpCycles: 400},
+			cur:       row("a", 10, 100),
+			wantNotes: []string{"simd_cycles baseline is zero"},
+		},
+		{
+			name: "zero on both sides is clean",
+			old: harness.BenchResult{Name: "a", Width: 16,
+				MIMDStates: 4, MetaStates: 10,
+				SIMDCycles: 0, MIMDCycles: 50, InterpCycles: 400},
+			cur: harness.BenchResult{Name: "a", Width: 16,
+				MIMDStates: 4, MetaStates: 10,
+				SIMDCycles: 0, MIMDCycles: 50, InterpCycles: 400},
+		},
+		{
+			name: "gateFromZero counter dropping to zero is an improvement",
+			old: func() harness.BenchResult {
+				r := row("a", 10, 100)
+				r.DegradeSteps = 3
+				return r
+			}(),
+			cur:       row("a", 10, 100),
+			wantNotes: []string{"degrade_steps improved 3 -> 0"},
+		},
+		{
+			name: "gateFromZero counter appearing gates hard",
+			old:  row("a", 10, 100),
+			cur: func() harness.BenchResult {
+				r := row("a", 10, 100)
+				r.BudgetOverruns = 2
+				return r
+			}(),
+			wantRegs: []string{"budget_overruns", "was zero"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, notes := diff(report(tc.old), report(tc.cur), 10, 0)
+			if len(tc.wantRegs) == 0 && len(regs) != 0 {
+				t.Fatalf("unexpected regressions: %v", regs)
+			}
+			if len(tc.wantRegs) > 0 {
+				if len(regs) != 1 {
+					t.Fatalf("want exactly 1 regression, got %v", regs)
+				}
+				for _, want := range tc.wantRegs {
+					if !strings.Contains(regs[0], want) {
+						t.Errorf("regression %q missing %q", regs[0], want)
+					}
+				}
+			}
+			for _, want := range tc.wantNotes {
+				found := false
+				for _, n := range notes {
+					if strings.Contains(n, want) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("notes %v missing %q", notes, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffOneSidedCompileStats: a report missing compile stats on one
+// side produces a diagnostic note instead of a silent skip.
+func TestDiffOneSidedCompileStats(t *testing.T) {
+	withStats := row("a", 10, 100)
+	withStats.Compile = &msc.CompileStats{PhaseWall: []obs.Phase{{Name: "convert", Wall: 1_000_000}}}
+	without := row("a", 10, 100)
+
+	regs, notes := diff(report(withStats), report(without), 10, 0)
+	if len(regs) != 0 {
+		t.Fatalf("one-sided compile stats gated hard: %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "new report has no compile stats") {
+		t.Fatalf("want one-sided note, got %v", notes)
+	}
+
+	regs, notes = diff(report(without), report(withStats), 10, 0)
+	if len(regs) != 0 {
+		t.Fatalf("one-sided compile stats gated hard: %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "old report has no compile stats") {
+		t.Fatalf("want one-sided note, got %v", notes)
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"msc"
+)
+
+func TestFinalStatusDecodes(t *testing.T) {
+	svc := msc.NewCompileService(msc.ServiceConfig{Workers: 1})
+	defer svc.Close()
+	st := finalStatus(svc)
+	if st.Workers != 1 {
+		t.Errorf("statusz workers = %d, want 1", st.Workers)
+	}
+	if st.Goroutines < 1 {
+		t.Errorf("statusz goroutines = %d", st.Goroutines)
+	}
+}

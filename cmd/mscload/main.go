@@ -1,0 +1,349 @@
+// Command mscload hammers a running mscd with randomized compile
+// requests and checks the service's behavior under load: every request
+// carries an expectation (a valid progen program must compile 200, a
+// corrupted one must be rejected 400 with kind "invalid", a
+// deliberately tiny budget must come back 429 with kind "budget"), and
+// the run fails on any 5xx, transport error, or expectation mismatch.
+// Backpressure (429 "overloaded") is retried with backoff and is not a
+// failure — it is the admission queue doing its job.
+//
+// While the load runs, /statusz is polled for goroutine and RSS
+// ceilings, so a leak shows up as a monotonically climbing ceiling in
+// the report.
+//
+// Usage:
+//
+//	mscload [-addr host:port | -addr-file PATH] [-n 2000] [-c 64]
+//	        [-seed 1] [-invalid 10] [-overbudget 10]
+//
+// -invalid and -overbudget are percentages of the request mix. The
+// exit code is 0 only for a fully clean run; the summary reports
+// p50/p99/max latency and the taxonomy counts either way.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msc"
+	"msc/internal/progen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type result struct {
+	latency    time.Duration
+	status     int
+	kind       string // taxonomy kind from the error body, "" on 200
+	expected   string // "ok", "invalid", "budget"
+	metaStates int    // from a 200 body, for the budget expectation
+	err        error  // transport failure
+}
+
+func run() int {
+	addr := flag.String("addr", "", "mscd address (host:port)")
+	addrFile := flag.String("addr-file", "", "read the address from this file (written by mscd -addr-file)")
+	n := flag.Int("n", 2000, "total requests")
+	c := flag.Int("c", 64, "concurrent clients")
+	seed := flag.Int64("seed", 1, "base seed for the request mix (fixed seed = reproducible run)")
+	invalidPct := flag.Int("invalid", 10, "percent of requests with corrupted source (expect 400)")
+	overPct := flag.Int("overbudget", 10, "percent of requests with a tiny state budget (expect 429)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	flag.Parse()
+
+	log.SetPrefix("mscload: ")
+	log.SetFlags(0)
+
+	base, err := resolveAddr(*addr, *addrFile)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *c,
+			MaxIdleConnsPerHost: *c,
+		},
+	}
+
+	// Poll /statusz for goroutine/RSS ceilings while the load runs.
+	var maxGoroutines, maxRSS atomic.Int64
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollDone:
+				return
+			case <-tick.C:
+				if st, err := fetchStatus(client, base); err == nil {
+					if g := int64(st.Goroutines); g > maxGoroutines.Load() {
+						maxGoroutines.Store(g)
+					}
+					if st.RSSBytes > maxRSS.Load() {
+						maxRSS.Store(st.RSSBytes)
+					}
+				}
+			}
+		}
+	}()
+
+	results := make([]result, *n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = oneRequest(client, base, *seed, i, *invalidPct, *overPct)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+	close(pollDone)
+	pollWG.Wait()
+
+	return report(results, wall, maxGoroutines.Load(), maxRSS.Load())
+}
+
+func resolveAddr(addr, addrFile string) (string, error) {
+	if addr == "" && addrFile == "" {
+		return "", fmt.Errorf("one of -addr or -addr-file is required")
+	}
+	if addr == "" {
+		b, err := os.ReadFile(addrFile)
+		if err != nil {
+			return "", err
+		}
+		addr = strings.TrimSpace(string(b))
+	}
+	return "http://" + addr, nil
+}
+
+// classify decides request i's shape from the fixed seed: the mix is a
+// pure function of (seed, i), so a failing request is reproducible by
+// rerunning with the same flags.
+func classify(seed int64, i, invalidPct, overPct int) string {
+	rng := rand.New(rand.NewSource(seed + int64(i)*2654435761))
+	roll := rng.Intn(100)
+	switch {
+	case roll < invalidPct:
+		return "invalid"
+	case roll < invalidPct+overPct:
+		return "budget"
+	default:
+		return "ok"
+	}
+}
+
+// buildRequest produces the request body and its expectation.
+func buildRequest(seed int64, i, invalidPct, overPct int) (body []byte, expected string) {
+	expected = classify(seed, i, invalidPct, overPct)
+	src := progen.Source(progen.Params{
+		Seed: seed + int64(i), Barriers: true, Floats: i%3 == 0,
+		MaxDepth: 3, MaxStmts: 5, Vars: 4, LoopTrip: 3,
+	})
+	req := msc.CompileRequest{Source: src}
+	switch expected {
+	case "invalid":
+		// Corrupt the source so it cannot parse: unbalance the braces.
+		req.Source = strings.Replace(src, "{", "(", 1)
+	case "budget":
+		req.Limits = &msc.WireLimits{MaxStates: 1}
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err) // request shapes are static; this cannot fail
+	}
+	return b, expected
+}
+
+func oneRequest(client *http.Client, base string, seed int64, i, invalidPct, overPct int) result {
+	body, expected := buildRequest(seed, i, invalidPct, overPct)
+	var res result
+	res.expected = expected
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		resp, err := client.Post(base+"/compile", "application/json", bytes.NewReader(body))
+		res.latency = time.Since(start)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		rb, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.status = resp.StatusCode
+		if resp.StatusCode == http.StatusOK {
+			var cr msc.CompileResponse
+			if err := json.Unmarshal(rb, &cr); err != nil {
+				res.err = fmt.Errorf("non-JSON 200 body: %.120s", rb)
+				return res
+			}
+			res.metaStates = cr.MetaStates
+		}
+		if resp.StatusCode != http.StatusOK {
+			var eb msc.ErrorBody
+			if err := json.Unmarshal(rb, &eb); err != nil {
+				res.err = fmt.Errorf("non-JSON error body (status %d): %.120s", resp.StatusCode, rb)
+				return res
+			}
+			res.kind = eb.Error
+			// Backpressure is not an outcome, it is a request to slow
+			// down: honor it a few times before giving up.
+			if eb.Error == "overloaded" && attempt < 5 {
+				time.Sleep(time.Duration(10*(1<<attempt)) * time.Millisecond)
+				continue
+			}
+		}
+		return res
+	}
+}
+
+type serviceStatus struct {
+	Goroutines int   `json:"goroutines"`
+	RSSBytes   int64 `json:"rss_bytes"`
+}
+
+func fetchStatus(client *http.Client, base string) (serviceStatus, error) {
+	var st serviceStatus
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted
+// latencies using nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func report(results []result, wall time.Duration, maxGoroutines, maxRSS int64) int {
+	var latencies []time.Duration
+	statusCount := map[int]int{}
+	kindCount := map[string]int{}
+	var transport, mismatch, server5xx, backpressure int
+
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			transport++
+			if transport <= 5 {
+				log.Printf("transport error: %v", r.err)
+			}
+			continue
+		}
+		latencies = append(latencies, r.latency)
+		statusCount[r.status]++
+		if r.kind != "" {
+			kindCount[r.kind]++
+		}
+		if r.status >= 500 {
+			server5xx++
+			if server5xx <= 5 {
+				log.Printf("5xx: status %d kind %q (expected %s)", r.status, r.kind, r.expected)
+			}
+			continue
+		}
+		ok := false
+		switch r.expected {
+		case "ok":
+			ok = r.status == 200
+		case "invalid":
+			ok = r.status == 400 && r.kind == "invalid"
+		case "budget":
+			// A program that genuinely fits in one meta state does not
+			// exceed max_states=1; a 200 is then the correct answer.
+			ok = (r.status == 429 && r.kind == "budget") ||
+				(r.status == 200 && r.metaStates <= 1)
+		}
+		if !ok && r.kind == "overloaded" {
+			// Still overloaded after retries: backpressure, not a bug.
+			backpressure++
+			ok = true
+		}
+		if !ok {
+			mismatch++
+			if mismatch <= 5 {
+				log.Printf("expectation mismatch: expected %s, got status %d kind %q", r.expected, r.status, r.kind)
+			}
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("mscload: %d requests in %v (%.0f req/s)\n",
+		len(results), wall.Round(time.Millisecond), float64(len(results))/wall.Seconds())
+	if len(latencies) > 0 {
+		fmt.Printf("latency: p50=%v p99=%v max=%v\n",
+			percentile(latencies, 50).Round(time.Microsecond),
+			percentile(latencies, 99).Round(time.Microsecond),
+			latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	var statuses []int
+	for s := range statusCount {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		fmt.Printf("status %d: %d\n", s, statusCount[s])
+	}
+	var kinds []string
+	for k := range kindCount {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("kind %s: %d\n", k, kindCount[k])
+	}
+	fmt.Printf("backpressure (still overloaded after retries): %d\n", backpressure)
+	fmt.Printf("ceilings: goroutines=%d rss=%dMiB\n", maxGoroutines, maxRSS>>20)
+
+	if transport > 0 || server5xx > 0 || mismatch > 0 {
+		fmt.Printf("FAIL: transport=%d 5xx=%d mismatches=%d\n", transport, server5xx, mismatch)
+		return 1
+	}
+	fmt.Println("ok: zero 5xx, zero transport errors, all expectations met")
+	return 0
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"msc"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sorted := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5), ms(6), ms(7), ms(8), ms(9), ms(10)}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, ms(5)},
+		{99, ms(10)},
+		{100, ms(10)},
+		{1, ms(1)},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}
+
+func TestClassifyIsDeterministicAndMixed(t *testing.T) {
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		a := classify(42, i, 10, 10)
+		b := classify(42, i, 10, 10)
+		if a != b {
+			t.Fatalf("classify not deterministic at i=%d: %s vs %s", i, a, b)
+		}
+		counts[a]++
+	}
+	// The mix is random but 1000 draws at 10% each cannot plausibly
+	// miss a class entirely.
+	for _, class := range []string{"ok", "invalid", "budget"} {
+		if counts[class] == 0 {
+			t.Errorf("class %s absent from 1000 draws: %v", class, counts)
+		}
+	}
+	if counts["ok"] < 600 {
+		t.Errorf("valid share too small: %v", counts)
+	}
+}
+
+func TestBuildRequestShapes(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		body, expected := buildRequest(7, i, 10, 10)
+		var req msc.CompileRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("request %d not JSON: %v", i, err)
+		}
+		switch expected {
+		case "invalid":
+			// The corruption must actually unbalance the source.
+			if strings.Count(req.Source, "{") == strings.Count(req.Source, "}") {
+				t.Errorf("request %d: invalid source still balanced", i)
+			}
+		case "budget":
+			if req.Limits == nil || req.Limits.MaxStates != 1 {
+				t.Errorf("request %d: budget request carries no tiny limit: %+v", i, req.Limits)
+			}
+		case "ok":
+			if req.Limits != nil {
+				t.Errorf("request %d: valid request carries limits", i)
+			}
+			if _, err := msc.Compile(req.Source, msc.DefaultConfig()); err != nil {
+				t.Errorf("request %d: valid source does not compile: %v", i, err)
+			}
+		}
+	}
+}

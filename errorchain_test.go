@@ -1,0 +1,139 @@
+package msc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"msc"
+	"msc/internal/faultinject"
+	"msc/internal/obs"
+)
+
+// These tests lock the error-chain contract the service layer's status
+// mapping depends on (docs/SERVICE.md): every failure path out of
+// CompileContext and the Run*Context methods must keep both the typed
+// taxonomy (errors.As for *BudgetError / *StepLimitError /
+// *InternalError) and the context sentinels (errors.Is for
+// context.Canceled / context.DeadlineExceeded) intact — including
+// after degrade-ladder retries.
+
+// TestWallClockBudgetKeepsDeadlineChain: a wall-clock overrun is
+// classified as *BudgetError but must still satisfy
+// errors.Is(err, context.DeadlineExceeded) — the classification may
+// not sever the cause.
+func TestWallClockBudgetKeepsDeadlineChain(t *testing.T) {
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert,
+		Fault: faultinject.SlowPhase,
+		Delay: 300 * time.Millisecond,
+	})
+	defer deactivate()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	_, err := msc.Compile(src, msc.Config{Limits: msc.Limits{Deadline: 30 * time.Millisecond}})
+	var be *msc.BudgetError
+	if !errors.As(err, &be) || be.Resource != "wall_clock" {
+		t.Fatalf("want wall_clock *BudgetError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wall_clock budget error lost context.DeadlineExceeded: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("wall_clock budget error spuriously matches context.Canceled: %v", err)
+	}
+}
+
+// TestCallerDeadlineIsNotABudgetError: when the caller's context
+// expires before the compile's own Limits.Deadline would, the failure
+// is the caller's deadline — it must not be misclassified as a
+// wall_clock budget overrun (which Degrade would pointlessly retry
+// against the already-dead context).
+func TestCallerDeadlineIsNotABudgetError(t *testing.T) {
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert,
+		Fault: faultinject.SlowPhase,
+		Delay: 300 * time.Millisecond,
+	})
+	defer deactivate()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	_, err := msc.CompileContext(ctx, src, msc.Config{
+		Degrade: true,
+		Limits:  msc.Limits{Deadline: time.Hour},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	var be *msc.BudgetError
+	if errors.As(err, &be) {
+		t.Fatalf("caller deadline misclassified as budget overrun: %+v", be)
+	}
+}
+
+// TestBudgetChainSurvivesDegradeRetries: with Degrade set and a budget
+// the ladder cannot fix, the error that finally surfaces — after the
+// ladder relaxed and retried every rung — must still match
+// errors.As(*BudgetError) with the right resource.
+func TestBudgetChainSurvivesDegradeRetries(t *testing.T) {
+	src := readSource(t, "testdata/vet/barriers.mc")
+	_, err := msc.Compile(src, msc.Config{
+		Compress: true, TimeSplit: true, CSI: true, Degrade: true,
+		Limits: msc.Limits{MaxStates: 1},
+	})
+	if err == nil {
+		t.Fatal("compile fit in a 1-meta-state budget")
+	}
+	var be *msc.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError after degrade retries, got %v", err)
+	}
+	if be.Resource != "meta_states" {
+		t.Fatalf("resource = %q, want meta_states", be.Resource)
+	}
+}
+
+// TestCancelChainSurvivesDegradeRetries: canceling the caller context
+// while the degrade ladder is mid-retry must surface context.Canceled,
+// not a budget error and not a lost chain.
+func TestCancelChainSurvivesDegradeRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert,
+		Fault: faultinject.BudgetAtPhase,
+		Times: 1, // sabotage only the first attempt; then cancel below
+	})
+	defer deactivate()
+	cancel()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	_, err := msc.CompileContext(ctx, src, msc.Config{
+		Compress: true, BarrierExact: true, Degrade: true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled through the degraded retry, got %v", err)
+	}
+}
+
+// TestRunContextChains: the three engines must wrap (not replace) the
+// context error on cancellation and return typed *StepLimitError on
+// step exhaustion.
+func TestRunContextChains(t *testing.T) {
+	src := readSource(t, "testdata/vet/barriers.mc")
+	c, err := msc.Compile(src, msc.Config{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := msc.RunConfig{N: 8}
+	if _, err := c.RunSIMDContext(ctx, rc); !errors.Is(err, context.Canceled) {
+		t.Errorf("simd: want context.Canceled, got %v", err)
+	}
+	if _, err := c.RunMIMDContext(ctx, rc); !errors.Is(err, context.Canceled) {
+		t.Errorf("mimd: want context.Canceled, got %v", err)
+	}
+	if _, err := c.RunInterpContext(ctx, rc); !errors.Is(err, context.Canceled) {
+		t.Errorf("interp: want context.Canceled, got %v", err)
+	}
+}

@@ -207,7 +207,9 @@ func (m *machine) runPE(i int) error {
 		if p.blocks > m.cfg.MaxBlocks {
 			return &mscerr.StepLimitError{Engine: "mimd", Limit: int64(m.cfg.MaxBlocks), Steps: int64(p.blocks)}
 		}
-		if m.cfg.Ctx != nil && p.blocks%ctxCheckEvery == 0 {
+		// blocks was just incremented, so == 1 fires on the very first
+		// block: a pre-canceled context must not execute the program.
+		if m.cfg.Ctx != nil && p.blocks%ctxCheckEvery == 1 {
 			if err := m.cfg.Ctx.Err(); err != nil {
 				return fmt.Errorf("mimdsim: run canceled at PE %d block %d: %w", i, p.blocks, err)
 			}

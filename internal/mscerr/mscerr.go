@@ -40,12 +40,20 @@ type BudgetError struct {
 	Resource string
 	Limit    int64
 	Used     int64
+	// Err is the underlying cause when the overrun was detected through
+	// another error — context.DeadlineExceeded for a wall-clock budget —
+	// so errors.Is sees through the budget classification. Often nil:
+	// most budgets are detected by counting, not by an inner error.
+	Err error
 }
 
 func (e *BudgetError) Error() string {
 	return fmt.Sprintf("%s: %s budget exceeded: used %d of %d (see msc.Limits; Config.Degrade retries with cheaper settings)",
 		e.Phase, e.Resource, e.Used, e.Limit)
 }
+
+// Unwrap exposes the underlying cause (may be nil) to errors.Is/As.
+func (e *BudgetError) Unwrap() error { return e.Err }
 
 // StepLimitError reports an execution engine exhausting its step budget
 // — the runtime non-termination guard. Engine is "simd", "mimd", or

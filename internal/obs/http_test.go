@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"msc/internal/faultinject"
 )
 
 func TestDebugServerServesPprofAndExpvar(t *testing.T) {
@@ -123,5 +126,78 @@ func TestDebugServerMetrics(t *testing.T) {
 	}
 	if !strings.Contains(string(b), "convert_meta_states 7") {
 		t.Errorf("rescrape missing updated counter:\n%s", b)
+	}
+}
+
+// TestDebugServerCloseUnblocksAndDoesNotLeak locks the shutdown
+// contract cmd/mscd relies on: Close must (a) unblock an in-flight
+// handler that honors its request context, (b) join the listener
+// goroutine, and (c) leave no goroutine behind — checked with
+// faultinject.LeakCheckWithin. It must also be idempotent.
+func TestDebugServerCloseUnblocksAndDoesNotLeak(t *testing.T) {
+	leak := faultinject.LeakCheckWithin(5 * time.Second)
+
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder()
+	r.Add(CounterMetaStates, 3)
+	srv.MountMetrics(r.Registry())
+
+	// A handler that blocks until its request context is canceled:
+	// without the BaseContext wiring, Close would leave it (and its
+	// connection goroutine) stuck forever.
+	entered := make(chan struct{})
+	unblocked := make(chan struct{})
+	srv.Handle("/block", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		close(entered)
+		<-req.Context().Done()
+		close(unblocked)
+	}))
+
+	// Issue the blocking request; the client errors out when Close
+	// tears the connection down, which is fine — the handler side is
+	// what must unblock.
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/block", srv.Addr()))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking handler never entered")
+	}
+
+	// A normal in-flight scrape must also complete or be cleanly torn
+	// down; fire one concurrently with Close.
+	go http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return with a handler in flight")
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the in-flight handler")
+	}
+	if err := srv.Close(); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// After Close: no listener goroutine, no per-connection goroutines.
+	if err := leak(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the listener is really gone: a new request must fail.
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr())); err == nil {
+		t.Fatal("server still serving after Close")
 	}
 }

@@ -1,0 +1,462 @@
+package msc_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"msc"
+	"msc/internal/faultinject"
+	"msc/internal/obs"
+)
+
+// The CompileService tests drive the handler directly — no sockets —
+// which is exactly why the service is a plain http.Handler.
+
+func postCompile(t *testing.T, svc *msc.CompileService, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, req)
+	return w
+}
+
+func compileBody(t *testing.T, source string, extra string) string {
+	t.Helper()
+	b, err := json.Marshal(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra != "" {
+		return fmt.Sprintf(`{"source": %s, %s}`, b, extra)
+	}
+	return fmt.Sprintf(`{"source": %s}`, b)
+}
+
+func decodeError(t *testing.T, w *httptest.ResponseRecorder) msc.ErrorBody {
+	t.Helper()
+	var eb msc.ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("error body not JSON (%v): %s", err, w.Body.String())
+	}
+	return eb
+}
+
+func TestServiceCompileOK(t *testing.T) {
+	svc := msc.NewCompileService(msc.ServiceConfig{})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	w := postCompile(t, svc, "/compile", compileBody(t, src, `"emit": ["mpl"], "run": {"engine": "simd", "n": 8}`))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp msc.CompileResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.MetaStates < 1 || resp.MIMDStates < 1 {
+		t.Errorf("empty automaton in response: %+v", resp)
+	}
+	if resp.Stats == nil || resp.Stats.MetaStates < 1 {
+		t.Errorf("stats missing: %+v", resp.Stats)
+	}
+	if !strings.Contains(resp.MPL, "ms_0") {
+		t.Errorf("emitted MPL looks wrong: %q", resp.MPL)
+	}
+	if resp.Run == nil || resp.Run.Cycles <= 0 || resp.Run.Engine != "simd" {
+		t.Errorf("run result missing: %+v", resp.Run)
+	}
+}
+
+// TestServiceErrorTaxonomy is the status mapping table from
+// docs/SERVICE.md, end to end through the handler.
+func TestServiceErrorTaxonomy(t *testing.T) {
+	svc := msc.NewCompileService(msc.ServiceConfig{})
+	defer svc.Close()
+	good := readSource(t, "testdata/vet/barriers.mc")
+	nonterm := readSource(t, "testdata/robust/nonterminating.mc")
+
+	cases := []struct {
+		name       string
+		path, body string
+		wantStatus int
+		wantKind   string
+		check      func(t *testing.T, eb msc.ErrorBody, raw string)
+	}{
+		{
+			name: "not json", path: "/compile", body: "{not json",
+			wantStatus: 400, wantKind: "invalid",
+		},
+		{
+			name: "missing source", path: "/compile", body: `{"config": {"compress": true}}`,
+			wantStatus: 400, wantKind: "invalid",
+		},
+		{
+			name: "parse error", path: "/compile", body: compileBody(t, "void main( { return;", ""),
+			wantStatus: 400, wantKind: "invalid",
+		},
+		{
+			name: "invalid config", path: "/compile",
+			body:       compileBody(t, good, `"config": {"compress": true, "split_percent": 200}`),
+			wantStatus: 400, wantKind: "invalid",
+		},
+		{
+			name: "invalid engine", path: "/compile",
+			body:       compileBody(t, good, `"run": {"engine": "quantum"}`),
+			wantStatus: 400, wantKind: "invalid",
+		},
+		{
+			name: "over budget", path: "/compile",
+			body:       compileBody(t, good, `"limits": {"max_states": 1}`),
+			wantStatus: 429, wantKind: "budget",
+			check: func(t *testing.T, eb msc.ErrorBody, raw string) {
+				if eb.Resource != "meta_states" || eb.Phase != obs.PhaseConvert {
+					t.Errorf("budget attribution wrong: %+v", eb)
+				}
+				if eb.Limit != 1 || eb.Used < 1 {
+					t.Errorf("budget numbers wrong: %+v", eb)
+				}
+			},
+		},
+		{
+			name: "step limit", path: "/compile",
+			body:       compileBody(t, nonterm, `"run": {"engine": "simd", "n": 4, "max_steps": 64}`),
+			wantStatus: 422, wantKind: "step_limit",
+			check: func(t *testing.T, eb msc.ErrorBody, raw string) {
+				if eb.Engine != "simd" {
+					t.Errorf("engine attribution wrong: %+v", eb)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postCompile(t, svc, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			eb := decodeError(t, w)
+			if eb.Error != tc.wantKind {
+				t.Fatalf("kind = %q, want %q (%+v)", eb.Error, tc.wantKind, eb)
+			}
+			if tc.check != nil {
+				tc.check(t, eb, w.Body.String())
+			}
+		})
+	}
+}
+
+// TestServiceInternalErrorHidesStack: a contained panic maps to 500
+// with phase attribution and no stack or panic value in the body.
+func TestServiceInternalErrorHidesStack(t *testing.T) {
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseCodegen,
+		Fault: faultinject.PanicAtPhase,
+	})
+	defer deactivate()
+	svc := msc.NewCompileService(msc.ServiceConfig{})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	w := postCompile(t, svc, "/compile", compileBody(t, src, ""))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	eb := decodeError(t, w)
+	if eb.Error != "internal" || eb.Phase != obs.PhaseCodegen {
+		t.Fatalf("internal attribution wrong: %+v", eb)
+	}
+	body := w.Body.String()
+	for _, leak := range []string{"goroutine", ".go:", "faultinject: injected"} {
+		if strings.Contains(body, leak) {
+			t.Errorf("500 body leaks internals (%q): %s", leak, body)
+		}
+	}
+}
+
+// TestServiceDegradeQuery: ?degrade=1 turns the ladder on and the
+// response reports the rungs taken.
+func TestServiceDegradeQuery(t *testing.T) {
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert,
+		Fault: faultinject.BudgetAtPhase,
+		Times: 1,
+	})
+	defer deactivate()
+	svc := msc.NewCompileService(msc.ServiceConfig{})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	body := compileBody(t, src, `"config": {"compress": true, "barrier_exact": true}`)
+	w := postCompile(t, svc, "/compile?degrade=1", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp msc.CompileResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Degradations) != 1 || !strings.Contains(resp.Degradations[0].Action, "barrier-exact") {
+		t.Fatalf("degradation rungs not reported: %+v", resp.Degradations)
+	}
+}
+
+// TestServiceAdmission: with one worker and a queue of one, a third
+// concurrent request is rejected 429 while the first two eventually
+// succeed.
+func TestServiceAdmission(t *testing.T) {
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert,
+		Fault: faultinject.SlowPhase,
+		Delay: 400 * time.Millisecond,
+	})
+	defer deactivate()
+	svc := msc.NewCompileService(msc.ServiceConfig{Workers: 1, QueueDepth: 1})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	body := compileBody(t, src, "")
+
+	type outcome struct{ code int }
+	results := make(chan outcome, 3)
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := postCompile(t, svc, "/compile", body)
+			results <- outcome{w.Code}
+		}()
+	}
+	// Occupy the worker, then the queue slot, then overflow.
+	launch()
+	waitInFlight(t, svc, 1)
+	launch()
+	waitQueued(t, svc, 1)
+	launch()
+	wg.Wait()
+	close(results)
+
+	counts := map[int]int{}
+	for r := range results {
+		counts[r.code]++
+	}
+	if counts[http.StatusOK] != 2 || counts[http.StatusTooManyRequests] != 1 {
+		t.Fatalf("status counts = %v, want 2×200 and 1×429", counts)
+	}
+}
+
+func statusz(t *testing.T, svc *msc.CompileService) msc.ServiceStatus {
+	t.Helper()
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, httptest.NewRequest("GET", "/statusz", nil))
+	var st msc.ServiceStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("statusz not JSON: %s", w.Body.String())
+	}
+	return st
+}
+
+func waitInFlight(t *testing.T, svc *msc.CompileService, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for statusz(t, svc).InFlight < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("in_flight never reached %d", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func waitQueued(t *testing.T, svc *msc.CompileService, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for statusz(t, svc).Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued never reached %d", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServiceDrain: draining flips /readyz, rejects new work with 503,
+// lets the in-flight compile finish, and leaves no goroutines behind.
+func TestServiceDrain(t *testing.T) {
+	leak := faultinject.LeakCheckWithin(5 * time.Second)
+	deactivate := faultinject.Activate(&faultinject.Plan{
+		Phase: obs.PhaseConvert,
+		Fault: faultinject.SlowPhase,
+		Delay: 300 * time.Millisecond,
+	})
+	svc := msc.NewCompileService(msc.ServiceConfig{Workers: 2})
+	src := readSource(t, "testdata/vet/barriers.mc")
+	body := compileBody(t, src, "")
+
+	inFlightDone := make(chan int, 1)
+	go func() {
+		w := postCompile(t, svc, "/compile", body)
+		inFlightDone <- w.Code
+	}()
+	waitInFlight(t, svc, 1)
+
+	drained := make(chan error, 1)
+	go func() { drained <- svc.Drain(context.Background()) }()
+
+	// Readiness flips as soon as draining starts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := httptest.NewRecorder()
+		svc.ServeHTTP(w, httptest.NewRequest("GET", "/readyz", nil))
+		if w.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// New work is rejected while draining.
+	if w := postCompile(t, svc, "/compile", body); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("compile while draining: status %d", w.Code)
+	} else if decodeError(t, w).Error != "draining" {
+		t.Fatalf("wrong rejection kind: %s", w.Body.String())
+	}
+	// The in-flight request still completes, then Drain returns.
+	if code := <-inFlightDone; code != http.StatusOK {
+		t.Fatalf("in-flight compile status %d", code)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	svc.Close()
+	deactivate()
+	if err := leak(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceStreaming: ?trace=1 produces an NDJSON stream of span
+// envelopes (plus engine events when running) with exactly one final
+// done envelope — and a fail envelope on error.
+func TestServiceStreaming(t *testing.T) {
+	svc := msc.NewCompileService(msc.ServiceConfig{})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	w := postCompile(t, svc, "/compile?trace=1",
+		compileBody(t, src, `"run": {"engine": "simd", "n": 4}`))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var spans, events, dones int
+	var lastKind string
+	sc := bufio.NewScanner(strings.NewReader(w.Body.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var env map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("stream line not JSON: %s", sc.Text())
+		}
+		switch {
+		case env["span"] != nil:
+			spans++
+			lastKind = "span"
+		case env["event"] != nil:
+			events++
+			lastKind = "event"
+		case env["done"] != nil:
+			dones++
+			lastKind = "done"
+		case env["fail"] != nil:
+			lastKind = "fail"
+		}
+	}
+	if spans < 5 {
+		t.Errorf("want compile phase spans in stream, got %d", spans)
+	}
+	if events < 1 {
+		t.Errorf("want engine trace events in stream, got %d", events)
+	}
+	if dones != 1 || lastKind != "done" {
+		t.Errorf("stream must end with exactly one done envelope (dones=%d last=%s)", dones, lastKind)
+	}
+
+	// Failure shape: invalid program → 200 stream closed by a fail
+	// envelope carrying the taxonomy kind.
+	w = postCompile(t, svc, "/compile?trace=1", compileBody(t, "void main( {", ""))
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &env); err != nil || env["fail"] == nil {
+		t.Fatalf("failed stream does not end in fail envelope: %q", lines[len(lines)-1])
+	}
+	var eb msc.ErrorBody
+	if err := json.Unmarshal(env["fail"], &eb); err != nil || eb.Error != "invalid" {
+		t.Fatalf("fail envelope wrong: %s", env["fail"])
+	}
+}
+
+// TestServiceIntrospection: healthz/readyz/metrics/statusz all serve,
+// and a compile's metrics land in the Prometheus exposition.
+func TestServiceIntrospection(t *testing.T) {
+	svc := msc.NewCompileService(msc.ServiceConfig{})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	if w := postCompile(t, svc, "/compile", compileBody(t, src, "")); w.Code != 200 {
+		t.Fatalf("compile: %d", w.Code)
+	}
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		svc.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+	if w := get("/healthz"); w.Code != 200 {
+		t.Errorf("healthz: %d", w.Code)
+	}
+	if w := get("/readyz"); w.Code != 200 {
+		t.Errorf("readyz: %d", w.Code)
+	}
+	st := statusz(t, svc)
+	if st.Served < 1 || st.Status2xx < 1 || st.Goroutines < 1 {
+		t.Errorf("statusz incomplete: %+v", st)
+	}
+	if st.RSSBytes <= 0 {
+		t.Logf("statusz rss unavailable on this platform: %+v", st)
+	}
+	w := get("/metrics")
+	if w.Code != 200 {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"service_latency_ns", "compile_latency_ns", "service_responses", "proc_goroutines", "convert_meta_states"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+// TestServiceRequestLimitsClamped: a request may tighten the service
+// limits but not exceed the configured ceiling.
+func TestServiceRequestLimitsClamped(t *testing.T) {
+	svc := msc.NewCompileService(msc.ServiceConfig{
+		DefaultLimits: msc.Limits{MaxStates: 4},
+	})
+	defer svc.Close()
+	src := readSource(t, "testdata/vet/barriers.mc")
+	// Asking for a bigger budget than the service allows still hits the
+	// service ceiling.
+	w := postCompile(t, svc, "/compile", compileBody(t, src, `"limits": {"max_states": 100000}`))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (service ceiling must clamp)", w.Code)
+	}
+	eb := decodeError(t, w)
+	if eb.Limit != 4 {
+		t.Fatalf("clamped limit = %d, want 4: %+v", eb.Limit, eb)
+	}
+}
