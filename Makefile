@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check stress stress-mscd cover bench fuzz experiments examples vet-examples clean
+.PHONY: all build test check stress stress-mscd cover bench fuzz experiments examples vet-examples opt-goldens clean
 
 all: build test check
 
@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 # Static hygiene + race detector: the gate CI and pre-commit should run.
-check: vet-examples stress
+check: vet-examples opt-goldens stress
 	go vet ./...
 	go build ./cmd/mscd ./cmd/mscload
 	go test ./cmd/...
@@ -52,6 +52,14 @@ vet-examples:
 	if [ -z "$$files" ]; then echo "no .mc programs found"; exit 1; fi; \
 	go run ./cmd/msc vet $$files
 
+# Optimizer structural gate: the per-corpus base-vs-Opt:2 state and
+# meta-state table must match testdata/opt/goldens.txt byte for byte,
+# and the Opt:2 build must be observationally identical to Opt:0 on
+# the corpus, the workload suite, and the fixed progen fleet.
+# Regenerate the table deliberately with UPDATE_OPT_GOLDENS=1.
+opt-goldens:
+	go test -run 'TestOptGoldens|TestOptDifferential' .
+
 cover:
 	go test -cover ./...
 
@@ -60,17 +68,21 @@ cover:
 # pinned baselines: the seed at the default 10% tolerance, and the
 # post-telemetry baseline (BENCH_pr4.json, pre-telemetry) at 2% on the
 # deterministic metrics — the disabled telemetry path must not change
-# a single state or cycle count. Wall times warn only (benchdiff
-# -wall-tol gates them on quiet machines). See docs/PERFORMANCE.md.
+# a single state or cycle count. BENCH_pr8.json (post-optimizer) adds
+# the opt_meta_states column, so the optimizer's automaton reductions
+# are gated too. Wall times warn only (benchdiff -wall-tol gates them
+# on quiet machines). See docs/PERFORMANCE.md.
 bench:
 	go test -bench=. -benchmem ./...
 	go run ./cmd/mscbench -json BENCH_current.json
 	go run ./cmd/benchdiff BENCH_seed.json BENCH_current.json
 	go run ./cmd/benchdiff -tol 2 BENCH_pr4.json BENCH_current.json
+	go run ./cmd/benchdiff BENCH_pr8.json BENCH_current.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=60s ./internal/mimdc/
 	go test -fuzz=FuzzPromEscape -fuzztime=30s ./internal/telemetry/
+	go test -fuzz=FuzzOptDifferential -fuzztime=60s .
 
 # Regenerate EXPERIMENTS.md (all paper artifacts + ablations).
 experiments:

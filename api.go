@@ -44,6 +44,7 @@ import (
 	metastate "msc/internal/msc"
 	"msc/internal/mscerr"
 	"msc/internal/obs"
+	"msc/internal/opt"
 	"msc/internal/simd"
 	"msc/internal/telemetry"
 )
@@ -150,6 +151,24 @@ type Config struct {
 	// analyzer runs and Compiled.Diagnostics is populated regardless;
 	// Vet only decides whether errors abort the pipeline.
 	Vet bool
+	// Opt selects the dataflow optimization level applied to the MIMD
+	// state graph before conversion: 0 (default) disables the optimizer
+	// entirely, 1 runs one round of constant materialization, branch
+	// folding, dead-store elimination, and cleanup, 2 iterates the full
+	// pass pipeline (copy propagation included) to a fixed point. The
+	// observable behavior of the compiled program is unchanged at every
+	// level (the differential test gate proves it over the corpus);
+	// higher levels trade compile time for fewer MIMD states and
+	// therefore fewer meta states. Diagnostics always describe the
+	// unoptimized program: with Opt > 0 the vet phase analyzes a
+	// pre-optimization snapshot of the graph.
+	Opt int
+	// Verify runs the full cross-phase IR verifier (cfg.VerifyAll)
+	// after lowering and simplification and between every optimizer
+	// pass, failing the compile with an internal error on the first
+	// broken invariant. Race-detector builds verify optimizer passes
+	// regardless; Verify opts regular builds in.
+	Verify bool
 	// Limits bounds the resources one compile may consume (wall clock,
 	// meta states, CSI search, approximate memory). The zero value means
 	// no limits. Overruns return *BudgetError — or, with Degrade set,
@@ -198,6 +217,9 @@ func (c Config) Validate() error {
 	}
 	if c.ConvertWorkers < 0 {
 		return fmt.Errorf("msc: Config.ConvertWorkers must be >= 0 (0 means GOMAXPROCS), got %d", c.ConvertWorkers)
+	}
+	if c.Opt < 0 || c.Opt > 2 {
+		return fmt.Errorf("msc: Config.Opt must be 0, 1, or 2, got %d", c.Opt)
 	}
 	return c.Limits.Validate()
 }
@@ -281,6 +303,13 @@ type CompileStats struct {
 	HashCandidatesTried int64 `json:"hash_candidates_tried"`
 	HashTablesBuilt     int64 `json:"hash_tables_built"`
 	DispatchEntries     int64 `json:"dispatch_entries"`
+	// Optimizer (the opt phase, Config.Opt > 0): per-pass rewrite
+	// counts and fixed-point rounds.
+	OptConstFolds       int64 `json:"opt_const_folds"`
+	OptDeadStores       int64 `json:"opt_dead_stores"`
+	OptBranchesPruned   int64 `json:"opt_branches_pruned"`
+	OptCopiesPropagated int64 `json:"opt_copies_propagated"`
+	OptRounds           int64 `json:"opt_rounds"`
 	// Static analysis (the vet phase).
 	VetDiagnostics int64 `json:"vet_diagnostics"`
 	VetErrors      int64 `json:"vet_errors"`
@@ -312,6 +341,11 @@ func statsFromRecorder(r *obs.Recorder) *CompileStats {
 		HashCandidatesTried:  m.Counter(obs.CounterHashTried),
 		HashTablesBuilt:      m.Counter(obs.CounterHashTables),
 		DispatchEntries:      m.Counter(obs.CounterDispatchEntries),
+		OptConstFolds:        m.Counter(obs.CounterOptConstFolds),
+		OptDeadStores:        m.Counter(obs.CounterOptDeadStores),
+		OptBranchesPruned:    m.Counter(obs.CounterOptBranchesPruned),
+		OptCopiesPropagated:  m.Counter(obs.CounterOptCopiesProp),
+		OptRounds:            m.Counter(obs.CounterOptRounds),
 		VetDiagnostics:       m.Counter(obs.CounterVetDiags),
 		VetErrors:            m.Counter(obs.CounterVetErrors),
 		VetWarnings:          m.Counter(obs.CounterVetWarnings),
@@ -534,6 +568,11 @@ func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*
 		if err != nil {
 			return fmt.Errorf("msc: lower: %w", err)
 		}
+		if conf.Verify {
+			if err := cfg.VerifyAll(gr); err != nil {
+				return fmt.Errorf("msc: internal error: %w", err)
+			}
+		}
 		g = gr
 		return nil
 	}); err != nil {
@@ -544,12 +583,46 @@ func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*
 		sstats := cfg.SimplifyWithStats(g)
 		rec.Add(obs.CounterBlocksBefore, int64(sstats.BlocksBefore))
 		rec.Add(obs.CounterBlocksAfter, int64(sstats.BlocksAfter))
-		if err := cfg.Verify(g); err != nil {
+		verify := cfg.Verify
+		if conf.Verify {
+			verify = cfg.VerifyAll
+		}
+		if err := verify(g); err != nil {
 			return fmt.Errorf("msc: internal error: %w", err)
 		}
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+
+	// The vet phase analyzes the graph the programmer wrote; with the
+	// optimizer on, that is a pre-optimization snapshot (materialized
+	// constants and eliminated stores would otherwise shift diagnostics
+	// away from the source).
+	vetG := g
+	if conf.Opt > 0 {
+		vetG = g.Clone()
+		if err := pr.run(obs.PhaseOpt, func() error {
+			ostats, err := opt.Run(g, opt.Options{Level: conf.Opt, Verify: conf.Verify})
+			rec.Add(obs.CounterOptConstFolds, int64(ostats.ConstFolds))
+			rec.Add(obs.CounterOptDeadStores, int64(ostats.DeadStores))
+			rec.Add(obs.CounterOptBranchesPruned, int64(ostats.BranchesPruned))
+			rec.Add(obs.CounterOptCopiesProp, int64(ostats.CopiesPropagated))
+			rec.Add(obs.CounterOptRounds, int64(ostats.Rounds))
+			if pr.span != nil {
+				pr.span.SetAttr(telemetry.Int("const_folds", int64(ostats.ConstFolds)))
+				pr.span.SetAttr(telemetry.Int("dead_stores", int64(ostats.DeadStores)))
+				pr.span.SetAttr(telemetry.Int("branches_pruned", int64(ostats.BranchesPruned)))
+				pr.span.SetAttr(telemetry.Int("copies_propagated", int64(ostats.CopiesPropagated)))
+				pr.span.SetAttr(telemetry.Int("rounds", int64(ostats.Rounds)))
+			}
+			if err != nil {
+				return fmt.Errorf("msc: internal error: %w", err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	mopt := metastate.DefaultOptions(conf.Compress)
@@ -601,7 +674,7 @@ func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*
 
 	var diags []Diagnostic
 	if err := pr.run(obs.PhaseVet, func() error {
-		diags = analysis.Analyze(g, a)
+		diags = analysis.Analyze(vetG, a)
 		nErr, nWarn, _ := analysis.CountBySeverity(diags)
 		rec.Add(obs.CounterVetDiags, int64(len(diags)))
 		rec.Add(obs.CounterVetErrors, int64(nErr))

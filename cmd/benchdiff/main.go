@@ -95,6 +95,9 @@ var metrics = []metric{
 	{name: "interp_cycles", get: func(r *harness.BenchResult) int64 { return r.InterpCycles }},
 	{name: "degrade_steps", get: func(r *harness.BenchResult) int64 { return r.DegradeSteps }, gateFromZero: true},
 	{name: "budget_overruns", get: func(r *harness.BenchResult) int64 { return r.BudgetOverruns }, gateFromZero: true},
+	// opt_meta_states is absent from reports older than the optimizer;
+	// the zero-baseline path diagnoses that as a note, not a regression.
+	{name: "opt_meta_states", get: func(r *harness.BenchResult) int64 { return int64(r.OptMetaStates) }},
 }
 
 // diff compares cur against old and returns hard regressions and
@@ -183,8 +186,23 @@ func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, not
 		}
 	}
 	for i := range cur.Results {
-		if !oldSeen[cur.Results[i].Name] {
-			notes = append(notes, fmt.Sprintf("%s: new workload (no baseline)", cur.Results[i].Name))
+		c := &cur.Results[i]
+		if !oldSeen[c.Name] {
+			notes = append(notes, fmt.Sprintf("%s: new workload (no baseline)", c.Name))
+		}
+		// Intra-report invariant: the optimizer's whole point is a
+		// smaller automaton, so an optimized build with MORE meta states
+		// than its own unoptimized baseline is a regression regardless of
+		// what any older report says.
+		if c.OptMetaStates > 0 && c.MetaStates > 0 && c.OptMetaStates > c.MetaStates {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: opt_meta_states %d exceeds meta_states %d in the same report",
+				c.Name, c.OptMetaStates, c.MetaStates))
+		}
+		if c.OptConvertNS > 0 && c.ConvertNS > 0 && c.OptConvertNS > 2*c.ConvertNS {
+			notes = append(notes, fmt.Sprintf(
+				"%s: opt conversion wall %dns vs %dns unoptimized (warn-only, wall times are noisy)",
+				c.Name, c.OptConvertNS, c.ConvertNS))
 		}
 	}
 	return regressions, notes

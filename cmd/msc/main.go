@@ -94,6 +94,8 @@ func convFlags(fs *flag.FlagSet) func() msc.Config {
 		maxState = fs.Int("max-states", 0, "meta-state space bound (0 = default 65536)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget per compile attempt (0 = none)")
 		degrade  = fs.Bool("degrade", false, "on budget overrun, retry with progressively cheaper settings")
+		optLevel = fs.Int("O", 0, "dataflow optimization level: 0 off, 1 one round, 2 fixed point")
+		verify   = fs.Bool("verify", false, "run the cross-phase IR verifier between pipeline phases")
 	)
 	return func() msc.Config {
 		return msc.Config{
@@ -106,6 +108,8 @@ func convFlags(fs *flag.FlagSet) func() msc.Config {
 			MaxStates:    *maxState,
 			Limits:       msc.Limits{Deadline: *timeout},
 			Degrade:      *degrade,
+			Opt:          *optLevel,
+			Verify:       *verify,
 		}
 	}
 }
@@ -234,6 +238,10 @@ func stats(w io.Writer, c *msc.Compiled) {
 		fmt.Fprintf(w, "hash search:        %d candidates tried, %d tables built\n",
 			s.HashCandidatesTried, s.HashTablesBuilt)
 		fmt.Fprintf(w, "dispatch entries:   %d\n", s.DispatchEntries)
+		if s.OptRounds > 0 {
+			fmt.Fprintf(w, "opt rewrites:       %d const folds, %d dead stores, %d branches pruned, %d copies propagated (%d rounds)\n",
+				s.OptConstFolds, s.OptDeadStores, s.OptBranchesPruned, s.OptCopiesPropagated, s.OptRounds)
+		}
 		fmt.Fprintf(w, "vet diagnostics:    %d (%d errors, %d warnings)\n",
 			s.VetDiagnostics, s.VetErrors, s.VetWarnings)
 		if s.DegradeSteps > 0 || s.BudgetOverruns > 0 {

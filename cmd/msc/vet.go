@@ -17,13 +17,15 @@ import (
 // over one or more MIMDC source files and print the diagnostics as
 // "file:line:col: severity [check-id] message" lines (or JSON). The
 // exit status is nonzero iff any file fails to compile or produces an
-// error-severity diagnostic; warnings and infos never gate.
+// error-severity diagnostic; warnings and infos never gate unless
+// -werror promotes warnings to gate too.
 func vet(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("msc vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array")
 		exactBar = fs.Bool("exact-barriers", false, "analyze under exact barrier occupancy (§2.6 alternative)")
+		werror   = fs.Bool("werror", false, "treat warnings as errors (nonzero exit on any warning)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +47,9 @@ func vet(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		if analysis.HasErrors(diags) {
+			failed = true
+		}
+		if *werror && hasWarnings(diags) {
 			failed = true
 		}
 		if *jsonOut {
@@ -76,6 +81,16 @@ func vet(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("vet failed")
 	}
 	return nil
+}
+
+// hasWarnings reports whether any diagnostic is warning severity.
+func hasWarnings(diags []analysis.Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == analysis.SevWarning {
+			return true
+		}
+	}
+	return false
 }
 
 // vetJSON is the -json wire form of one diagnostic.

@@ -95,6 +95,36 @@ func TestVetMultipleFiles(t *testing.T) {
 	}
 }
 
+// TestVetWerror checks that -werror promotes warning-only runs to a
+// nonzero exit while the default invocation stays green.
+func TestVetWerror(t *testing.T) {
+	src := `
+poly int x;
+void main()
+{
+    poly int z;
+    z = 0;
+    x = 5 / z;
+    return;
+}
+`
+	file := filepath.Join(t.TempDir(), "warn.mc")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := vet([]string{file}, &out, &errBuf); err != nil {
+		t.Fatalf("warnings gated without -werror: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "warning [div-by-zero]") {
+		t.Fatalf("expected a div-by-zero warning, got:\n%s", out.String())
+	}
+	out.Reset()
+	if err := vet([]string{"-werror", file}, &out, &errBuf); err == nil {
+		t.Fatal("-werror did not fail a warning-only run")
+	}
+}
+
 // TestVetMissingFile checks the front-end error path: vet reports the
 // failure on stderr and exits nonzero without touching stdout.
 func TestVetMissingFile(t *testing.T) {

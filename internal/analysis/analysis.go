@@ -24,6 +24,7 @@ func AnalyzeGraph(g *cfg.Graph) []Diagnostic {
 	diags = append(diags, CheckDeadStores(g, vars, live)...)
 	diags = append(diags, CheckUnreachableCode(g)...)
 	diags = append(diags, CheckConstConditions(g, consts)...)
+	diags = append(diags, CheckDivByConstZero(g, consts)...)
 	return SortDiagnostics(diags)
 }
 

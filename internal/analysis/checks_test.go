@@ -272,6 +272,36 @@ void main()
 
 // Divergence alone must not trip the deadlock check: the automaton
 // admits the path where every PE takes the waiting branch.
+func TestCheckDivByConstZero(t *testing.T) {
+	diags := analyzeSrc(t, `
+poly int x, y;
+void main()
+{
+    poly int z;
+    z = 0;
+    x = 5 / z;
+    y = x % 0;
+    x = y / 2;
+    return;
+}
+`)
+	got := find(diags, analysis.CheckDivByZero)
+	if len(got) != 2 {
+		t.Fatalf("div-by-zero diagnostics = %v, want exactly 2", got)
+	}
+	for _, d := range got {
+		if d.Sev != analysis.SevWarning {
+			t.Errorf("severity = %s, want warning", d.Sev)
+		}
+	}
+	if got[0].Pos.Line != 7 || got[1].Pos.Line != 8 {
+		t.Errorf("positions %s, %s, want lines 7 and 8", got[0].Pos, got[1].Pos)
+	}
+	if !strings.Contains(got[0].Msg, "division") || !strings.Contains(got[1].Msg, "modulo") {
+		t.Errorf("messages %q, %q should name the operation", got[0].Msg, got[1].Msg)
+	}
+}
+
 func TestBarrierDivergenceNotDeadlock(t *testing.T) {
 	diags := analyzeSrc(t, `
 poly int x;

@@ -28,12 +28,18 @@ type ConstResult struct {
 	excluded *bitset.Set
 }
 
-// ConstFacts computes simple must-constant facts by forward fixpoint:
+// ConstFacts computes global must-constant facts by forward fixpoint:
 // a slot maps to a value at a block entry iff every predecessor path
-// stores exactly that value last. The iteration starts from
-// nothing-known and only ever promotes slots to known, which reaches
-// the least (sound, pessimistic) fixed point: loop-carried constants
-// are given up rather than guessed.
+// stores exactly that value last. Not-yet-computed predecessors are ⊤
+// (optimistic initialization): they impose no constraint on the meet,
+// so a fact that holds on the entry path and is preserved around a
+// loop body — a debug flag set once and branched on inside the loop —
+// survives at the loop head instead of being killed by the untaken
+// back edge's initial bottom. Every abstract operation is monotone on
+// the flat constant lattice, so iteration descends to the greatest
+// fixed point, which is the sound answer for a must-analysis. Facts
+// are recorded only for blocks reachable from the entry; everything
+// else reads as unknown.
 func ConstFacts(g *cfg.Graph, vars *Vars) *ConstResult {
 	excluded := vars.Remote.Clone()
 	for _, b := range g.Blocks {
@@ -63,21 +69,30 @@ func ConstFacts(g *cfg.Graph, vars *Vars) *ConstResult {
 
 	in := make(map[int]map[int]ConstVal, len(ids))
 	out := make(map[int]map[int]ConstVal, len(ids))
-	for _, id := range ids {
-		out[id] = map[int]ConstVal{}
-	}
+	computed := make(map[int]bool, len(ids))
 
+	// meet intersects the out-facts of every computed predecessor; a
+	// predecessor whose out-set has not been computed yet is ⊤ and adds
+	// no constraint. nil (distinct from an empty map) means the block
+	// itself is still ⊤: no computed predecessor reaches it.
 	meet := func(id int) map[int]ConstVal {
 		ps := preds[id]
 		if id == g.Entry || len(ps) == 0 {
 			return map[int]ConstVal{}
 		}
-		acc := make(map[int]ConstVal, len(out[ps[0]]))
-		for slot, v := range out[ps[0]] {
-			acc[slot] = v
-		}
-		for _, p := range ps[1:] {
+		var acc map[int]ConstVal
+		for _, p := range ps {
+			if !computed[p] {
+				continue
+			}
 			po := out[p]
+			if acc == nil {
+				acc = make(map[int]ConstVal, len(po))
+				for slot, v := range po {
+					acc[slot] = v
+				}
+				continue
+			}
 			for slot, v := range acc {
 				if pv, ok := po[slot]; !ok || pv != v {
 					delete(acc, slot)
@@ -103,10 +118,17 @@ func ConstFacts(g *cfg.Graph, vars *Vars) *ConstResult {
 		changed = false
 		for _, id := range ids {
 			newIn := meet(id)
+			if newIn == nil {
+				// Still ⊤: not yet reached from the entry. Leaving out/in
+				// unset keeps the block from constraining its successors;
+				// if it stays unreached it is dead and reads as unknown.
+				continue
+			}
 			in[id] = newIn
 			newOut, _ := evalBlock(g.Block(id), newIn, excluded)
-			if !equal(newOut, out[id]) {
+			if !computed[id] || !equal(newOut, out[id]) {
 				out[id] = newOut
+				computed[id] = true
 				changed = true
 			}
 		}
@@ -114,165 +136,187 @@ func ConstFacts(g *cfg.Graph, vars *Vars) *ConstResult {
 	return &ConstResult{In: in, excluded: excluded}
 }
 
+// StepNote reports what one abstract Step observed, beyond the state
+// update itself: facts a diagnostic pass wants but the fixpoint does
+// not need.
+type StepNote struct {
+	// DivByConstZero is set when a Div/Mod executed with a known
+	// constant zero divisor: the machine totalizes the result to 0, but
+	// the source almost certainly did not mean it.
+	DivByConstZero bool
+}
+
+// ConstEnv is a mutable abstract machine state for replaying one
+// block's stack code over the constant lattice: the per-slot constant
+// environment plus the abstract evaluation stack. The optimizer's
+// constant-materialization pass and the diagnostic checks both drive
+// it instruction by instruction; ConstFacts' fixpoint uses it as its
+// transfer function.
+type ConstEnv struct {
+	env      map[int]ConstVal
+	stack    []ConstVal
+	excluded *bitset.Set
+	// poisoned is set when an unrecognized opcode makes the whole
+	// environment untrustworthy; every fact reads unknown from then on.
+	poisoned bool
+}
+
+// EnvAt returns a fresh replay state seeded with the facts holding at
+// the named block's entry (per the ConstFacts fixpoint).
+func (r *ConstResult) EnvAt(blockID int) *ConstEnv {
+	e := &ConstEnv{env: make(map[int]ConstVal), excluded: r.excluded}
+	for k, v := range r.In[blockID] {
+		e.env[k] = v
+	}
+	return e
+}
+
+// Slot returns the constant known to be in a memory slot at the
+// current replay point (unknown for excluded or untracked slots).
+func (e *ConstEnv) Slot(slot int) ConstVal {
+	if e.poisoned || e.excluded.Has(slot) {
+		return ConstVal{}
+	}
+	return e.env[slot]
+}
+
+// Top returns the abstract value on top of the evaluation stack, or
+// unknown when the stack is empty at this replay point.
+func (e *ConstEnv) Top() ConstVal {
+	if e.poisoned || len(e.stack) == 0 {
+		return ConstVal{}
+	}
+	return e.stack[len(e.stack)-1]
+}
+
+func (e *ConstEnv) pop() ConstVal {
+	if len(e.stack) == 0 {
+		return ConstVal{}
+	}
+	v := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	return v
+}
+
+func (e *ConstEnv) push(v ConstVal) { e.stack = append(e.stack, v) }
+
+// Step abstractly executes one instruction, updating the environment
+// and stack, and reports any diagnostic-worthy observation.
+func (e *ConstEnv) Step(in ir.Instr) StepNote {
+	var note StepNote
+	unknown := ConstVal{}
+	slot := int(in.Imm)
+	switch in.Op {
+	case ir.PushC:
+		if in.Ty == ir.Float {
+			e.push(unknown)
+		} else {
+			e.push(ConstVal{Known: true, Val: in.Imm})
+		}
+	case ir.Dup:
+		v := e.pop()
+		e.push(v)
+		e.push(v)
+	case ir.Pop:
+		for i := int64(0); i < in.Imm; i++ {
+			e.pop()
+		}
+	case ir.LdLocal, ir.LdMono:
+		e.push(e.Slot(slot))
+	case ir.StLocal, ir.StMono:
+		v := e.pop()
+		if v.Known && !e.poisoned && !e.excluded.Has(slot) {
+			e.env[slot] = v
+		} else {
+			delete(e.env, slot)
+		}
+	case ir.LdIndex:
+		e.pop()
+		e.push(unknown)
+	case ir.StIndex:
+		e.pop()
+		e.pop()
+	case ir.LdRemote:
+		e.pop()
+		e.push(unknown)
+	case ir.StRemote:
+		// A router store mutates some PE's copy of the slot —
+		// possibly ours, via self-addressing — so the fact is gone.
+		e.pop()
+		e.pop()
+		delete(e.env, slot)
+	case ir.Neg, ir.BitNot, ir.LNot:
+		v := e.pop()
+		if !v.Known {
+			e.push(unknown)
+			break
+		}
+		if f, ok := ir.FoldUnary(in.Op, ir.Word(v.Val)); ok {
+			e.push(ConstVal{Known: true, Val: int64(f)})
+		} else {
+			e.push(unknown)
+		}
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod,
+		ir.BitAnd, ir.BitOr, ir.BitXor, ir.Shl, ir.Shr,
+		ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe, ir.CmpEq, ir.CmpNe:
+		r, l := e.pop(), e.pop()
+		if (in.Op == ir.Div || in.Op == ir.Mod) && r.Known && r.Val == 0 {
+			note.DivByConstZero = true
+		}
+		e.push(evalBinary(in.Op, l, r))
+	case ir.IProc, ir.NProc:
+		e.push(unknown)
+	case ir.I2F, ir.F2I:
+		e.pop()
+		e.push(unknown)
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv,
+		ir.FCmpLt, ir.FCmpLe, ir.FCmpGt, ir.FCmpGe, ir.FCmpEq, ir.FCmpNe:
+		e.pop()
+		e.pop()
+		e.push(unknown)
+	case ir.FNeg:
+		e.pop()
+		e.push(unknown)
+	case ir.PushRet, ir.Nop:
+	default:
+		// Unknown op: give up on the whole environment.
+		e.poisoned = true
+		e.env = map[int]ConstVal{}
+		e.stack = nil
+	}
+	return note
+}
+
 // evalBlock abstractly executes a block's stack code over the constant
 // environment, returning the post-state and the final stack (top
 // last). Unsupported operations and excluded slots produce unknowns.
 func evalBlock(b *cfg.Block, env map[int]ConstVal, excluded *bitset.Set) (map[int]ConstVal, []ConstVal) {
-	out := make(map[int]ConstVal, len(env))
+	e := &ConstEnv{env: make(map[int]ConstVal, len(env)), excluded: excluded}
 	for k, v := range env {
-		out[k] = v
+		e.env[k] = v
 	}
-	var stack []ConstVal
-	pop := func() ConstVal {
-		if len(stack) == 0 {
-			return ConstVal{}
-		}
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-	push := func(v ConstVal) { stack = append(stack, v) }
-	unknown := ConstVal{}
-
 	for _, in := range b.Code {
-		slot := int(in.Imm)
-		switch in.Op {
-		case ir.PushC:
-			if in.Ty == ir.Float {
-				push(unknown)
-			} else {
-				push(ConstVal{Known: true, Val: in.Imm})
-			}
-		case ir.Dup:
-			v := pop()
-			push(v)
-			push(v)
-		case ir.Pop:
-			for i := int64(0); i < in.Imm; i++ {
-				pop()
-			}
-		case ir.LdLocal, ir.LdMono:
-			if v, ok := out[slot]; ok && !excluded.Has(slot) {
-				push(v)
-			} else {
-				push(unknown)
-			}
-		case ir.StLocal, ir.StMono:
-			v := pop()
-			if v.Known && !excluded.Has(slot) {
-				out[slot] = v
-			} else {
-				delete(out, slot)
-			}
-		case ir.LdIndex:
-			pop()
-			push(unknown)
-		case ir.StIndex:
-			pop()
-			pop()
-		case ir.LdRemote:
-			pop()
-			push(unknown)
-		case ir.StRemote:
-			// A router store mutates some PE's copy of the slot —
-			// possibly ours, via self-addressing — so the fact is gone.
-			pop()
-			pop()
-			delete(out, slot)
-		case ir.Neg, ir.BitNot, ir.LNot:
-			v := pop()
-			if !v.Known {
-				push(unknown)
-				break
-			}
-			switch in.Op {
-			case ir.Neg:
-				push(ConstVal{Known: true, Val: -v.Val})
-			case ir.BitNot:
-				push(ConstVal{Known: true, Val: ^v.Val})
-			default:
-				push(ConstVal{Known: true, Val: int64(ir.Bool(v.Val == 0))})
-			}
-		case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod,
-			ir.BitAnd, ir.BitOr, ir.BitXor, ir.Shl, ir.Shr,
-			ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe, ir.CmpEq, ir.CmpNe:
-			r, l := pop(), pop()
-			push(evalBinary(in.Op, l, r))
-		case ir.IProc, ir.NProc:
-			push(unknown)
-		case ir.I2F, ir.F2I:
-			pop()
-			push(unknown)
-		case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv,
-			ir.FCmpLt, ir.FCmpLe, ir.FCmpGt, ir.FCmpGe, ir.FCmpEq, ir.FCmpNe:
-			pop()
-			pop()
-			push(unknown)
-		case ir.FNeg:
-			pop()
-			push(unknown)
-		case ir.PushRet, ir.Nop:
-		default:
-			// Unknown op: give up on the whole environment.
-			return map[int]ConstVal{}, nil
-		}
+		e.Step(in)
 	}
-	return out, stack
+	if e.poisoned {
+		return map[int]ConstVal{}, nil
+	}
+	return e.env, e.stack
 }
 
-// evalBinary folds an integer binary op over abstract operands.
+// evalBinary folds an integer binary op over abstract operands. The
+// compile-time fold helpers refuse division by constant zero and
+// signed overflow, so those degrade to ⊤ instead of producing a
+// constant the runtime would disagree about or silently wrap.
 func evalBinary(op ir.Op, l, r ConstVal) ConstVal {
 	if !l.Known || !r.Known {
 		return ConstVal{}
 	}
-	b := func(v bool) ConstVal { return ConstVal{Known: true, Val: int64(ir.Bool(v))} }
-	switch op {
-	case ir.Add:
-		return ConstVal{Known: true, Val: l.Val + r.Val}
-	case ir.Sub:
-		return ConstVal{Known: true, Val: l.Val - r.Val}
-	case ir.Mul:
-		return ConstVal{Known: true, Val: l.Val * r.Val}
-	case ir.Div:
-		if r.Val == 0 {
-			return ConstVal{}
-		}
-		return ConstVal{Known: true, Val: l.Val / r.Val}
-	case ir.Mod:
-		if r.Val == 0 {
-			return ConstVal{}
-		}
-		return ConstVal{Known: true, Val: l.Val % r.Val}
-	case ir.BitAnd:
-		return ConstVal{Known: true, Val: l.Val & r.Val}
-	case ir.BitOr:
-		return ConstVal{Known: true, Val: l.Val | r.Val}
-	case ir.BitXor:
-		return ConstVal{Known: true, Val: l.Val ^ r.Val}
-	case ir.Shl:
-		if r.Val < 0 || r.Val >= 64 {
-			return ConstVal{}
-		}
-		return ConstVal{Known: true, Val: l.Val << uint(r.Val)}
-	case ir.Shr:
-		if r.Val < 0 || r.Val >= 64 {
-			return ConstVal{}
-		}
-		return ConstVal{Known: true, Val: l.Val >> uint(r.Val)}
-	case ir.CmpLt:
-		return b(l.Val < r.Val)
-	case ir.CmpLe:
-		return b(l.Val <= r.Val)
-	case ir.CmpGt:
-		return b(l.Val > r.Val)
-	case ir.CmpGe:
-		return b(l.Val >= r.Val)
-	case ir.CmpEq:
-		return b(l.Val == r.Val)
-	case ir.CmpNe:
-		return b(l.Val != r.Val)
+	v, ok := ir.FoldBinary(op, ir.Word(l.Val), ir.Word(r.Val))
+	if !ok {
+		return ConstVal{}
 	}
-	return ConstVal{}
+	return ConstVal{Known: true, Val: int64(v)}
 }
 
 // CheckConstConditions reports branch conditions that are compile-time
@@ -308,6 +352,36 @@ func CheckConstConditions(g *cfg.Graph, consts *ConstResult) []Diagnostic {
 			Check: CheckConstCond,
 			Msg:   fmt.Sprintf("branch condition is always %s", way),
 		})
+	}
+	return diags
+}
+
+// CheckDivByConstZero reports integer divisions and moduli whose
+// divisor is a compile-time constant zero. The machine totalizes both
+// to 0, so this is not a crash — but it is almost never what the
+// source meant, and the optimizer deliberately refuses to fold it.
+func CheckDivByConstZero(g *cfg.Graph, consts *ConstResult) []Diagnostic {
+	var diags []Diagnostic
+	reach := reachableBlocks(g)
+	for _, b := range g.Blocks {
+		if b == nil || !reach[b.ID] {
+			continue
+		}
+		env := consts.EnvAt(b.ID)
+		for _, in := range b.Code {
+			if env.Step(in).DivByConstZero {
+				op := "division"
+				if in.Op == ir.Mod {
+					op = "modulo"
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   in.Pos,
+					Sev:   SevWarning,
+					Check: CheckDivByZero,
+					Msg:   fmt.Sprintf("%s by constant zero always yields 0 on this machine", op),
+				})
+			}
+		}
 	}
 	return diags
 }

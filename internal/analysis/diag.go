@@ -51,6 +51,7 @@ const (
 	CheckDeadStore       = "dead-store"       // stored value never observed
 	CheckUnreachable     = "unreachable-code" // block can never execute
 	CheckConstCond       = "const-cond"       // branch condition is compile-time constant
+	CheckDivByZero       = "div-by-zero"      // division/modulo by constant zero
 	CheckBarrierDeadlock = "barrier-deadlock" // waiters can never be released
 	CheckNoHalt          = "no-halt"          // no execution terminates
 	CheckUnreachableMeta = "unreachable-meta" // meta state unreachable from start

@@ -37,13 +37,24 @@ func foldBlock(b *Block) bool {
 		case ir.IsBinary(in.Op) && n >= 2 &&
 			out[n-1].Op == ir.PushC && out[n-2].Op == ir.PushC &&
 			typesMatchBinary(in.Op, out[n-2], out[n-1]):
-			v := ir.EvalBinary(in.Op, ir.Word(out[n-2].Imm), ir.Word(out[n-1].Imm))
+			// FoldBinary refuses division by constant zero and integer
+			// overflow: those degrade to the unfolded form (and a vet
+			// diagnostic) rather than bake a suspicious constant in.
+			v, ok := ir.FoldBinary(in.Op, ir.Word(out[n-2].Imm), ir.Word(out[n-1].Imm))
+			if !ok {
+				out = append(out, in)
+				continue
+			}
 			out = out[:n-2]
 			out = append(out, ir.Instr{Op: ir.PushC, Imm: int64(v), Ty: resultType(in.Op)})
 			changed = true
 		case ir.IsUnary(in.Op) && n >= 1 && out[n-1].Op == ir.PushC &&
 			typesMatchUnary(in.Op, out[n-1]):
-			v := ir.EvalUnary(in.Op, ir.Word(out[n-1].Imm))
+			v, ok := ir.FoldUnary(in.Op, ir.Word(out[n-1].Imm))
+			if !ok {
+				out = append(out, in)
+				continue
+			}
 			out = out[:n-1]
 			out = append(out, ir.Instr{Op: ir.PushC, Imm: int64(v), Ty: resultType(in.Op)})
 			changed = true

@@ -232,6 +232,39 @@ void main()
 	}
 }
 
+func TestFoldRefusesDivByConstZero(t *testing.T) {
+	// 7 / 0 is totalized to 0 at runtime, but the compile-time fold must
+	// not bake that in silently: the Div survives to execution (where
+	// the machine semantics produce 0) and vet gets to warn about it.
+	g := MustBuild(`
+poly int x;
+void main()
+{
+    x = 7 / 0;
+    return;
+}
+`)
+	Simplify(g)
+	divs := 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.Div {
+				divs++
+			}
+		}
+	}
+	if divs != 1 {
+		t.Fatalf("Div count after Simplify = %d, want 1 (fold must refuse /0)", divs)
+	}
+	res, err := mimdRun(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mem[0][g.VarSlot["x"]]; got != 0 {
+		t.Fatalf("x = %d, want 0 (total machine semantics)", got)
+	}
+}
+
 func TestFoldStoreLoadForward(t *testing.T) {
 	g := MustBuild(`
 poly int x, y;

@@ -17,7 +17,8 @@ import (
 //     PushRet token names a live block listed by some RetBr.
 //
 // The meta-state converter and the code generator both assume these
-// invariants.
+// invariants. VerifyAll additionally checks the deeper structural
+// invariants the optimizer relies on.
 func Verify(g *Graph) error {
 	if g.Block(g.Entry) == nil {
 		return fmt.Errorf("cfg: entry state %d does not exist", g.Entry)
@@ -66,6 +67,112 @@ func Verify(g *Graph) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// VerifyAll is the full cross-phase invariant checker: everything
+// Verify checks plus the deeper structural invariants every transform
+// (Simplify, Fold, the optimizer passes) must preserve. It runs after
+// every optimizer pass in race and fuzz builds and between pipeline
+// phases under Config.Verify, so a pass that corrupts the graph fails
+// immediately instead of miscompiling downstream:
+//
+//   - index consistency: every live block's ID equals its slice index;
+//   - memory-layout sanity: mono operands address [0, MonoSlots) and
+//     all other memory operands address [0, Words);
+//   - operand/def-use sanity: every Pop count is non-negative and every
+//     PushC carries a concrete (non-void) constant type;
+//   - successor symmetry: terminator kinds use exactly their own
+//     successor fields (a Branch has both arms, a RetBr has targets and
+//     no Next, Spawn has both continuations);
+//   - position sanity: source positions carry no negative coordinates
+//     (full monotonicity cannot hold after straightening and in-line
+//     call expansion reorder source lines within one block).
+func VerifyAll(g *Graph) error {
+	if err := Verify(g); err != nil {
+		return err
+	}
+	for i, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		if b.ID != i {
+			return fmt.Errorf("cfg: block at index %d carries ID %d", i, b.ID)
+		}
+		if err := verifyBlock(g, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyBlock checks one block's operand and terminator invariants.
+func verifyBlock(g *Graph, b *Block) error {
+	if b.Pos.Line < 0 || b.Pos.Col < 0 {
+		return fmt.Errorf("cfg: state %d has negative source position %v", b.ID, b.Pos)
+	}
+	for i, in := range b.Code {
+		if in.Pos.Line < 0 || in.Pos.Col < 0 {
+			return fmt.Errorf("cfg: state %d instr %d has negative source position %v", b.ID, i, in.Pos)
+		}
+		slot := int(in.Imm)
+		switch in.Op {
+		case ir.LdMono, ir.StMono:
+			if slot < 0 || slot >= g.MonoSlots {
+				return fmt.Errorf("cfg: state %d instr %d (%s) addresses mono slot %d outside [0,%d)",
+					b.ID, i, in, slot, g.MonoSlots)
+			}
+		case ir.LdLocal, ir.StLocal, ir.LdIndex, ir.StIndex, ir.LdRemote, ir.StRemote:
+			if slot < 0 || slot >= g.Words {
+				return fmt.Errorf("cfg: state %d instr %d (%s) addresses slot %d outside [0,%d)",
+					b.ID, i, in, slot, g.Words)
+			}
+		case ir.Pop:
+			if in.Imm < 0 {
+				return fmt.Errorf("cfg: state %d instr %d pops a negative count %d", b.ID, i, in.Imm)
+			}
+		case ir.PushC:
+			if in.Ty == ir.Void {
+				return fmt.Errorf("cfg: state %d instr %d pushes a void constant", b.ID, i)
+			}
+		}
+	}
+	// Successor symmetry: each terminator uses exactly its own fields.
+	switch b.Term {
+	case End, Halt:
+		// No successors; stale Next/FNext values are ignored by Succs,
+		// but a RetTargets list on a non-RetBr block is a transform bug.
+		if len(b.RetTargets) != 0 {
+			return fmt.Errorf("cfg: state %d (%s) carries return targets", b.ID, b.Term)
+		}
+	case Goto:
+		if b.Next == None {
+			return fmt.Errorf("cfg: state %d is a goto with no successor", b.ID)
+		}
+		if len(b.RetTargets) != 0 {
+			return fmt.Errorf("cfg: state %d (goto) carries return targets", b.ID)
+		}
+	case Branch:
+		if b.Next == None || b.FNext == None {
+			return fmt.Errorf("cfg: state %d is a branch with a missing arm (true %d, false %d)",
+				b.ID, b.Next, b.FNext)
+		}
+		if len(b.RetTargets) != 0 {
+			return fmt.Errorf("cfg: state %d (branch) carries return targets", b.ID)
+		}
+	case RetBr:
+		// Verify already requires a non-empty, live RetTargets list.
+	case Spawn:
+		if b.Next == None || b.SpawnNext == None {
+			return fmt.Errorf("cfg: state %d is a spawn with a missing continuation (parent %d, child %d)",
+				b.ID, b.Next, b.SpawnNext)
+		}
+		if len(b.RetTargets) != 0 {
+			return fmt.Errorf("cfg: state %d (spawn) carries return targets", b.ID)
+		}
+	default:
+		return fmt.Errorf("cfg: state %d has unknown terminator %d", b.ID, uint8(b.Term))
 	}
 	return nil
 }

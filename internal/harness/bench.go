@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"msc"
+	"msc/internal/obs"
 )
 
 // BenchResult is one workload's machine-readable measurement row: the
@@ -34,6 +35,17 @@ type BenchResult struct {
 	// Compile carries the full compile-phase metrics for the workload.
 	Compile *msc.CompileStats `json:"compile,omitempty"`
 
+	// Opt:2 comparison build. The differential gate proves the optimized
+	// build behaves identically; these fields quantify what it bought:
+	// OptMetaStates vs MetaStates is the automaton shrink, OptConvertNS
+	// vs ConvertNS the conversion-phase wall win (smaller graphs convert
+	// faster). OptCompile carries the optimized build's full metrics,
+	// including the per-pass rewrite counters.
+	OptMetaStates int               `json:"opt_meta_states,omitempty"`
+	ConvertNS     int64             `json:"convert_ns,omitempty"`
+	OptConvertNS  int64             `json:"opt_convert_ns,omitempty"`
+	OptCompile    *msc.CompileStats `json:"opt_compile,omitempty"`
+
 	// DegradeSteps and BudgetOverruns surface the robustness counters at
 	// the top level so benchdiff can gate on them: a workload that
 	// suddenly needs the degradation ladder (or trips a budget) is a
@@ -48,11 +60,23 @@ type BenchReport struct {
 	Results []BenchResult `json:"results"`
 }
 
-// Bench compiles and runs every Suite workload under DefaultConfig on
-// all three engines and collects the measurement rows.
+// BenchSuite is the benchmark corpus: the paper's workload suite plus
+// the optimizer-demonstration workloads, which carry the
+// statically-decidable branches the paper programs don't (their
+// automata are already minimal, so they exercise the optimizer's
+// no-regression side while these two show the reduction side).
+func BenchSuite() []Workload {
+	return append(Suite(),
+		Workload{Name: "debug-guards", Source: DebugGuards, Width: 8},
+		Workload{Name: "mode-select", Source: ModeSelect, Width: 8},
+	)
+}
+
+// Bench compiles and runs every BenchSuite workload under DefaultConfig
+// on all three engines and collects the measurement rows.
 func Bench() (*BenchReport, error) {
 	rep := &BenchReport{Config: "default (compress+csi+hash)"}
-	for _, wl := range Suite() {
+	for _, wl := range BenchSuite() {
 		c, err := msc.Compile(wl.Source, msc.DefaultConfig())
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: compile: %w", wl.Name, err)
@@ -85,6 +109,18 @@ func Bench() (*BenchReport, error) {
 		if c.Stats != nil {
 			r.DegradeSteps = c.Stats.DegradeSteps
 			r.BudgetOverruns = c.Stats.BudgetOverruns
+			r.ConvertNS = phaseWall(c.Stats, obs.PhaseConvert)
+		}
+		optConf := msc.DefaultConfig()
+		optConf.Opt = 2
+		oc, err := msc.Compile(wl.Source, optConf)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: opt compile: %w", wl.Name, err)
+		}
+		r.OptMetaStates = oc.MetaStates()
+		r.OptCompile = oc.Stats
+		if oc.Stats != nil {
+			r.OptConvertNS = phaseWall(oc.Stats, obs.PhaseConvert)
 		}
 		if simdRes.Time > 0 {
 			r.SpeedupVsInterp = float64(interpRes.Time) / float64(simdRes.Time)
@@ -95,6 +131,16 @@ func Bench() (*BenchReport, error) {
 		rep.Results = append(rep.Results, r)
 	}
 	return rep, nil
+}
+
+// phaseWall returns the named phase's wall time from compile stats.
+func phaseWall(s *msc.CompileStats, phase string) int64 {
+	for _, p := range s.PhaseWall {
+		if p.Name == phase {
+			return int64(p.Wall)
+		}
+	}
+	return 0
 }
 
 // WriteJSON encodes the report as indented JSON.

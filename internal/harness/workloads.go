@@ -295,3 +295,75 @@ void main()
     return;
 }
 `
+
+// DebugGuards is the optimizer-demonstration workload: a compute loop
+// carrying statically-disabled diagnostic arms (the classic
+// compiled-out debug-flag pattern). At Opt:0 the dead arms — one with a
+// barrier — stay in the state graph and every aggregate carries them;
+// Opt:2 proves the guard constant, folds the branches, and prunes the
+// arms, shrinking both the graph and the converted automaton.
+const DebugGuards = `
+poly int sum, dbg;
+void main()
+{
+    poly int trace, i, k;
+    trace = 0;
+    sum = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        if (trace == 1) {
+            if (iproc % 2 == 0) {
+                dbg = dbg + sum;
+                wait;
+                dbg = dbg * 2;
+            } else {
+                k = iproc;
+                while (k > 0) {
+                    dbg = dbg + k;
+                    k = k - 1;
+                }
+                wait;
+            }
+            if (dbg > 100) {
+                dbg = 0;
+                wait;
+            }
+        }
+        sum = sum + i + iproc;
+    }
+    return;
+}
+`
+
+// ModeSelect is the second optimizer-demonstration workload: an
+// algorithm selected by a configuration constant (compile-time
+// specialization). Opt:2 decides the mode branch, deletes the untaken
+// implementation — barrier and all — and leaves straight-line code.
+const ModeSelect = `
+poly int out;
+void main()
+{
+    poly int mode, t, j;
+    mode = 2;
+    if (mode == 1) {
+        out = iproc * 3;
+        j = iproc;
+        while (j > 0) {
+            if (out % 2 == 0) {
+                out = out / 2;
+            } else {
+                out = out * 3 + 1;
+            }
+            wait;
+            j = j - 1;
+        }
+        out = out + 1;
+        wait;
+        out = out * out;
+    } else {
+        out = iproc + 1;
+    }
+    t = out;
+    out = t * 2 + iproc;
+    return;
+}
+`

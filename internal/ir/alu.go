@@ -1,6 +1,9 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // The ALU helpers give every execution engine (the MIMD reference
 // simulator, the MIMD-on-SIMD interpreter, and the SIMD VM) identical
@@ -114,6 +117,66 @@ func IsUnary(op Op) bool {
 		return true
 	}
 	return false
+}
+
+// FoldBinary is the compile-time counterpart of EvalBinary: it refuses
+// (ok=false) any fold whose runtime result is suspicious enough that
+// constant propagation should degrade to not-a-constant instead of
+// baking the value in — integer division or modulo by constant zero
+// (the machine totalizes these to 0, but a constant zero divisor is
+// almost certainly a source bug worth a vet diagnostic, not a silent
+// fold) and any signed-integer overflow (Add/Sub/Mul wrap at runtime;
+// a fold that wraps hides the wrap from the programmer). Float ops and
+// comparisons fold freely: their runtime semantics are exact IEEE and
+// total. When ok is true the result is bit-identical to EvalBinary.
+func FoldBinary(op Op, a, b Word) (Word, bool) {
+	switch op {
+	case Div, Mod:
+		if b == 0 {
+			return 0, false
+		}
+		// MinInt64 / -1 overflows (and panics in Go); the engines never
+		// execute it through EvalBinary without the b==0 guard, but the
+		// quotient -MinInt64 is unrepresentable, so refuse the fold.
+		if a == math.MinInt64 && b == -1 {
+			return 0, false
+		}
+	case Add:
+		s := a + b
+		if (s > a) != (b > 0) {
+			return 0, false
+		}
+	case Sub:
+		d := a - b
+		if (d < a) != (b > 0) {
+			return 0, false
+		}
+	case Mul:
+		if a != 0 && b != 0 {
+			p := a * b
+			if p/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+				return 0, false
+			}
+		}
+	case Shl:
+		// Refuse shifts that lose significant bits (the runtime wraps).
+		sh := uint64(b) & 63
+		v := a << sh
+		if v>>sh != a {
+			return 0, false
+		}
+	}
+	return EvalBinary(op, a, b), true
+}
+
+// FoldUnary is the compile-time counterpart of EvalUnary; it refuses
+// the single overflowing case, Neg of MinInt64 (which wraps to itself
+// at runtime).
+func FoldUnary(op Op, a Word) (Word, bool) {
+	if op == Neg && a == math.MinInt64 {
+		return 0, false
+	}
+	return EvalUnary(op, a), true
 }
 
 // Truth reports the branch interpretation of a condition word.

@@ -184,6 +184,98 @@ func TestQuickFloatRoundTripOps(t *testing.T) {
 	}
 }
 
+func TestFoldBinaryRefusals(t *testing.T) {
+	const min, max = Word(-1 << 63), Word(1<<63 - 1)
+	cases := []struct {
+		name string
+		op   Op
+		a, b Word
+		want Word
+		ok   bool
+	}{
+		// Plain folds agree with EvalBinary bit for bit.
+		{"add", Add, 3, 4, 7, true},
+		{"sub", Sub, 3, 4, -1, true},
+		{"mul", Mul, -3, 4, -12, true},
+		{"div", Div, 13, 4, 3, true},
+		{"mod", Mod, -13, 4, -1, true},
+		{"shl", Shl, 1, 4, 16, true},
+		{"shl-neg-preserved", Shl, -2, 1, -4, true},
+		{"shr", Shr, -8, 1, -4, true},
+		{"cmp", CmpLt, 1, 2, 1, true},
+
+		// Division and modulo by constant zero degrade to ⊤: the machine
+		// totalizes them to 0 at runtime, but the fold must not bake a
+		// silent 0 in.
+		{"div-by-zero", Div, 13, 0, 0, false},
+		{"mod-by-zero", Mod, 13, 0, 0, false},
+		{"div-min-by-minus-one", Div, min, -1, 0, false},
+		{"mod-min-by-minus-one", Mod, min, -1, 0, false},
+
+		// Signed overflow degrades to ⊤ instead of folding the wrap.
+		{"add-overflow", Add, max, 1, 0, false},
+		{"add-underflow", Add, min, -1, 0, false},
+		{"add-max-ok", Add, max, 0, max, true},
+		{"sub-overflow", Sub, min, 1, 0, false},
+		{"sub-underflow", Sub, max, -1, 0, false},
+		{"mul-overflow", Mul, max, 2, 0, false},
+		{"mul-min-minus-one", Mul, min, -1, 0, false},
+		{"mul-minus-one-min", Mul, -1, min, 0, false},
+		{"mul-by-zero-ok", Mul, max, 0, 0, true},
+		{"shl-lost-bits", Shl, max, 1, 0, false},
+		{"shl-sign-lost", Shl, 1, 63, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := FoldBinary(c.op, c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("%s: FoldBinary(%v, %d, %d) ok=%v, want %v", c.name, c.op, c.a, c.b, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: FoldBinary(%v, %d, %d) = %d, want %d", c.name, c.op, c.a, c.b, got, c.want)
+		}
+		if ev := EvalBinary(c.op, c.a, c.b); got != ev {
+			t.Errorf("%s: fold %d disagrees with runtime %d", c.name, got, ev)
+		}
+	}
+}
+
+func TestFoldUnaryRefusals(t *testing.T) {
+	const min = Word(-1 << 63)
+	if _, ok := FoldUnary(Neg, min); ok {
+		t.Error("FoldUnary(Neg, MinInt64) must refuse (wraps to itself at runtime)")
+	}
+	for _, c := range []struct {
+		op      Op
+		a, want Word
+	}{
+		{Neg, 5, -5}, {BitNot, 0, -1}, {LNot, 0, 1}, {F2I, FloatWord(3.9), 3},
+	} {
+		got, ok := FoldUnary(c.op, c.a)
+		if !ok || got != c.want {
+			t.Errorf("FoldUnary(%v, %d) = (%d, %v), want (%d, true)", c.op, c.a, got, ok, c.want)
+		}
+	}
+}
+
+func TestQuickFoldMatchesEval(t *testing.T) {
+	// Whenever a fold is accepted, it must be bit-identical to the
+	// runtime semantics every engine shares.
+	f := func(a, b int64, opSel uint8) bool {
+		ops := []Op{Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr,
+			CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe}
+		op := ops[int(opSel)%len(ops)]
+		v, ok := FoldBinary(op, Word(a), Word(b))
+		return !ok || v == EvalBinary(op, Word(a), Word(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIsFloatClassifier(t *testing.T) {
 	if !FAdd.IsFloat() || !FCmpNe.IsFloat() {
 		t.Error("float ops not classified")

@@ -48,6 +48,13 @@ const (
 	CounterVetErrors       = "vet.errors"
 	CounterVetWarnings     = "vet.warnings"
 
+	// Optimizer counters (the internal/opt pass pipeline, Config.Opt).
+	CounterOptConstFolds     = "opt.const_folds"
+	CounterOptDeadStores     = "opt.dead_stores"
+	CounterOptBranchesPruned = "opt.branches_pruned"
+	CounterOptCopiesProp     = "opt.copies_propagated"
+	CounterOptRounds         = "opt.rounds"
+
 	// Conversion-core counters (the hash-consed interner, contribution
 	// memo, and parallel frontier expansion; see docs/PERFORMANCE.md).
 	CounterInternHits      = "convert.intern_hits"
@@ -73,6 +80,7 @@ const (
 	PhaseAnalyze  = "analyze"
 	PhaseLower    = "lower"
 	PhaseSimplify = "simplify"
+	PhaseOpt      = "opt" // only present when Config.Opt > 0
 	PhaseConvert  = "convert"
 	PhaseCheck    = "check"
 	PhaseVet      = "vet"

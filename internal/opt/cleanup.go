@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"msc/internal/cfg"
+	"msc/internal/ir"
+)
+
+// cleanup erases the computation chains the other passes orphan: a
+// dead store becomes Pop(1), and the pops then eat their way backward
+// through the pure producers that fed the store. Patterns, applied
+// left-to-right to a fixed point per block:
+//
+//	Pop(0)                    → (nothing)
+//	Pop(a); Pop(b)            → Pop(a+b)
+//	<pure producer>; Pop(n)   → Pop(n-1)   (PushC, Dup, IProc, NProc, LdLocal, LdMono)
+//	<unary ALU>; Pop(n)       → Pop(n)
+//	<binary ALU>; Pop(n)      → Pop(n+1)
+//	A; B; <store>; Pop(n)     → B; <store>; Pop(n-1)   (A, B pure producers)
+//
+// The last pattern sinks a pop through a scalar store: StLocal/StMono
+// consume exactly the value B pushed, so the word the pop removes is
+// the one A pushed beneath it. Branch folding leaves this shape behind
+// when the folded condition sat on top of a stored value.
+//
+// Indexed and router loads are deliberately not "pure" here: they are
+// reads, but eliding them would change which memory an execution
+// touches, and the optimizer's contract is bit-identical observable
+// behavior including failure behavior. Every pattern preserves the
+// block's net stack effect and never deepens its minimum entry depth.
+func cleanup(g *cfg.Graph) bool {
+	changed := false
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		for cleanBlock(b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// pureProducer reports ops that push exactly one value with no side
+// effect and no possibility of runtime failure.
+func pureProducer(op ir.Op) bool {
+	switch op {
+	case ir.PushC, ir.Dup, ir.IProc, ir.NProc, ir.LdLocal, ir.LdMono:
+		return true
+	}
+	return false
+}
+
+// cleanBlock performs one left-to-right sweep; reports whether it
+// rewrote anything.
+func cleanBlock(b *cfg.Block) bool {
+	out := b.Code[:0]
+	changed := false
+	emitPop := func(count int64, pos ir.Pos) {
+		if count > 0 {
+			out = append(out, ir.Instr{Op: ir.Pop, Imm: count, Pos: pos})
+		}
+	}
+	for _, in := range b.Code {
+		n := len(out)
+		switch {
+		case in.Op == ir.Pop && in.Imm == 0:
+			changed = true
+		case in.Op == ir.Pop && n >= 1 && out[n-1].Op == ir.Pop:
+			out[n-1].Imm += in.Imm
+			changed = true
+		case in.Op == ir.Pop && n >= 1 && pureProducer(out[n-1].Op):
+			out = out[:n-1]
+			emitPop(in.Imm-1, in.Pos)
+			changed = true
+		case in.Op == ir.Pop && n >= 1 && ir.IsUnary(out[n-1].Op):
+			out = out[:n-1]
+			emitPop(in.Imm, in.Pos)
+			changed = true
+		case in.Op == ir.Pop && n >= 1 && ir.IsBinary(out[n-1].Op):
+			out = out[:n-1]
+			emitPop(in.Imm+1, in.Pos)
+			changed = true
+		case in.Op == ir.Pop && n >= 3 &&
+			(out[n-1].Op == ir.StLocal || out[n-1].Op == ir.StMono) &&
+			pureProducer(out[n-2].Op) && pureProducer(out[n-3].Op) &&
+			out[n-2].Op != ir.Dup: // Dup reads the value A pushed
+			out[n-3], out[n-2] = out[n-2], out[n-1]
+			out = out[:n-1]
+			emitPop(in.Imm-1, in.Pos)
+			changed = true
+		default:
+			out = append(out, in)
+		}
+	}
+	b.Code = out
+	return changed
+}

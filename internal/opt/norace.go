@@ -1,0 +1,7 @@
+//go:build !race
+
+package opt
+
+// raceEnabled is false in regular builds; Options.Verify opts in to
+// the per-pass invariant checks explicitly.
+const raceEnabled = false

@@ -1,0 +1,419 @@
+package opt_test
+
+import (
+	"testing"
+
+	"msc/internal/cfg"
+	"msc/internal/ir"
+	"msc/internal/mimdsim"
+	"msc/internal/opt"
+)
+
+// build lowers and simplifies source the way the pipeline hands
+// graphs to the optimizer.
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	g := cfg.MustBuild(src)
+	cfg.Simplify(g)
+	return g
+}
+
+// run executes g on the MIMD reference machine with n PEs.
+func run(t *testing.T, g *cfg.Graph, n int) *mimdsim.Result {
+	t.Helper()
+	res, err := mimdsim.Run(g, mimdsim.Config{N: n})
+	if err != nil {
+		t.Fatalf("mimdsim: %v", err)
+	}
+	return res
+}
+
+// optimize runs the optimizer with per-pass verification on.
+func optimize(t *testing.T, g *cfg.Graph, level int) opt.Stats {
+	t.Helper()
+	st, err := opt.Run(g, opt.Options{Level: level, Verify: true})
+	if err != nil {
+		t.Fatalf("opt.Run: %v", err)
+	}
+	return st
+}
+
+// sameObservables asserts the driver-visible memory (globals and
+// return slots) agrees between two runs of the same source.
+func sameObservables(t *testing.T, g *cfg.Graph, a, b *mimdsim.Result) {
+	t.Helper()
+	for name, slot := range g.VarSlot {
+		for pe := range a.Mem {
+			if a.Mem[pe][slot] != b.Mem[pe][slot] {
+				t.Errorf("PE %d: %s = %d optimized vs %d baseline",
+					pe, name, b.Mem[pe][slot], a.Mem[pe][slot])
+			}
+		}
+	}
+}
+
+func TestConstMaterializeAndBranchFold(t *testing.T) {
+	src := `
+poly int x;
+void main()
+{
+    poly int a;
+    a = 3;
+    if (a < 10) {
+        x = a + 1;
+    } else {
+        x = 99;
+    }
+    return;
+}
+`
+	g := build(t, src)
+	before := g.NumBlocks()
+	baseline := run(t, build(t, src), 2)
+
+	st := optimize(t, g, 2)
+	if st.ConstFolds == 0 {
+		t.Error("expected constant materializations")
+	}
+	if st.BranchesPruned == 0 {
+		t.Error("expected the decided branch to fold")
+	}
+	if g.NumBlocks() >= before {
+		t.Errorf("blocks %d -> %d, want fewer (dead arm pruned)", before, g.NumBlocks())
+	}
+	// No Branch terminator survives: the one branch was decided.
+	for _, b := range g.Blocks {
+		if b.Term == cfg.Branch {
+			t.Errorf("state %d still branches", b.ID)
+		}
+	}
+	sameObservables(t, g, baseline, run(t, g, 2))
+}
+
+func TestBranchOnDataNotFolded(t *testing.T) {
+	g := build(t, `
+poly int x;
+void main()
+{
+    if (iproc < 2) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return;
+}
+`)
+	optimize(t, g, 2)
+	branches := 0
+	for _, b := range g.Blocks {
+		if b.Term == cfg.Branch {
+			branches++
+		}
+	}
+	if branches == 0 {
+		t.Fatal("data-dependent branch must survive")
+	}
+}
+
+// TestDeadStoreAfterStoreLoadForward is the regression test for the
+// cfg.Fold interaction: the store-load forward rewrites
+// `StLocal t; LdLocal t` into `Dup; StLocal t`, which leaves a dead
+// store behind when t is never read again. Liveness-driven DSE must
+// remove the store AND the Dup feeding it.
+func TestDeadStoreAfterStoreLoadForward(t *testing.T) {
+	src := `
+poly int y;
+void main()
+{
+    poly int t;
+    t = iproc + 1;
+    y = t;
+    return;
+}
+`
+	g := build(t, src)
+	// Precondition: Simplify's store-load forward left a Dup;StLocal t
+	// pair (the shape this regression is about).
+	tSlot := findStoreSlot(t, g, "t")
+	if !hasDupStorePair(g, tSlot) {
+		t.Fatalf("precondition: expected Dup;StLocal t after Simplify, code: %v", allCode(g))
+	}
+
+	baseline := run(t, build(t, src), 3)
+	st := optimize(t, g, 1)
+	if st.DeadStores == 0 {
+		t.Error("expected the forwarded store to die")
+	}
+	for _, b := range g.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.StLocal && int(in.Imm) == tSlot {
+				t.Errorf("dead store to t survived in state %d: %v", b.ID, b.Code)
+			}
+			if in.Op == ir.Dup {
+				t.Errorf("orphaned Dup survived in state %d: %v", b.ID, b.Code)
+			}
+		}
+	}
+	sameObservables(t, g, baseline, run(t, g, 3))
+}
+
+func TestDeadStoreChainErased(t *testing.T) {
+	// The whole computation feeding a dead store evaporates, not just
+	// the store: iproc+1 is pure.
+	g := build(t, `
+void main()
+{
+    poly int t;
+    t = iproc + 1;
+    return;
+}
+`)
+	st := optimize(t, g, 1)
+	if st.DeadStores != 1 {
+		t.Fatalf("DeadStores = %d, want 1", st.DeadStores)
+	}
+	for _, b := range g.Blocks {
+		if len(b.Code) != 0 {
+			t.Errorf("state %d still carries code: %v", b.ID, b.Code)
+		}
+	}
+}
+
+func TestGlobalStoresNotDead(t *testing.T) {
+	// Globals are driver-observable (ExitLive): the last store must
+	// survive even though the program never reads it.
+	g := build(t, `
+poly int x;
+void main()
+{
+    x = 42;
+    return;
+}
+`)
+	optimize(t, g, 2)
+	found := false
+	for _, b := range g.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.StLocal && in.Sym == "x" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("store to observable global x was eliminated")
+	}
+}
+
+func TestArrayStoresRespected(t *testing.T) {
+	// t aliases nothing, but arr's interior is read via LdIndex with a
+	// dynamic index: stores into the array region must survive.
+	src := `
+poly int arr[4];
+poly int out;
+void main()
+{
+    poly int i;
+    for (i = 0; i < 4; i = i + 1) {
+        arr[i] = i * 2;
+    }
+    out = arr[3];
+    return;
+}
+`
+	g := build(t, src)
+	baseline := run(t, build(t, src), 2)
+	optimize(t, g, 2)
+	got := run(t, g, 2)
+	sameObservables(t, g, baseline, got)
+	for pe := range got.Mem {
+		if v := got.Mem[pe][g.VarSlot["out"]]; v != 6 {
+			t.Fatalf("PE %d: out = %d, want 6", pe, v)
+		}
+	}
+}
+
+func TestCopyPropagationEnablesDSE(t *testing.T) {
+	// b = a with later uses of b in other blocks: copy propagation
+	// redirects the loads of b to a, which makes the store to b dead.
+	// (The intervening use of a keeps cfg.Fold's store-load forward
+	// from consuming the copy's load.)
+	src := `
+poly int y, z;
+void main()
+{
+    poly int a, b;
+    a = iproc + 1;
+    y = a * 2;
+    b = a;
+    if (iproc < 2) {
+        z = b;
+    } else {
+        z = b + 1;
+    }
+    return;
+}
+`
+	g := build(t, src)
+	baseline := run(t, build(t, src), 3)
+	st := optimize(t, g, 2)
+	if st.CopiesPropagated == 0 {
+		t.Error("expected the load of b to redirect to a")
+	}
+	if st.DeadStores == 0 {
+		t.Error("expected the store to b to die after redirect")
+	}
+	sameObservables(t, g, baseline, run(t, g, 3))
+}
+
+func TestMonoStoresNeverEliminated(t *testing.T) {
+	// A mono store is a broadcast: divergent PEs may observe it from CFG
+	// points not connected to the store, so DSE must leave it alone even
+	// when no path reads it.
+	g := build(t, `
+mono int m;
+poly int x;
+void main()
+{
+    if (iproc == 0) {
+        m = 7;
+    }
+    x = iproc;
+    return;
+}
+`)
+	optimize(t, g, 2)
+	found := false
+	for _, b := range g.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.StMono && in.Sym == "m" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("mono store was eliminated")
+	}
+}
+
+func TestRemoteSlotsNeverTouched(t *testing.T) {
+	// Slots involved in router traffic are excluded from every rewrite.
+	src := `
+poly int v, got;
+void main()
+{
+    v = iproc * 10;
+    wait;
+    got = v[[(iproc + 1) % nproc]];
+    wait;
+    return;
+}
+`
+	g := build(t, src)
+	baseline := run(t, build(t, src), 4)
+	optimize(t, g, 2)
+	sameObservables(t, g, baseline, run(t, g, 4))
+}
+
+func TestLevelZeroIsIdentity(t *testing.T) {
+	g := build(t, `
+poly int x;
+void main()
+{
+    x = 1 + 2;
+    return;
+}
+`)
+	beforeCode := allCode(g)
+	st := optimize(t, g, 0)
+	if st.Changed() || st.Rounds != 0 {
+		t.Fatalf("level 0 did work: %+v", st)
+	}
+	if got := allCode(g); got != beforeCode {
+		t.Fatalf("level 0 changed code:\n%s\nvs\n%s", got, beforeCode)
+	}
+}
+
+func TestLoopWithConstantBoundSurvives(t *testing.T) {
+	// Loop-carried variables are not constants; the loop must survive
+	// and compute the same result.
+	src := `
+poly int sum;
+void main()
+{
+    poly int i;
+    sum = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        sum = sum + i;
+    }
+    return;
+}
+`
+	g := build(t, src)
+	baseline := run(t, build(t, src), 2)
+	optimize(t, g, 2)
+	got := run(t, g, 2)
+	sameObservables(t, g, baseline, got)
+	for pe := range got.Mem {
+		if v := got.Mem[pe][g.VarSlot["sum"]]; v != 10 {
+			t.Fatalf("PE %d: sum = %d, want 10", pe, v)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruptingPass(t *testing.T) {
+	// A hand-corrupted graph must be rejected by the per-pass verifier,
+	// not silently optimized.
+	g := build(t, `
+poly int x;
+void main()
+{
+    x = 1;
+    return;
+}
+`)
+	g.Blocks[0].Code = append(g.Blocks[0].Code, ir.Instr{Op: ir.PushC, Imm: 1, Ty: ir.Int})
+	if _, err := opt.Run(g, opt.Options{Level: 1, Verify: true}); err == nil {
+		t.Fatal("optimizer accepted a stack-imbalanced graph under Verify")
+	}
+}
+
+// --- helpers ---
+
+func findStoreSlot(t *testing.T, g *cfg.Graph, sym string) int {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.StLocal && in.Sym == sym {
+				return int(in.Imm)
+			}
+		}
+	}
+	t.Fatalf("no StLocal %s in graph", sym)
+	return -1
+}
+
+func hasDupStorePair(g *cfg.Graph, slot int) bool {
+	for _, b := range g.Blocks {
+		for i := 1; i < len(b.Code); i++ {
+			if b.Code[i].Op == ir.StLocal && int(b.Code[i].Imm) == slot &&
+				b.Code[i-1].Op == ir.Dup {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func allCode(g *cfg.Graph) string {
+	s := ""
+	for _, b := range g.Blocks {
+		if b == nil {
+			continue
+		}
+		for _, in := range b.Code {
+			s += in.String() + ";"
+		}
+		s += "|"
+	}
+	return s
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package opt
+
+// raceEnabled forces cfg.VerifyAll after every pass in -race test
+// builds, so the heavyweight invariant checks ride along with the
+// builds CI already runs for data-race detection.
+const raceEnabled = true

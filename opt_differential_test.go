@@ -1,0 +1,227 @@
+package msc_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"msc"
+	"msc/internal/harness"
+	"msc/internal/ir"
+	"msc/internal/progen"
+)
+
+// This file is the optimizer's differential gate: Opt:2 (every rewrite
+// pass to a fixed point, per-pass verifier on) must be observationally
+// identical to Opt:0 on every engine, for the whole committed corpus
+// and a fixed fleet of generated programs, while never growing the
+// meta-state automaton on the committed corpus (see metaStatePolicy
+// for the generated-program bound). Any observable divergence is a
+// miscompile by definition.
+
+// optConfigs returns the baseline and optimized compile configurations,
+// identical except for the optimizer level. The optimized build always
+// runs the cross-phase IR verifier so a pass that corrupts the graph
+// fails here before it can miscompile.
+func optConfigs() (base, opt msc.Config) {
+	base = msc.DefaultConfig()
+	opt = msc.DefaultConfig()
+	opt.Opt = 2
+	opt.Verify = true
+	return base, opt
+}
+
+// metaStatePolicy selects the automaton-size assertion. The committed
+// corpus gets the hard guarantee: Opt:2 never grows the automaton.
+// Fixed-seed generated programs get a bounded-drift check instead:
+// meta-state conversion is alignment-sensitive (deleting a reachable
+// block shortens one path's generation count, so two divergent arms
+// can stop reconverging in the same generation), and on rare random
+// shapes a strictly smaller CFG converts to a few states more. The
+// fuzz target checks no size bound at all — arbitrary adversarial
+// shapes can drift arbitrarily — because its job is hunting
+// miscompiles: observational equivalence, the soundness property, is
+// always hard.
+type metaStatePolicy int
+
+const (
+	metaNeverGrows   metaStatePolicy = iota // committed corpus: opt <= base
+	metaBoundedDrift                        // fixed seeds: opt <= base + max(2, base/8)
+	metaUnchecked                           // fuzzing: equivalence only
+)
+
+// optDiff compiles src both ways, runs both builds on all three
+// engines, and fails on any observable difference. Observables are the
+// source-level (global) variables: optimized code may legitimately
+// leave different garbage in dead temporary slots.
+func optDiff(t *testing.T, name, src string, rc msc.RunConfig, pol metaStatePolicy) {
+	t.Helper()
+	baseConf, optConf := optConfigs()
+
+	cb, err := msc.Compile(src, baseConf)
+	if err != nil {
+		if strings.Contains(err.Error(), "exceeded") {
+			t.Skipf("%s: baseline over state budget: %v", name, err)
+		}
+		t.Fatalf("%s: baseline compile: %v", name, err)
+	}
+	co, err := msc.Compile(src, optConf)
+	if err != nil {
+		t.Fatalf("%s: optimized compile: %v", name, err)
+	}
+
+	if pol != metaUnchecked {
+		bound := cb.MetaStates()
+		if pol == metaBoundedDrift {
+			slack := bound / 8
+			if slack < 2 {
+				slack = 2
+			}
+			bound += slack
+		}
+		if co.MetaStates() > bound {
+			t.Errorf("%s: optimizer grew the automaton: %d meta states vs %d baseline (bound %d)",
+				name, co.MetaStates(), cb.MetaStates(), bound)
+		}
+	}
+
+	engines := []struct {
+		name string
+		run  func(*msc.Compiled) (mem [][]ir.Word, err error)
+	}{
+		{"mimd", func(c *msc.Compiled) ([][]ir.Word, error) {
+			r, err := c.RunMIMD(rc)
+			if err != nil {
+				return nil, err
+			}
+			return r.Mem, nil
+		}},
+		{"interp", func(c *msc.Compiled) ([][]ir.Word, error) {
+			r, err := c.RunInterp(rc)
+			if err != nil {
+				return nil, err
+			}
+			return r.Mem, nil
+		}},
+		{"simd", func(c *msc.Compiled) ([][]ir.Word, error) {
+			r, err := c.RunSIMD(rc)
+			if err != nil {
+				return nil, err
+			}
+			return r.Mem, nil
+		}},
+	}
+	for _, eng := range engines {
+		bm, berr := eng.run(cb)
+		om, oerr := eng.run(co)
+		if (berr != nil) != (oerr != nil) {
+			t.Fatalf("%s/%s: runtime behavior diverged: baseline err=%v, optimized err=%v",
+				name, eng.name, berr, oerr)
+		}
+		if berr != nil {
+			// Both builds fault the same way (step budget, deadlock, ...):
+			// equivalent, nothing to compare.
+			continue
+		}
+		for varName, slot := range cb.Graph.VarSlot {
+			for pe := range bm {
+				if bm[pe][slot] != om[pe][slot] {
+					t.Errorf("%s/%s: PE %d: %s = %d optimized vs %d baseline",
+						name, eng.name, pe, varName, om[pe][slot], bm[pe][slot])
+				}
+			}
+		}
+	}
+}
+
+// corpusFiles returns every committed .mc program that is expected to
+// compile and terminate: the examples and the clean vet corpus. The
+// vet bad/ programs (deliberate deadlocks and faults) and the
+// robustness corpus (deliberate non-termination) are excluded — they
+// exercise error paths, not optimizer equivalence.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, dir := range []string{"examples/mc", "testdata/vet"} {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.mc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 7 {
+		t.Fatalf("found only %d corpus programs, corpus moved?", len(files))
+	}
+	return files
+}
+
+// TestOptDifferentialCorpus gates the optimizer against every committed
+// corpus program.
+func TestOptDifferentialCorpus(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.ToSlash(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optDiff(t, file, string(src), msc.RunConfig{N: 4}, metaNeverGrows)
+		})
+	}
+}
+
+// TestOptDifferentialSuite gates the optimizer against the harness
+// workload suite at its native widths (including the spawn workload,
+// which starts with one active PE).
+func TestOptDifferentialSuite(t *testing.T) {
+	for _, wl := range harness.Suite() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			optDiff(t, wl.Name, wl.Source,
+				msc.RunConfig{N: wl.Width, InitialActive: wl.InitialActive},
+				metaNeverGrows)
+		})
+	}
+}
+
+// TestOptDifferentialProgen gates the optimizer against 120 generated
+// programs with fixed seeds sweeping the generator's shape space
+// (barriers, floats, calls). Fixed seeds keep the gate deterministic;
+// FuzzOptDifferential explores beyond them.
+func TestOptDifferentialProgen(t *testing.T) {
+	const programs = 120
+	for seed := int64(0); seed < programs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			src := progen.Source(progen.Params{
+				Seed:     seed,
+				Barriers: seed%2 == 0,
+				Floats:   seed%3 == 0,
+				Calls:    seed%5 == 0,
+				MaxDepth: 2,
+				MaxStmts: 5,
+			})
+			optDiff(t, "progen", src, msc.RunConfig{N: 4}, metaBoundedDrift)
+		})
+	}
+}
+
+// FuzzOptDifferential drives the same Opt:2-vs-Opt:0 equivalence from
+// fuzzed generator seeds, so the fuzzer searches for a program shape
+// the fixed-seed gate misses.
+func FuzzOptDifferential(f *testing.F) {
+	f.Add(int64(1), true, false, false)
+	f.Add(int64(2), false, false, true)
+	f.Add(int64(3), true, true, false)
+	f.Add(int64(17), false, false, false)
+	f.Add(int64(99), true, false, true)
+	f.Fuzz(func(t *testing.T, seed int64, barriers, floats, calls bool) {
+		src := progen.Source(progen.Params{
+			Seed: seed, Barriers: barriers, Floats: floats, Calls: calls,
+			MaxDepth: 2, MaxStmts: 4,
+		})
+		optDiff(t, "fuzz", src, msc.RunConfig{N: 4}, metaUnchecked)
+	})
+}

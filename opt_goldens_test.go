@@ -1,0 +1,62 @@
+package msc_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msc"
+)
+
+// The opt goldens lock the optimizer's structural effect on the
+// committed corpus: for every program, the MIMD state count and
+// meta-state count of the baseline and the Opt:2 build. Any pass
+// change that alters what the optimizer deletes — or worse, starts
+// growing an automaton — shows up as a byte diff here before it shows
+// up as a benchmark regression. Regenerate deliberately with
+// UPDATE_OPT_GOLDENS=1 and review the diff like code.
+var updateOptGoldens = os.Getenv("UPDATE_OPT_GOLDENS") != ""
+
+const optGoldensPath = "testdata/opt/goldens.txt"
+
+func TestOptGoldens(t *testing.T) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# file  base_states  opt_states  base_meta  opt_meta\n")
+	baseConf, optConf := optConfigs()
+	for _, file := range corpusFiles(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.ToSlash(file)
+		cb, berr := msc.Compile(string(src), baseConf)
+		co, oerr := msc.Compile(string(src), optConf)
+		if berr != nil || oerr != nil {
+			// Budget-limited programs are locked as such: silently
+			// starting (or stopping) to compile is also a change.
+			fmt.Fprintf(&buf, "%s  base_err=%v opt_err=%v\n", name, berr != nil, oerr != nil)
+			continue
+		}
+		fmt.Fprintf(&buf, "%s  %d  %d  %d  %d\n",
+			name, cb.MIMDStates(), co.MIMDStates(), cb.MetaStates(), co.MetaStates())
+	}
+	if updateOptGoldens {
+		if err := os.MkdirAll(filepath.Dir(optGoldensPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(optGoldensPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", optGoldensPath)
+		return
+	}
+	want, err := os.ReadFile(optGoldensPath)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with UPDATE_OPT_GOLDENS=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("opt goldens changed; if intended, regenerate with UPDATE_OPT_GOLDENS=1 and review\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

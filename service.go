@@ -205,6 +205,10 @@ type WireConfig struct {
 	MaxStates      int  `json:"max_states,omitempty"`
 	ConvertWorkers int  `json:"convert_workers,omitempty"`
 	Vet            bool `json:"vet"`
+	// Opt is the dataflow optimization level (0, 1, or 2); Verify runs
+	// the cross-phase IR verifier between pipeline phases.
+	Opt    int  `json:"opt,omitempty"`
+	Verify bool `json:"verify,omitempty"`
 }
 
 // WireLimits is the JSON form of Limits (deadline in milliseconds).
@@ -463,7 +467,7 @@ func (s *CompileService) requestConfig(req *CompileRequest, r *http.Request) (Co
 			BarrierExact: wc.BarrierExact, ExpandCalls: wc.ExpandCalls,
 			CSI: wc.CSI, Hash: wc.Hash,
 			MaxStates: wc.MaxStates, ConvertWorkers: wc.ConvertWorkers,
-			Vet: wc.Vet,
+			Vet: wc.Vet, Opt: wc.Opt, Verify: wc.Verify,
 		}
 	}
 	conf.Limits = s.cfg.DefaultLimits
