@@ -11,6 +11,9 @@ test:
 	go test ./...
 
 # Static hygiene + race detector: the gate CI and pre-commit should run.
+# The -race pass includes TestVectorizedCorpusWide (width 65536 at every
+# worker count), so the chunk pool's claim/commit discipline is
+# race-checked at production scale on every gate.
 check: vet-examples opt-goldens stress
 	go vet ./...
 	go build ./cmd/mscd ./cmd/mscload
@@ -64,20 +67,24 @@ cover:
 	go test -cover ./...
 
 # Full benchmark run: the Go benchmark suite (wall/alloc numbers), a
-# fresh machine-readable report, and regression gates against the
-# pinned baselines: the seed at the default 10% tolerance, and the
-# post-telemetry baseline (BENCH_pr4.json, pre-telemetry) at 2% on the
-# deterministic metrics — the disabled telemetry path must not change
-# a single state or cycle count. BENCH_pr8.json (post-optimizer) adds
-# the opt_meta_states column, so the optimizer's automaton reductions
-# are gated too. Wall times warn only (benchdiff -wall-tol gates them
-# on quiet machines). See docs/PERFORMANCE.md.
+# fresh machine-readable report including the width-scaling sweep
+# (16 → 1M PEs), and regression gates against the pinned baselines:
+# the seed at the default 10% tolerance, and the post-telemetry
+# baseline (BENCH_pr4.json, pre-telemetry) at 2% on the deterministic
+# metrics — the disabled telemetry path must not change a single state
+# or cycle count. BENCH_pr8.json (post-optimizer) adds the
+# opt_meta_states column; BENCH_pr9.json (post-vectorization) adds the
+# sweep rows, hard-gating the deterministic pe_steps and
+# cycles_per_pe_step_milli columns while the wall-time speedups warn
+# only (benchdiff -wall-tol gates walls on quiet machines). See
+# docs/PERFORMANCE.md.
 bench:
 	go test -bench=. -benchmem ./...
-	go run ./cmd/mscbench -json BENCH_current.json
+	go run ./cmd/mscbench -json BENCH_current.json -widths=16,1024,65536,1048576
 	go run ./cmd/benchdiff BENCH_seed.json BENCH_current.json
 	go run ./cmd/benchdiff -tol 2 BENCH_pr4.json BENCH_current.json
 	go run ./cmd/benchdiff BENCH_pr8.json BENCH_current.json
+	go run ./cmd/benchdiff BENCH_pr9.json BENCH_current.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=60s ./internal/mimdc/

@@ -61,6 +61,12 @@ type (
 	InternalError  = mscerr.InternalError
 )
 
+// WidthLimitError reports a RunConfig observability feature (Timeline,
+// Sink, Strict) requested above the width the SIMD engine supports it
+// at (simd.ObsWidthCap): each is O(N) per meta state, so mega-width
+// runs must go without. Match with errors.As.
+type WidthLimitError = simd.WidthLimitError
+
 // DefaultMaxSteps is the default engine step budget (RunConfig.MaxSteps
 // when zero): large enough for every paper workload, small enough that a
 // non-terminating program fails in seconds rather than hanging.
@@ -741,9 +747,16 @@ type RunConfig struct {
 	// the remainder wait in the free pool for spawn (§3.2.5).
 	N             int
 	InitialActive int
+	// Workers sets the SIMD engine's chunk-execution worker count: 0
+	// means GOMAXPROCS, 1 forces the sequential path. The Result is
+	// byte-identical at any setting — chunks commit in ID order — so
+	// this only trades wall time for cores. Other engines ignore it.
+	Workers int
 	// Trace, when non-nil, receives one line per meta-state execution
 	// (SIMD engine only). Timeline, when non-nil, receives a per-PE
-	// occupancy row per meta-state execution.
+	// occupancy row per meta-state execution. Timeline and Sink carry
+	// O(N) payloads per meta state and are refused above
+	// simd.ObsWidthCap with a *WidthLimitError.
 	Trace    io.Writer
 	Timeline io.Writer
 	// Sink, when non-nil, receives the same execution events as Trace
@@ -784,6 +797,9 @@ func (rc RunConfig) Validate() error {
 	if rc.InitialActive > rc.N {
 		return fmt.Errorf("msc: RunConfig.InitialActive %d exceeds machine width N=%d", rc.InitialActive, rc.N)
 	}
+	if rc.Workers < 0 {
+		return fmt.Errorf("msc: RunConfig.Workers must be >= 0 (0 means GOMAXPROCS), got %d", rc.Workers)
+	}
 	if rc.MaxSteps < 0 {
 		return fmt.Errorf("msc: RunConfig.MaxSteps must be >= 0 (0 means the default of %d), got %d", DefaultMaxSteps, rc.MaxSteps)
 	}
@@ -803,7 +819,7 @@ func (c *Compiled) RunSIMDContext(ctx context.Context, rc RunConfig) (*simd.Resu
 	}
 	span := rc.Tracer.StartSpan("run.simd", rc.TraceParent, telemetry.Int("n", int64(rc.N)))
 	res, err := simd.Run(c.Program, simd.Config{
-		N: rc.N, InitialActive: rc.InitialActive,
+		N: rc.N, InitialActive: rc.InitialActive, Workers: rc.Workers,
 		Trace: rc.Trace, Timeline: rc.Timeline, Sink: rc.Sink,
 		MaxMeta: rc.MaxSteps, Ctx: ctx, Profiler: rc.Profiler,
 	})

@@ -486,3 +486,23 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSpawnHeavy: the free-PE cursor's regression guard. A
+// spawn-heavy generated program repeatedly claims and releases PEs at
+// width 65536 from a single coordinator; the old spawn path re-scanned
+// the idle set from PE 0 on every claim (O(N) each), the cursor makes
+// the whole churn O(words) worst case and O(1) amortized.
+func BenchmarkSpawnHeavy(b *testing.B) {
+	src := progen.Source(progen.Params{Seed: 41, Spawns: 8, MaxDepth: 2, MaxStmts: 5})
+	c := msc.MustCompile(src, msc.DefaultConfig())
+	b.ResetTimer()
+	var metaExecs int64
+	for i := 0; i < b.N; i++ {
+		res, err := c.RunSIMD(msc.RunConfig{N: 65536, InitialActive: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		metaExecs = res.MetaExecs
+	}
+	b.ReportMetric(float64(metaExecs), "metaexecs")
+}

@@ -98,6 +98,12 @@ var metrics = []metric{
 	// opt_meta_states is absent from reports older than the optimizer;
 	// the zero-baseline path diagnoses that as a note, not a regression.
 	{name: "opt_meta_states", get: func(r *harness.BenchResult) int64 { return int64(r.OptMetaStates) }},
+	// Width-sweep rows only. Both are deterministic cycle-domain
+	// numbers: pe_steps is N×Time and cycles_per_pe_step_milli is
+	// issued millicycles per enabled PE-cycle (inverse utilization).
+	// Absent (zero) on ordinary workload rows and on pre-sweep reports.
+	{name: "pe_steps", get: func(r *harness.BenchResult) int64 { return r.PESteps }},
+	{name: "cycles_per_pe_step_milli", get: func(r *harness.BenchResult) int64 { return r.CyclesPerPEStepMilli }},
 }
 
 // diff compares cur against old and returns hard regressions and
@@ -154,6 +160,17 @@ func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, not
 				regressions = append(regressions, fmt.Sprintf("%s: %s %d -> %d (%+.1f%%)", o.Name, m.name, ov, cv, pct))
 			case pct < 0:
 				notes = append(notes, fmt.Sprintf("%s: %s improved %d -> %d (%.1f%%)", o.Name, m.name, ov, cv, pct))
+			}
+		}
+		// The sweep's SIMD wall metric is machine noise like compile
+		// wall: surface big swings, never gate. (ns_per_pe_step_milli is
+		// the normalized form of the same measurement, so one note
+		// covers both.)
+		if o.NSPerPEStepMilli > 0 && c.NSPerPEStepMilli > 0 {
+			pct := 100 * float64(c.NSPerPEStepMilli-o.NSPerPEStepMilli) / float64(o.NSPerPEStepMilli)
+			if pct > 2*tol {
+				notes = append(notes, fmt.Sprintf("%s: ns_per_pe_step_milli %d -> %d (%+.1f%%, warn-only wall metric)",
+					o.Name, o.NSPerPEStepMilli, c.NSPerPEStepMilli, pct))
 			}
 		}
 		// Wall times vary run to run: by default surface large swings

@@ -1,0 +1,87 @@
+package bitset
+
+import "math/bits"
+
+// Mask is a fixed-width bit mask: one bit per item, 64 items per word,
+// indexed directly by word for hot loops. Unlike Set it never grows and
+// exposes its words, so engines can fuse per-item tests into word ANDs,
+// ORs, and popcounts — the representation the SIMD VM uses for its
+// per-PE enable/idle/done/dirty masks. Bits at or beyond the width it
+// was created with must stay zero; every helper preserves that.
+type Mask []uint64
+
+// MaskWords returns the number of 64-bit words a width-n Mask needs.
+func MaskWords(n int) int {
+	return (n + wordBits - 1) / wordBits
+}
+
+// NewMask returns an all-zero mask for n items.
+func NewMask(n int) Mask {
+	return make(Mask, MaskWords(n))
+}
+
+// Set sets bit i.
+func (m Mask) Set(i int) {
+	m[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (m Mask) Clear(i int) {
+	m[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Has reports bit i.
+func (m Mask) Has(i int) bool {
+	return m[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits (one popcount per word).
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountRange returns the number of set bits in words [w0, w1).
+func (m Mask) CountRange(w0, w1 int) int {
+	n := 0
+	for _, w := range m[w0:w1] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Zero clears every bit, keeping the backing array.
+func (m Mask) Zero() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// FillFirst sets bits [0, k) and clears the rest.
+func (m Mask) FillFirst(k int) {
+	for w := range m {
+		switch {
+		case k >= (w+1)*wordBits:
+			m[w] = ^uint64(0)
+		case k <= w*wordBits:
+			m[w] = 0
+		default:
+			m[w] = (1 << (uint(k) % wordBits)) - 1
+		}
+	}
+}
+
+// OrWith ors t into m word-wise. t must have the same width.
+func (m Mask) OrWith(t Mask) {
+	for i, w := range t {
+		m[i] |= w
+	}
+}
+
+// CopyFrom overwrites m with t word-wise. t must have the same width.
+func (m Mask) CopyFrom(t Mask) {
+	copy(m, t)
+}

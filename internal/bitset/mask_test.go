@@ -1,0 +1,82 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(130)
+	if len(m) != 3 {
+		t.Fatalf("MaskWords(130) = %d words, want 3", len(m))
+	}
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 129} {
+		m.Set(i)
+		if !m.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if m.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", m.Count())
+	}
+	m.Clear(64)
+	if m.Has(64) || m.Count() != 6 {
+		t.Fatalf("Clear(64) failed: count %d", m.Count())
+	}
+	if got := m.CountRange(0, 1); got != 3 {
+		t.Fatalf("CountRange(0,1) = %d, want 3", got)
+	}
+	m.Zero()
+	if m.Count() != 0 {
+		t.Fatal("Zero left bits set")
+	}
+}
+
+func TestMaskFillFirst(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 200} {
+		m := NewMask(n)
+		for k := 0; k <= n; k += max(1, n/7) {
+			m.FillFirst(k)
+			if m.Count() != k {
+				t.Fatalf("n=%d FillFirst(%d): count %d", n, k, m.Count())
+			}
+			if k < n && m.Has(k) {
+				t.Fatalf("n=%d FillFirst(%d): bit %d set", n, k, k)
+			}
+			if k > 0 && !m.Has(k-1) {
+				t.Fatalf("n=%d FillFirst(%d): bit %d clear", n, k, k-1)
+			}
+		}
+	}
+}
+
+func TestMaskOrCopyMatchesSet(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 300
+	a, b := NewMask(n), NewMask(n)
+	sa, sb := New(n), New(n)
+	for i := 0; i < 120; i++ {
+		x, y := r.Intn(n), r.Intn(n)
+		a.Set(x)
+		sa.Add(x)
+		b.Set(y)
+		sb.Add(y)
+	}
+	a.OrWith(b)
+	sa.UnionWith(sb)
+	for i := 0; i < n; i++ {
+		if a.Has(i) != sa.Has(i) {
+			t.Fatalf("OrWith disagrees with Set union at bit %d", i)
+		}
+	}
+	c := NewMask(n)
+	c.CopyFrom(a)
+	for i := 0; i < n; i++ {
+		if c.Has(i) != a.Has(i) {
+			t.Fatalf("CopyFrom disagrees at bit %d", i)
+		}
+	}
+	if c.Count() != sa.Len() {
+		t.Fatalf("Count %d != Set.Len %d", c.Count(), sa.Len())
+	}
+}

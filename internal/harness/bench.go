@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"msc"
 	"msc/internal/obs"
+	"msc/internal/simd"
 )
 
 // BenchResult is one workload's machine-readable measurement row: the
@@ -52,6 +54,22 @@ type BenchResult struct {
 	// regression even when its cycle counts look fine.
 	DegradeSteps   int64 `json:"degrade_steps"`
 	BudgetOverruns int64 `json:"budget_overruns"`
+
+	// Width-sweep rows only (BenchSweep; names look like "divergent@65536").
+	// PESteps is the total issued PE-cycle count N×Time — every PE pays
+	// every control cycle in SIMD — and CyclesPerPEStepMilli is issued
+	// millicycles per *enabled* PE-cycle (inverse utilization, ≥1000,
+	// lower is better). Both are deterministic and benchdiff gates them
+	// hard. SIMDWallNS and NSPerPEStepMilli (milli-ns of wall time per
+	// issued PE-cycle) are machine-noise wall numbers and only warn.
+	// RefWallNS and SpeedupVsRef compare against the retired scalar
+	// reference VM (simd.ReferenceRun) where it is cheap enough to run.
+	PESteps              int64   `json:"pe_steps,omitempty"`
+	CyclesPerPEStepMilli int64   `json:"cycles_per_pe_step_milli,omitempty"`
+	SIMDWallNS           int64   `json:"simd_wall_ns,omitempty"`
+	NSPerPEStepMilli     int64   `json:"ns_per_pe_step_milli,omitempty"`
+	RefWallNS            int64   `json:"ref_wall_ns,omitempty"`
+	SpeedupVsRef         float64 `json:"speedup_vs_ref,omitempty"`
 }
 
 // BenchReport is the whole suite's results in one JSON-encodable value.
@@ -148,4 +166,91 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// SweepWorkloads is the width-sweep corpus: workloads whose per-PE work
+// is independent of the machine width (every PE runs the same bounded
+// program regardless of N), so their rows measure the VM's width
+// scaling and nothing else. Collatz's trajectory lengths depend on
+// iproc, so it is capped — see sweepCollatzMaxWidth.
+func SweepWorkloads() []Workload {
+	return []Workload{
+		{Name: "divergent", Source: Divergent},
+		{Name: "stencil", Source: Stencil},
+		{Name: "collatz", Source: Collatz},
+		{Name: "farm", Source: Farm, InitialActive: 1},
+	}
+}
+
+// sweepCollatzMaxWidth caps collatz in the sweep: its per-PE trip count
+// grows with iproc, so mega widths would dominate the sweep's wall time
+// without adding width-scaling signal.
+const sweepCollatzMaxWidth = 1 << 16
+
+// sweepRefMaxWidth caps the scalar-reference comparison column: the
+// retired per-PE VM is the denominator of SpeedupVsRef and is too slow
+// to be worth running above this width.
+const sweepRefMaxWidth = 1 << 16
+
+// BenchSweep runs the width sweep: every SweepWorkloads program at
+// every requested width on the vectorized SIMD VM, producing one
+// "name@width" row per combination. Cycle-domain metrics (PESteps,
+// CyclesPerPEStepMilli) are deterministic; wall metrics are best-of-3
+// to damp scheduler noise.
+func BenchSweep(widths []int) ([]BenchResult, error) {
+	var rows []BenchResult
+	for _, wl := range SweepWorkloads() {
+		c, err := msc.Compile(wl.Source, msc.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s: compile: %w", wl.Name, err)
+		}
+		for _, n := range widths {
+			if wl.Name == "collatz" && n > sweepCollatzMaxWidth {
+				continue
+			}
+			conf := simd.Config{N: n, InitialActive: wl.InitialActive}
+			var res *simd.Result
+			wall := int64(-1)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				r, err := simd.Run(c.Program, conf)
+				d := time.Since(start).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("sweep %s@%d: %w", wl.Name, n, err)
+				}
+				if wall < 0 || d < wall {
+					res, wall = r, d
+				}
+			}
+			row := BenchResult{
+				Name:          fmt.Sprintf("%s@%d", wl.Name, n),
+				Width:         n,
+				InitialActive: wl.InitialActive,
+				MIMDStates:    c.MIMDStates(),
+				MetaStates:    c.MetaStates(),
+				SIMDCycles:    res.Time,
+				Utilization:   res.Utilization(n),
+				PESteps:       int64(n) * res.Time,
+				SIMDWallNS:    wall,
+			}
+			if res.EnabledCycles > 0 {
+				row.CyclesPerPEStepMilli = 1000 * row.PESteps / res.EnabledCycles
+			}
+			if row.PESteps > 0 {
+				row.NSPerPEStepMilli = 1000 * wall / row.PESteps
+			}
+			if n <= sweepRefMaxWidth {
+				start := time.Now()
+				if _, err := simd.ReferenceRun(c.Program, conf); err != nil {
+					return nil, fmt.Errorf("sweep %s@%d: reference: %w", wl.Name, n, err)
+				}
+				row.RefWallNS = time.Since(start).Nanoseconds()
+				if wall > 0 {
+					row.SpeedupVsRef = float64(row.RefWallNS) / float64(wall)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
 }

@@ -30,6 +30,12 @@ type Params struct {
 	Barriers bool
 	Floats   bool
 	Calls    bool
+	// Spawns emits a halt-terminated worker function and that many
+	// spawn sites at the end of main (each a single spawn or a short
+	// spawn loop). Spawn-heavy programs should run with InitialActive
+	// well below N — a spawn with no free processor is a runtime fault
+	// (identical on every engine, so differentials still hold).
+	Spawns int
 	// LoopTrip bounds generated loop trip counts. Default 3.
 	LoopTrip int
 }
@@ -89,6 +95,23 @@ func (g *gen) program() string {
 		g.line("int helper1(int a) { return a * 3 + 1; }")
 		g.line("int helper2(int a, int b) { if (a > b) { return a - b; } return b - a; }")
 	}
+	if g.Spawns > 0 {
+		// Workers write only their own poly state and halt back into
+		// the free pool — race-free like everything else here.
+		g.line("void worker()")
+		g.line("{")
+		g.indent++
+		g.line("poly int wk;")
+		g.line("v0 = 0;")
+		g.line("for (wk = 0; wk < iproc %% %d + 1; wk = wk + 1) {", g.r.Intn(5)+2)
+		g.indent++
+		g.line("v0 = v0 + wk * (iproc + %d);", g.r.Intn(7))
+		g.indent--
+		g.line("}")
+		g.line("halt;")
+		g.indent--
+		g.line("}")
+	}
 	g.line("void main()")
 	g.line("{")
 	g.indent++
@@ -102,6 +125,20 @@ func (g *gen) program() string {
 		g.line("f1 = 1.25;")
 	}
 	g.block(0)
+	for i := 0; i < g.Spawns; i++ {
+		if lv := g.loopVar; lv < 8 && g.r.Intn(2) == 0 {
+			g.loopVar++
+			trip := g.r.Intn(g.LoopTrip) + 1
+			g.line("for (li%d = 0; li%d < %d; li%d = li%d + 1) {", lv, lv, trip, lv, lv)
+			g.indent++
+			g.line("spawn worker();")
+			g.indent--
+			g.line("}")
+			g.loopVar--
+		} else {
+			g.line("spawn worker();")
+		}
+	}
 	g.line("return;")
 	g.indent--
 	g.line("}")

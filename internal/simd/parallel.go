@@ -1,0 +1,135 @@
+package simd
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// wscratch is one worker's private accumulation between commits:
+// occupancy-count and live-count deltas (commutative, reduced by the
+// coordinator in any order), the lowest word where a PE newly went
+// idle (lowers the spawn free cursor), and the first error with the
+// chunk it came from.
+type wscratch struct {
+	cntDelta   []int64
+	cntTouched bool
+	liveDelta  int64
+	minIdleW   int
+
+	err      error
+	errChunk int
+}
+
+func newWScratch(nStates, nw int) *wscratch {
+	return &wscratch{
+		cntDelta: make([]int64, nStates),
+		minIdleW: int(^uint(0) >> 1),
+	}
+}
+
+// chunkPool stripes chunk execution across worker goroutines. Each
+// forChunks pass resets an atomic cursor; workers claim chunk IDs from
+// it until exhausted. Chunks are word-aligned slices of the PE space,
+// so chunk-local writes never share a mask word or cache-line-order
+// dependency with another chunk, and all cross-chunk effects are
+// buffered per chunk and replayed in chunk-ID order by the coordinator
+// — results are byte-identical at any worker count.
+//
+// Error discipline: a failing chunk records (error, chunkID) in the
+// worker's scratch and the pass keeps claiming — no short-circuit — so
+// the chunk every sequential execution would fail first always runs,
+// and the coordinator picks the error from the lowest chunk ID:
+// exactly the error sequential ascending-PE execution reports. (The
+// extra work after an error is harmless: Run discards all state on
+// error.)
+type chunkPool struct {
+	m      *vm
+	fn     func(ws *wscratch, c int) error
+	cursor atomic.Int64
+	wake   []chan struct{} // index 0 (the coordinator) unused
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newChunkPool(m *vm, workers int) *chunkPool {
+	pl := &chunkPool{
+		m:    m,
+		wake: make([]chan struct{}, workers),
+		done: make(chan struct{}, workers-1),
+	}
+	for i := 1; i < workers; i++ {
+		ch := make(chan struct{})
+		pl.wake[i] = ch
+		ws := m.wss[i]
+		pl.wg.Add(1)
+		go func() {
+			defer pl.wg.Done()
+			for range ch {
+				pl.work(ws)
+				pl.done <- struct{}{}
+			}
+		}()
+	}
+	return pl
+}
+
+func (pl *chunkPool) work(ws *wscratch) {
+	n := pl.m.nChunks
+	for {
+		c := int(pl.cursor.Add(1)) - 1
+		if c >= n {
+			return
+		}
+		if err := pl.fn(ws, c); err != nil {
+			if ws.err == nil || c < ws.errChunk {
+				ws.err, ws.errChunk = err, c
+			}
+		}
+	}
+}
+
+// stop shuts the workers down; safe to call exactly once, after the
+// final forChunks pass has fully drained.
+func (pl *chunkPool) stop() {
+	for i := 1; i < len(pl.wake); i++ {
+		close(pl.wake[i])
+	}
+	pl.wg.Wait()
+}
+
+// forChunks runs fn once per chunk. Sequential when no pool exists
+// (Workers <= 1 or a single chunk): ascending chunk order with
+// early-exit on error — the canonical order the parallel path must
+// reproduce. With a pool, the coordinator participates alongside the
+// woken workers, joins them, and reduces the recorded errors to the
+// lowest-chunk one.
+func (m *vm) forChunks(fn func(ws *wscratch, c int) error) error {
+	if m.pool == nil {
+		ws := m.wss[0]
+		for c := 0; c < m.nChunks; c++ {
+			if err := fn(ws, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pl := m.pool
+	pl.fn = fn
+	pl.cursor.Store(0)
+	for i := 1; i < len(m.wss); i++ {
+		pl.wake[i] <- struct{}{}
+	}
+	pl.work(m.wss[0])
+	for i := 1; i < len(m.wss); i++ {
+		<-pl.done
+	}
+	var err error
+	errChunk := int(^uint(0) >> 1)
+	for _, ws := range m.wss {
+		if ws.err != nil && ws.errChunk < errChunk {
+			err, errChunk = ws.err, ws.errChunk
+		}
+		ws.err = nil
+	}
+	return err
+}

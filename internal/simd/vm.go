@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/bits"
+	"runtime"
 
 	"msc/internal/bitset"
 	"msc/internal/ir"
@@ -25,12 +27,37 @@ const (
 // stops within microseconds, rare enough to stay off the hot path.
 const ctxCheckEvery = 1024
 
+// chunkPEs is the number of PEs per execution chunk: the unit of work a
+// pool worker claims. A multiple of 64 so chunk boundaries fall on mask
+// words and no word is shared between chunks. Package-level so tests
+// can shrink it to exercise multi-chunk execution at small widths.
+var chunkPEs = 4096
+
+// SetChunkPEsForTest overrides the PEs-per-chunk granularity and
+// returns a restore func. n must be a positive multiple of 64. Tests
+// use tiny chunks so widths like 1024 still stripe across many chunks
+// (and workers); results must be byte-identical at every setting.
+func SetChunkPEsForTest(n int) (restore func()) {
+	if n <= 0 || n%64 != 0 {
+		panic(fmt.Sprintf("simd: chunk size %d is not a positive multiple of 64", n))
+	}
+	old := chunkPEs
+	chunkPEs = n
+	return func() { chunkPEs = old }
+}
+
 // Config controls a SIMD run.
 type Config struct {
 	// N is the machine width. InitialActive PEs begin at the program
 	// entry (zero means all).
 	N             int
 	InitialActive int
+	// Workers is the number of goroutines that execute PE chunks: 0
+	// means GOMAXPROCS, 1 forces the sequential path. The chunk pool
+	// claims chunks from an atomic cursor and commits cross-chunk
+	// effects in chunk-ID order, so the Result is byte-identical at any
+	// worker count; only wall time changes.
+	Workers int
 	// MaxMeta bounds meta-state executions (the non-termination guard);
 	// defaults to mscerr.DefaultMaxSteps. Exceeding it returns an
 	// *mscerr.StepLimitError.
@@ -42,27 +69,33 @@ type Config struct {
 	// Trace, when non-nil, receives one line per meta-state execution:
 	// the state, its live/enabled census, and the aggregate that chose
 	// the next state. It is shorthand for attaching an obs.TextSink.
+	// Trace carries no per-PE payload and works at any width.
 	Trace io.Writer
 	// Strict verifies the conversion's occupancy invariant before every
 	// meta state: each live PE's pc must be covered by the meta state's
-	// set or be waiting at a barrier. Used by the test suites.
+	// set or be waiting at a barrier. Used by the test suites. O(N) per
+	// meta state, so it is refused above ObsWidthCap with a
+	// *WidthLimitError.
 	Strict bool
 	// Timeline, when non-nil, receives one row per meta-state execution
 	// showing every PE's occupancy: its MIMD state number while active,
 	// 'w' while waiting at a barrier, '-' when done, '.' when idle.
-	// Shorthand for an obs.TextSink, like Trace.
+	// Shorthand for an obs.TextSink, like Trace. O(N) per meta state,
+	// refused above ObsWidthCap with a *WidthLimitError.
 	Timeline io.Writer
 	// Sink, when non-nil, receives the typed trace event stream
 	// (obs.EventTimeline at meta-state entry, obs.EventMeta/EventExit
 	// after dispatch). It composes with Trace/Timeline: the text
 	// writers are wrapped in an obs.TextSink and both receive every
-	// event.
+	// event. EventTimeline rows are O(N), so Sink is refused above
+	// ObsWidthCap with a *WidthLimitError.
 	Sink obs.Sink
 	// Profiler, when non-nil, receives sampled cycle attribution: body
 	// slot cycles fold to (meta state, Slot.Block, Slot.Pos), dispatch
-	// cycles to the meta state's dispatch frame. The VM is a single
-	// goroutine, matching the profiler's single-consumer contract; when
-	// nil the hot path pays one pointer compare per slot.
+	// cycles to the meta state's dispatch frame. Only the coordinator
+	// goroutine calls the profiler — chunk workers never do — so the
+	// profiler's single-consumer contract holds at any worker count;
+	// when nil the hot path pays one pointer compare per slot.
 	Profiler *telemetry.Profiler
 }
 
@@ -91,8 +124,11 @@ type Result struct {
 	// over all states equals Time exactly — the invariant the `msc
 	// profile` hot-spot table relies on.
 	MetaStats []MetaStat
-	// PEHist is the PE-utilization histogram: PEHist[k] sums the body
-	// cycles spent in slots with exactly k PEs enabled (length N+1).
+	// PEHist is the PE-utilization histogram: exact below PEHistExactMax
+	// (PEHist[k] sums the body cycles spent in slots with exactly k PEs
+	// enabled, length N+1) and log₂-bucketed above it (bucket 0 is zero
+	// enabled, bucket k covers [2^(k-1), 2^k); see PEHistIndex). In both
+	// modes the cycle mass invariant sum(PEHist) == BodyCycles holds.
 	PEHist []int64
 	// Done flags PEs that reached End.
 	Done []bool
@@ -164,22 +200,6 @@ func (r *Result) WaitFraction() float64 {
 	return float64(r.LiveIdleCycles) / float64(total)
 }
 
-type vmPE struct {
-	pc, npc  int
-	stack    []ir.Word
-	retStack []int
-}
-
-type vm struct {
-	p    *Program
-	conf Config
-	mem  [][]ir.Word
-	pes  []vmPE
-	res  *Result
-	sink obs.Sink            // nil when no tracing is attached
-	prof *telemetry.Profiler // nil when no profiling is attached
-}
-
 // traceSink assembles the event sink from the config: the legacy
 // Trace/Timeline writers become an obs.TextSink (byte-compatible with
 // the historical Fprintf output) and compose with an explicit Sink.
@@ -200,47 +220,235 @@ func traceSink(conf Config) obs.Sink {
 	return sinks
 }
 
-// Run executes a compiled meta-state program on the SIMD machine.
-func Run(p *Program, conf Config) (*Result, error) {
+// prepare validates a Config, applies defaults, and resolves the entry
+// MIMD state. Shared by Run and ReferenceRun so both engines accept and
+// reject exactly the same configurations with the same error text.
+func prepare(p *Program, conf Config) (Config, int, error) {
 	if conf.N < 1 {
-		return nil, fmt.Errorf("simd: N must be >= 1, got %d", conf.N)
+		return conf, 0, fmt.Errorf("simd: N must be >= 1, got %d", conf.N)
 	}
 	if conf.InitialActive == 0 {
 		conf.InitialActive = conf.N
 	}
 	if conf.InitialActive < 1 || conf.InitialActive > conf.N {
-		return nil, fmt.Errorf("simd: InitialActive %d out of range [1,%d]", conf.InitialActive, conf.N)
+		return conf, 0, fmt.Errorf("simd: InitialActive %d out of range [1,%d]", conf.InitialActive, conf.N)
+	}
+	if conf.Workers < 0 {
+		return conf, 0, fmt.Errorf("simd: Workers must be >= 0, got %d", conf.Workers)
 	}
 	if conf.MaxMeta == 0 {
 		conf.MaxMeta = mscerr.DefaultMaxSteps
 	}
 	start := p.Meta[p.Start]
 	if start.Set.Len() != 1 {
-		return nil, fmt.Errorf("simd: start meta state %s is not a single MIMD state", start.Set)
+		return conf, 0, fmt.Errorf("simd: start meta state %s is not a single MIMD state", start.Set)
 	}
-	entry := start.Set.Min()
+	if conf.N > ObsWidthCap {
+		switch {
+		case conf.Timeline != nil:
+			return conf, 0, &WidthLimitError{Feature: "Timeline", N: conf.N, Cap: ObsWidthCap}
+		case conf.Sink != nil:
+			return conf, 0, &WidthLimitError{Feature: "Sink", N: conf.N, Cap: ObsWidthCap}
+		case conf.Strict:
+			return conf, 0, &WidthLimitError{Feature: "Strict", N: conf.N, Cap: ObsWidthCap}
+		}
+	}
+	return conf, start.Set.Min(), nil
+}
 
+// vm is the struct-of-arrays SIMD machine. PE state lives in flat
+// parallel arrays (pcs/npcs, one memory slab indexed pe*words+addr) and
+// per-MIMD-state occupancy masks with 64 PEs per word, so per-slot
+// enablement is a word OR of the guard's occupied member states and the
+// enable census is a running occupancy count — no per-PE scan. Slots
+// execute over fixed-size PE chunks (chunkPEs wide, word-aligned) that
+// a worker pool claims from an atomic cursor; cross-chunk effects
+// (StMono broadcast value, StRemote router writes, occupancy-count
+// deltas) are buffered per chunk and committed in chunk-ID order by the
+// coordinator, so the Result is byte-identical at any worker count.
+type vm struct {
+	p    *Program
+	conf Config
+	n    int // machine width
+	wpp  int // memory words per PE
+	nw   int // mask words (ceil(n/64))
+	cw   int // words per chunk (chunkPEs/64)
+
+	mem  []ir.Word // slab: PE i's memory is mem[i*wpp : (i+1)*wpp]
+	pcs  []int32   // committed pc per PE
+	npcs []int32   // next pc per PE; equals pcs outside a body
+
+	// Evaluation and return stacks: fixed full-capacity backing slices
+	// (len == cap, growth reallocates) with the logical depth kept in
+	// separate int32 arrays. Push/pop then never write a slice header
+	// back — one data store and one int32 store, no write barrier —
+	// which measures ~2x faster than append/reslice at mega widths.
+	stacks [][]ir.Word // evaluation stack backing per PE
+	slens  []int32     // evaluation stack depth per PE
+	rets   [][]int32   // return stack backing per PE
+	rlens  []int32     // return stack depth per PE
+
+	occ    []bitset.Mask // per MIMD state: which PEs' committed pc is there
+	occCnt []int64       // per MIMD state: popcount of occ, maintained incrementally
+	idle   bitset.Mask   // committed pc == PCIdle
+	doneM  bitset.Mask   // committed pc == PCDone
+	dirty  bitset.Mask   // npc written this body; commit visits only these
+	enab   bitset.Mask   // scratch for multi-member guard ORs
+	live   int64         // number of PEs with committed pc >= 0
+
+	freeHint int // first mask word that may hold a free (idle, not dirty) PE
+
+	gm [][][]int // per meta state, per slot: the guard's member MIMD states
+
+	// Per-chunk buffers for effects that must apply in global PE order:
+	// StMono's last-popped value and StRemote's router writes.
+	monoAny []bool
+	monoVal []ir.Word
+	remBuf  [][]remWrite
+
+	nChunks int
+	wss     []*wscratch
+	pool    *chunkPool
+
+	res    *Result
+	sink   obs.Sink // nil when no tracing is attached
+	emitTL bool     // build O(N) timeline events only when someone reads them
+	prof   *telemetry.Profiler
+}
+
+// remWrite is one buffered StRemote store: slab index and value.
+type remWrite struct {
+	idx int
+	val ir.Word
+}
+
+func newVM(p *Program, conf Config, entry int) *vm {
+	n := conf.N
 	m := &vm{
 		p:    p,
 		conf: conf,
-		mem:  make([][]ir.Word, conf.N),
-		pes:  make([]vmPE, conf.N),
+		n:    n,
+		wpp:  p.Words,
+		nw:   bitset.MaskWords(n),
+		cw:   chunkPEs / 64,
+
+		mem:    make([]ir.Word, n*p.Words),
+		pcs:    make([]int32, n),
+		npcs:   make([]int32, n),
+		stacks: make([][]ir.Word, n),
+		slens:  make([]int32, n),
+		rets:   make([][]int32, n),
+		rlens:  make([]int32, n),
+
+		occ:    make([]bitset.Mask, p.NStates),
+		occCnt: make([]int64, p.NStates),
+		idle:   bitset.NewMask(n),
+		doneM:  bitset.NewMask(n),
+		dirty:  bitset.NewMask(n),
+		enab:   bitset.NewMask(n),
+
 		res: &Result{
-			Done:      make([]bool, conf.N),
+			Done:      make([]bool, n),
 			MetaStats: make([]MetaStat, len(p.Meta)),
-			PEHist:    make([]int64, conf.N+1),
+			PEHist:    make([]int64, PEHistLen(n)),
 		},
 	}
-	m.sink = traceSink(conf)
-	m.prof = conf.Profiler
-	for i := range m.pes {
-		m.mem[i] = make([]ir.Word, p.Words)
-		if i < conf.InitialActive {
-			m.pes[i] = vmPE{pc: entry, npc: entry}
+	for s := range m.occ {
+		m.occ[s] = bitset.NewMask(n)
+	}
+	// Stack backings are carved out of two contiguous slabs,
+	// stackCap/retCap entries per PE: deep enough for every corpus
+	// program, so the hot path never allocates. A PE that outgrows its
+	// window gets a private doubled slice (growStack/growRet); the slab
+	// windows never overlap, so no PE can overwrite a neighbor.
+	const stackCap, retCap = 8, 4
+	sslab := make([]ir.Word, n*stackCap)
+	rslab := make([]int32, n*retCap)
+	for i := 0; i < n; i++ {
+		m.stacks[i] = sslab[i*stackCap : (i+1)*stackCap]
+		m.rets[i] = rslab[i*retCap : (i+1)*retCap]
+	}
+	ia := conf.InitialActive
+	m.occ[entry].FillFirst(ia)
+	m.occCnt[entry] = int64(ia)
+	m.live = int64(ia)
+	m.idle.FillFirst(n)
+	for w := range m.idle {
+		m.idle[w] &^= m.occ[entry][w]
+	}
+	m.freeHint = ia / 64
+	for i := 0; i < n; i++ {
+		if i < ia {
+			m.pcs[i] = int32(entry)
 		} else {
-			m.pes[i] = vmPE{pc: PCIdle, npc: PCIdle}
+			m.pcs[i] = PCIdle
 		}
 	}
+	copy(m.npcs, m.pcs)
+
+	m.gm = make([][][]int, len(p.Meta))
+	for _, mc := range p.Meta {
+		sl := make([][]int, len(mc.Slots))
+		for si := range mc.Slots {
+			sl[si] = mc.Slots[si].Guard.Elems()
+		}
+		m.gm[mc.ID] = sl
+	}
+
+	m.nChunks = (m.nw + m.cw - 1) / m.cw
+	if m.nChunks < 1 {
+		m.nChunks = 1
+	}
+	m.monoAny = make([]bool, m.nChunks)
+	m.monoVal = make([]ir.Word, m.nChunks)
+	m.remBuf = make([][]remWrite, m.nChunks)
+
+	workers := conf.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.nChunks {
+		workers = m.nChunks
+	}
+	m.wss = make([]*wscratch, workers)
+	for i := range m.wss {
+		m.wss[i] = newWScratch(p.NStates, m.nw)
+	}
+	if workers > 1 {
+		m.pool = newChunkPool(m, workers)
+	}
+
+	m.sink = traceSink(conf)
+	m.emitTL = conf.Timeline != nil || conf.Sink != nil
+	m.prof = conf.Profiler
+	return m
+}
+
+// close releases the worker pool (no-op on the sequential path).
+func (m *vm) close() {
+	if m.pool != nil {
+		m.pool.stop()
+	}
+}
+
+// chunkWords returns the mask-word range [w0, w1) of chunk c.
+func (m *vm) chunkWords(c int) (int, int) {
+	w0 := c * m.cw
+	w1 := w0 + m.cw
+	if w1 > m.nw {
+		w1 = m.nw
+	}
+	return w0, w1
+}
+
+// Run executes a compiled meta-state program on the SIMD machine.
+func Run(p *Program, conf Config) (*Result, error) {
+	conf, entry, err := prepare(p, conf)
+	if err != nil {
+		return nil, err
+	}
+	m := newVM(p, conf, entry)
+	defer m.close()
 
 	cur := p.Start
 	for step := 0; ; step++ {
@@ -255,17 +463,15 @@ func Run(p *Program, conf Config) (*Result, error) {
 		mc := p.Meta[cur]
 		m.res.MetaExecs++
 		m.res.MetaStats[cur].Visits++
-		if m.sink != nil {
+		if m.sink != nil && m.emitTL {
 			if err := m.sink.Emit(m.timelineEvent(int64(step), cur)); err != nil {
 				return nil, fmt.Errorf("simd: trace sink: %w", err)
 			}
 		}
 		if conf.Strict {
-			for i := range m.pes {
-				if pc := m.pes[i].pc; pc >= 0 && !mc.Set.Has(pc) && !p.Barriers.Has(pc) {
-					return nil, fmt.Errorf("simd: ms%d %s: PE %d occupies uncovered state %d (conversion bug)",
-						cur, mc.Set, i, pc)
-				}
+			if pe, s := m.strictViolation(mc); pe >= 0 {
+				return nil, fmt.Errorf("simd: ms%d %s: PE %d occupies uncovered state %d (conversion bug)",
+					cur, mc.Set, pe, s)
 			}
 		}
 		if err := m.execBody(mc); err != nil {
@@ -283,15 +489,9 @@ func Run(p *Program, conf Config) (*Result, error) {
 			if done {
 				e.Kind = obs.EventExit
 			} else {
-				live := 0
-				for i := range m.pes {
-					if m.pes[i].pc >= 0 {
-						live++
-					}
-				}
 				e.Kind = obs.EventMeta
 				e.APC = m.apc().String()
-				e.Live = live
+				e.Live = int(m.live)
 				e.Next = next
 			}
 			if err := m.sink.Emit(e); err != nil {
@@ -304,117 +504,57 @@ func Run(p *Program, conf Config) (*Result, error) {
 		cur = next
 	}
 
-	for i := range m.pes {
-		m.res.Done[i] = m.pes[i].pc == PCDone
+	for w := 0; w < m.nw; w++ {
+		dw := m.doneM[w]
+		for dw != 0 {
+			b := bits.TrailingZeros64(dw)
+			dw &= dw - 1
+			m.res.Done[w<<6+b] = true
+		}
 	}
-	m.res.Mem = m.mem
+	mem := make([][]ir.Word, m.n)
+	for i := range mem {
+		mem[i] = m.mem[i*m.wpp : (i+1)*m.wpp : (i+1)*m.wpp]
+	}
+	m.res.Mem = mem
 	return m.res, nil
 }
 
-// execBody runs every slot of a meta state. Guards test the pc latched
-// at meta-state entry; pc updates land in npc and commit afterwards, so
-// a PE can never fall through into another MIMD state's code within the
-// same meta state.
-func (m *vm) execBody(mc *MetaCode) error {
-	for i := range m.pes {
-		m.pes[i].npc = m.pes[i].pc
-	}
-	live := int64(0)
-	for i := range m.pes {
-		if m.pes[i].pc >= 0 {
-			live++
-		}
-	}
-	st := &m.res.MetaStats[mc.ID]
-	for si := range mc.Slots {
-		s := &mc.Slots[si]
-		cost := int64(s.Cost())
-		m.res.Time += cost
-		m.res.BodyCycles += cost
-		m.res.SlotExecs++
-		st.Cycles += cost
-		st.BodyCycles += cost
-		st.LivePECycles += cost * live
-		if m.prof != nil {
-			m.prof.Add(mc.ID, s.Block, s.Pos, cost)
-		}
-
-		enabled := enabledPEs(m.pes, s.Guard)
-		m.res.EnabledCycles += cost * int64(len(enabled))
-		m.res.LiveIdleCycles += cost * (live - int64(len(enabled)))
-		st.EnabledPECycles += cost * int64(len(enabled))
-		m.res.PEHist[len(enabled)] += cost
-		if len(enabled) == 0 {
+// strictViolation returns the lowest-numbered live PE occupying a MIMD
+// state not covered by mc's set or a barrier, with that state, or
+// (-1, -1) when the occupancy invariant holds. Occupancy masks make
+// this a per-state first-bit scan instead of a per-PE sweep.
+func (m *vm) strictViolation(mc *MetaCode) (int, int) {
+	minPE, state := -1, -1
+	for s := 0; s < m.p.NStates; s++ {
+		if m.occCnt[s] == 0 || mc.Set.Has(s) || m.p.Barriers.Has(s) {
 			continue
 		}
-		switch s.Kind {
-		case SlotExec:
-			if err := m.exec(enabled, s.Instr); err != nil {
-				return err
-			}
-		case SlotSetPC:
-			for _, i := range enabled {
-				m.pes[i].npc = s.To
-			}
-		case SlotJumpF:
-			for _, i := range enabled {
-				c, err := m.pop(i)
-				if err != nil {
-					return err
-				}
-				if ir.Truth(c) {
-					m.pes[i].npc = s.To
-				} else {
-					m.pes[i].npc = s.FTo
-				}
-			}
-		case SlotEnd:
-			for _, i := range enabled {
-				m.pes[i].npc = PCDone
-			}
-		case SlotHalt:
-			for _, i := range enabled {
-				m.pes[i].npc = PCIdle
-				m.pes[i].stack = m.pes[i].stack[:0]
-				m.pes[i].retStack = m.pes[i].retStack[:0]
-			}
-		case SlotRetBr:
-			for _, i := range enabled {
-				rs := m.pes[i].retStack
-				if len(rs) == 0 {
-					return fmt.Errorf("PE %d return with empty return stack", i)
-				}
-				m.pes[i].npc = rs[len(rs)-1]
-				m.pes[i].retStack = rs[:len(rs)-1]
-			}
-		case SlotSpawn:
-			for _, parent := range enabled {
-				child := -1
-				for j := range m.pes {
-					if m.pes[j].pc == PCIdle && m.pes[j].npc == PCIdle {
-						child = j
-						break
-					}
-				}
-				if child < 0 {
-					return fmt.Errorf("spawn with no free processor (width %d)", m.conf.N)
-				}
-				m.pes[child].npc = s.ChildTo
-				m.pes[parent].npc = s.To
-			}
+		pe := firstSet(m.occ[s])
+		if pe >= 0 && (minPE < 0 || pe < minPE) {
+			minPE, state = pe, s
 		}
 	}
-	for i := range m.pes {
-		m.pes[i].pc = m.pes[i].npc
+	return minPE, state
+}
+
+// firstSet returns the index of the lowest set bit, or -1.
+func firstSet(m bitset.Mask) int {
+	for w, x := range m {
+		if x != 0 {
+			return w<<6 + bits.TrailingZeros64(x)
+		}
 	}
-	return nil
+	return -1
 }
 
 // timelineEvent captures one per-PE occupancy row as a typed event.
+// Only built when a Timeline writer or typed Sink is attached (it is
+// O(N)); width caps in prepare keep that affordable.
 func (m *vm) timelineEvent(step int64, ms int) *obs.Event {
-	pes := make([]int, len(m.pes))
-	for i := range m.pes {
-		switch pc := m.pes[i].pc; {
+	pes := make([]int, m.n)
+	for i := range pes {
+		switch pc := int(m.pcs[i]); {
 		case pc == PCDone:
 			pes[i] = obs.PEDone
 		case pc == PCIdle:
@@ -429,12 +569,13 @@ func (m *vm) timelineEvent(step int64, ms int) *obs.Event {
 }
 
 // apc computes the aggregate program counter: the global-or of one bit
-// per live pc value (§3.2.3).
+// per live pc value (§3.2.3). With occupancy counts maintained at
+// commit this is O(NStates), independent of machine width.
 func (m *vm) apc() *bitset.Set {
 	agg := bitset.New(m.p.NStates)
-	for i := range m.pes {
-		if m.pes[i].pc >= 0 {
-			agg.Add(m.pes[i].pc)
+	for s := 0; s < m.p.NStates; s++ {
+		if m.occCnt[s] > 0 {
+			agg.Add(s)
 		}
 	}
 	return agg
@@ -443,14 +584,19 @@ func (m *vm) apc() *bitset.Set {
 // dispatch selects the next meta state from the aggregate (§3.2).
 func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 	tr := &mc.Trans
-	m.res.Time += int64(tr.Cost())
-	m.res.DispatchCycles += int64(tr.Cost())
-	m.res.MetaStats[mc.ID].Cycles += int64(tr.Cost())
+	cost := int64(tr.Cost())
+	m.res.Time += cost
+	m.res.DispatchCycles += cost
+	m.res.MetaStats[mc.ID].Cycles += cost
 	if m.prof != nil {
-		m.prof.Add(mc.ID, telemetry.NoBlock, ir.Pos{}, int64(tr.Cost()))
+		m.prof.Add(mc.ID, telemetry.NoBlock, ir.Pos{}, cost)
 	}
+	return dispatchAgg(m.p, tr, m.apc())
+}
 
-	agg := m.apc()
+// dispatchAgg resolves a transition against an aggregate pc. Shared by
+// both engines so dispatch semantics (and error text) cannot drift.
+func dispatchAgg(p *Program, tr *Trans, agg *bitset.Set) (next int, done bool, err error) {
 	if agg.Empty() {
 		if tr.Kind == TransGoto && !tr.ExitCheck {
 			return 0, false, fmt.Errorf("aggregate went empty on an unconditional arc without exit check (compiler bug)")
@@ -462,8 +608,8 @@ func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 	// releases — the transition "proceeds normally" by looking up the
 	// aggregate itself, independent of this state's own arcs (waiters
 	// may have been stranded by threads that ended elsewhere).
-	if !m.p.Barriers.Empty() && agg.Subset(m.p.Barriers) {
-		return m.releaseLookup(agg)
+	if !p.Barriers.Empty() && agg.Subset(p.Barriers) {
+		return releaseLookup(p, agg)
 	}
 
 	switch tr.Kind {
@@ -476,8 +622,8 @@ func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 	// §3.2.4: proceed normally if the aggregate is all barrier states;
 	// otherwise subtract them — those PEs wait.
 	key := agg
-	if !agg.Subset(m.p.Barriers) {
-		key = agg.Minus(m.p.Barriers)
+	if !agg.Subset(p.Barriers) {
+		key = agg.Minus(p.Barriers)
 	}
 
 	if tr.Hash != nil {
@@ -498,7 +644,7 @@ func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 		if e.Key.Equal(key) {
 			return e.To, false, nil
 		}
-		if m.p.SupersetDispatch && key.Subset(e.Key) {
+		if p.SupersetDispatch && key.Subset(e.Key) {
 			if best < 0 || e.Key.Len() < tr.Entries[best].Key.Len() {
 				best = i
 			}
@@ -513,14 +659,14 @@ func (m *vm) dispatch(mc *MetaCode) (next int, done bool, err error) {
 // releaseLookup finds the meta state for an all-barrier aggregate by
 // global search: exact set match first, then — when the automaton
 // over-approximates — the smallest covering state.
-func (m *vm) releaseLookup(agg *bitset.Set) (int, bool, error) {
+func releaseLookup(p *Program, agg *bitset.Set) (int, bool, error) {
 	best := -1
-	for _, mc := range m.p.Meta {
+	for _, mc := range p.Meta {
 		if mc.Set.Equal(agg) {
 			return mc.ID, false, nil
 		}
-		if m.p.SupersetDispatch && agg.Subset(mc.Set) &&
-			(best < 0 || mc.Set.Len() < m.p.Meta[best].Set.Len()) {
+		if p.SupersetDispatch && agg.Subset(mc.Set) &&
+			(best < 0 || mc.Set.Len() < p.Meta[best].Set.Len()) {
 			best = mc.ID
 		}
 	}
@@ -530,205 +676,10 @@ func (m *vm) releaseLookup(agg *bitset.Set) (int, bool, error) {
 	return 0, false, fmt.Errorf("no release meta state for all-barrier aggregate %s (distinct barriers simultaneously occupied? convert with BarrierExact)", agg)
 }
 
-// enabledPEs lists live PEs whose latched pc is in the guard.
-func enabledPEs(pes []vmPE, guard *bitset.Set) []int {
-	var out []int
-	for i := range pes {
-		if pc := pes[i].pc; pc >= 0 && guard.Has(pc) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-func (m *vm) push(i int, w ir.Word) { m.pes[i].stack = append(m.pes[i].stack, w) }
-
-func (m *vm) pop(i int) (ir.Word, error) {
-	s := m.pes[i].stack
-	if len(s) == 0 {
-		return 0, fmt.Errorf("PE %d evaluation stack underflow", i)
-	}
-	w := s[len(s)-1]
-	m.pes[i].stack = s[:len(s)-1]
-	return w, nil
-}
-
-func (m *vm) slot(addr int64) (int, error) {
-	if addr < 0 || addr >= int64(m.p.Words) {
-		return 0, fmt.Errorf("memory address %d out of range [0,%d)", addr, m.p.Words)
-	}
-	return int(addr), nil
-}
-
 func peIndex(p ir.Word, n int) int {
 	v := int(p) % n
 	if v < 0 {
 		v += n
 	}
 	return v
-}
-
-// exec runs one instruction on every enabled PE (ascending order, which
-// fixes the outcome of write conflicts deterministically: the highest
-// enabled PE wins, matching the MIMD reference's phase order).
-func (m *vm) exec(enabled []int, in ir.Instr) error {
-	switch in.Op {
-	case ir.Nop:
-	case ir.PushC:
-		for _, i := range enabled {
-			m.push(i, ir.Word(in.Imm))
-		}
-	case ir.Dup:
-		for _, i := range enabled {
-			w, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			m.push(i, w)
-			m.push(i, w)
-		}
-	case ir.Pop:
-		for _, i := range enabled {
-			for k := int64(0); k < in.Imm; k++ {
-				if _, err := m.pop(i); err != nil {
-					return err
-				}
-			}
-		}
-	case ir.LdLocal, ir.LdMono:
-		a, err := m.slot(in.Imm)
-		if err != nil {
-			return err
-		}
-		for _, i := range enabled {
-			m.push(i, m.mem[i][a])
-		}
-	case ir.StLocal:
-		a, err := m.slot(in.Imm)
-		if err != nil {
-			return err
-		}
-		for _, i := range enabled {
-			w, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			m.mem[i][a] = w
-		}
-	case ir.StMono:
-		a, err := m.slot(in.Imm)
-		if err != nil {
-			return err
-		}
-		var val ir.Word
-		for _, i := range enabled {
-			w, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			val = w // highest enabled PE wins
-		}
-		for q := range m.mem {
-			m.mem[q][a] = val
-		}
-	case ir.LdIndex:
-		for _, i := range enabled {
-			idx, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			a, err := m.slot(in.Imm + int64(idx))
-			if err != nil {
-				return err
-			}
-			m.push(i, m.mem[i][a])
-		}
-	case ir.StIndex:
-		for _, i := range enabled {
-			w, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			idx, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			a, err := m.slot(in.Imm + int64(idx))
-			if err != nil {
-				return err
-			}
-			m.mem[i][a] = w
-		}
-	case ir.LdRemote:
-		a, err := m.slot(in.Imm)
-		if err != nil {
-			return err
-		}
-		// Router reads are simultaneous: gather first, then push.
-		vals := make([]ir.Word, len(enabled))
-		for k, i := range enabled {
-			p, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			vals[k] = m.mem[peIndex(p, m.conf.N)][a]
-		}
-		for k, i := range enabled {
-			m.push(i, vals[k])
-		}
-	case ir.StRemote:
-		a, err := m.slot(in.Imm)
-		if err != nil {
-			return err
-		}
-		for _, i := range enabled {
-			w, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			p, err := m.pop(i)
-			if err != nil {
-				return err
-			}
-			m.mem[peIndex(p, m.conf.N)][a] = w
-		}
-	case ir.IProc:
-		for _, i := range enabled {
-			m.push(i, ir.Word(i))
-		}
-	case ir.NProc:
-		for _, i := range enabled {
-			m.push(i, ir.Word(m.conf.N))
-		}
-	case ir.PushRet:
-		for _, i := range enabled {
-			m.pes[i].retStack = append(m.pes[i].retStack, int(in.Imm))
-		}
-	default:
-		switch {
-		case ir.IsBinary(in.Op):
-			for _, i := range enabled {
-				b, err := m.pop(i)
-				if err != nil {
-					return err
-				}
-				a, err := m.pop(i)
-				if err != nil {
-					return err
-				}
-				m.push(i, ir.EvalBinary(in.Op, a, b))
-			}
-		case ir.IsUnary(in.Op):
-			for _, i := range enabled {
-				a, err := m.pop(i)
-				if err != nil {
-					return err
-				}
-				m.push(i, ir.EvalUnary(in.Op, a))
-			}
-		default:
-			return fmt.Errorf("unknown opcode %v", in.Op)
-		}
-	}
-	return nil
 }

@@ -1,0 +1,118 @@
+package simd
+
+import (
+	"errors"
+	"testing"
+
+	"msc/internal/obs"
+)
+
+func TestPEHistShape(t *testing.T) {
+	cases := []struct {
+		n, wantLen int
+		exact      bool
+	}{
+		{1, 2, true},
+		{64, 65, true},
+		{PEHistExactMax, PEHistExactMax + 1, true},
+		{PEHistExactMax + 1, 14, false}, // bits.Len(4097)=13, +1
+		{1 << 16, 18, false},
+		{1 << 20, 22, false},
+	}
+	for _, c := range cases {
+		if got := PEHistLen(c.n); got != c.wantLen {
+			t.Errorf("PEHistLen(%d) = %d, want %d", c.n, got, c.wantLen)
+		}
+		if c.exact {
+			for _, en := range []int{0, 1, c.n} {
+				if got := PEHistIndex(c.n, en); got != en {
+					t.Errorf("PEHistIndex(%d, %d) = %d, want identity", c.n, en, got)
+				}
+			}
+			continue
+		}
+		// Bucketed: 0 stays bucket 0, enabled in [2^(k-1), 2^k) lands
+		// in bucket k, and the top bucket is in range.
+		if got := PEHistIndex(c.n, 0); got != 0 {
+			t.Errorf("PEHistIndex(%d, 0) = %d, want 0", c.n, got)
+		}
+		for _, en := range []int{1, 2, 3, 4, 1000, c.n} {
+			got := PEHistIndex(c.n, en)
+			if got <= 0 || got >= PEHistLen(c.n) {
+				t.Errorf("PEHistIndex(%d, %d) = %d out of range [1,%d)", c.n, en, got, PEHistLen(c.n))
+			}
+			lo := 1 << (got - 1)
+			hi := 1 << got
+			if en < lo || en >= hi {
+				t.Errorf("PEHistIndex(%d, %d) = bucket %d covering [%d,%d)", c.n, en, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestPEHistBucketedMass checks the cycle-mass invariant above the
+// exact threshold: every body cycle lands in exactly one bucket.
+func TestPEHistBucketedMass(t *testing.T) {
+	p := testProgram(t)
+	n := PEHistExactMax * 2
+	res, err := Run(p, Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PEHist) != PEHistLen(n) {
+		t.Fatalf("PEHist length %d, want %d", len(res.PEHist), PEHistLen(n))
+	}
+	var sum int64
+	for _, c := range res.PEHist {
+		sum += c
+	}
+	if sum != res.BodyCycles {
+		t.Fatalf("sum(PEHist) = %d, want BodyCycles = %d", sum, res.BodyCycles)
+	}
+}
+
+func TestWidthLimitErrors(t *testing.T) {
+	p := testProgram(t)
+	n := ObsWidthCap + 1
+	cases := []struct {
+		feature string
+		conf    Config
+	}{
+		{"Timeline", Config{N: n, Timeline: &nullWriter{}}},
+		{"Sink", Config{N: n, Sink: &obs.TextSink{Trace: &nullWriter{}}}},
+		{"Strict", Config{N: n, Strict: true}},
+	}
+	for _, c := range cases {
+		_, err := Run(p, c.conf)
+		var wle *WidthLimitError
+		if !errors.As(err, &wle) {
+			t.Fatalf("%s at width %d: got %v, want *WidthLimitError", c.feature, n, err)
+		}
+		if wle.Feature != c.feature || wle.N != n || wle.Cap != ObsWidthCap {
+			t.Errorf("%s: error fields %+v", c.feature, wle)
+		}
+	}
+	// At the cap exactly, everything still works.
+	for _, c := range cases {
+		c.conf.N = ObsWidthCap
+		c.conf.InitialActive = 4
+		if _, err := Run(p, c.conf); err != nil {
+			t.Errorf("%s at the cap: unexpected error %v", c.feature, err)
+		}
+	}
+	// Trace has no per-PE payload and must work at any width.
+	if _, err := Run(p, Config{N: n, InitialActive: 4, Trace: &nullWriter{}}); err != nil {
+		t.Errorf("Trace above the cap: unexpected error %v", err)
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// testProgram returns the tiny hand-built one-state program shared
+// with vm_test.go — enough to exercise Run's width-dependent paths.
+func testProgram(t *testing.T) *Program {
+	t.Helper()
+	return tinyProgram()
+}

@@ -98,6 +98,7 @@ func FuzzPipelineRobustness(f *testing.F) {
 		"testdata/robust/nonterminating.mc",
 		"testdata/robust/deepnest.mc",
 		"testdata/robust/barrierstorm.mc",
+		"testdata/robust/spawnheavy.mc",
 	} {
 		src, err := os.ReadFile(path)
 		if err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package msc_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; tests whose reference baselines are prohibitively slow
+// when instrumented consult it.
+const raceEnabled = true
