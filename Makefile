@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test check stress stress-mscd cover bench fuzz experiments examples vet-examples opt-goldens clean
+.PHONY: all build test check stress stress-mscd cache-determinism cover bench fuzz experiments examples vet-examples opt-goldens clean
 
 all: build test check
 
@@ -14,7 +14,7 @@ test:
 # The -race pass includes TestVectorizedCorpusWide (width 65536 at every
 # worker count), so the chunk pool's claim/commit discipline is
 # race-checked at production scale on every gate.
-check: vet-examples opt-goldens stress
+check: vet-examples opt-goldens cache-determinism stress
 	go vet ./...
 	go build ./cmd/mscd ./cmd/mscload
 	go test ./cmd/...
@@ -22,26 +22,35 @@ check: vet-examples opt-goldens stress
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go test -race ./...
 
-# Robustness stress gate: the deterministic fault-injection matrix plus
-# the cancellation/budget/step-limit/leak tests, under the race
-# detector, then the live-daemon load stage. See docs/ROBUSTNESS.md and
-# docs/SERVICE.md.
+# Robustness stress gate: the deterministic fault-injection matrix
+# (compile phases and the artifact cache's filesystem hooks), the
+# cancellation/budget/step-limit/leak tests, and the cache recovery and
+# single-flight suites, under the race detector, then the live-daemon
+# load stage. See docs/ROBUSTNESS.md, docs/CACHE.md and docs/SERVICE.md.
 stress: stress-mscd
-	go test -race -timeout 5m -run 'Fault|Cancel|Budget|StepLimit|Robust|Degrade|Leak|Concurrent|Service' ./...
+	go test -race -timeout 5m -run 'Fault|Cancel|Budget|StepLimit|Robust|Degrade|Leak|Concurrent|Service|Cache' ./...
 
-# Live-service load stage: build both binaries, start mscd on an
-# ephemeral port, hammer it with a fixed-seed mscload run (zero 5xx,
-# taxonomy expectations enforced by mscload's exit code), then SIGTERM
-# and require a clean drain (mscd exits 0 only when the drain and the
-# goroutine-leak self-check both pass).
+# Artifact-cache determinism gate: compiling the corpus uncached, cold,
+# warm, and through a reopened store must produce byte-identical
+# artifact fingerprints (docs/CACHE.md).
+cache-determinism:
+	go test -run 'TestCacheDeterminismGate' .
+
+# Live-service load stage: build both binaries, start mscd (with the
+# artifact cache enabled) on an ephemeral port, hammer it with a
+# fixed-seed mscload run (zero 5xx, taxonomy expectations enforced by
+# mscload's exit code, 30% of requests drawn from the dup pool with the
+# server-side cache hit ratio asserted), then SIGTERM and require a
+# clean drain (mscd exits 0 only when the drain and the goroutine-leak
+# self-check both pass).
 stress-mscd:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	go build -o "$$tmp/mscd" ./cmd/mscd; \
 	go build -o "$$tmp/mscload" ./cmd/mscload; \
-	"$$tmp/mscd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" > "$$tmp/mscd.log" 2>&1 & mscd_pid=$$!; \
+	"$$tmp/mscd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -cache-dir "$$tmp/cache" > "$$tmp/mscd.log" 2>&1 & mscd_pid=$$!; \
 	for i in $$(seq 1 100); do [ -f "$$tmp/addr" ] && break; sleep 0.1; done; \
 	[ -f "$$tmp/addr" ] || { echo "mscd never wrote its address"; cat "$$tmp/mscd.log"; exit 1; }; \
-	"$$tmp/mscload" -addr-file "$$tmp/addr" -n 2000 -c 64 -seed 1 || \
+	"$$tmp/mscload" -addr-file "$$tmp/addr" -n 2000 -c 64 -seed 1 -dup 30 -min-hit-ratio 0.25 || \
 		{ echo "mscload failed"; cat "$$tmp/mscd.log"; kill $$mscd_pid; exit 1; }; \
 	kill -TERM $$mscd_pid; \
 	wait $$mscd_pid || { echo "mscd drain was not clean"; cat "$$tmp/mscd.log"; exit 1; }; \
@@ -76,8 +85,10 @@ cover:
 # opt_meta_states column; BENCH_pr9.json (post-vectorization) adds the
 # sweep rows, hard-gating the deterministic pe_steps and
 # cycles_per_pe_step_milli columns while the wall-time speedups warn
-# only (benchdiff -wall-tol gates walls on quiet machines). See
-# docs/PERFORMANCE.md.
+# only (benchdiff -wall-tol gates walls on quiet machines);
+# BENCH_pr10.json (post-cache) adds the compile_cold_ns /
+# compile_cached_ns / cache_speedup columns and the suite
+# cache_hit_rate, all warn-only wall metrics. See docs/PERFORMANCE.md.
 bench:
 	go test -bench=. -benchmem ./...
 	go run ./cmd/mscbench -json BENCH_current.json -widths=16,1024,65536,1048576
@@ -85,6 +96,7 @@ bench:
 	go run ./cmd/benchdiff -tol 2 BENCH_pr4.json BENCH_current.json
 	go run ./cmd/benchdiff BENCH_pr8.json BENCH_current.json
 	go run ./cmd/benchdiff BENCH_pr9.json BENCH_current.json
+	go run ./cmd/benchdiff BENCH_pr10.json BENCH_current.json
 
 fuzz:
 	go test -fuzz=FuzzParse -fuzztime=60s ./internal/mimdc/

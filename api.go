@@ -55,10 +55,12 @@ import (
 //	var be *msc.BudgetError      // a resource budget was exceeded
 //	var se *msc.StepLimitError   // an engine hit its step budget
 //	var ie *msc.InternalError    // a contained compiler panic
+//	var ce *msc.CacheError       // an artifact-cache operation failed
 type (
 	BudgetError    = mscerr.BudgetError
 	StepLimitError = mscerr.StepLimitError
 	InternalError  = mscerr.InternalError
+	CacheError     = mscerr.CacheError
 )
 
 // WidthLimitError reports a RunConfig observability feature (Timeline,
@@ -180,6 +182,16 @@ type Config struct {
 	// no limits. Overruns return *BudgetError — or, with Degrade set,
 	// walk the degradation ladder instead.
 	Limits Limits
+	// Cache, when non-nil, fronts the pipeline with the on-disk artifact
+	// cache (OpenCache): compiles are content-addressed by source hash,
+	// config fingerprint, and codec version, concurrent identical
+	// compiles are deduplicated single-flight, and any cache failure
+	// degrades transparently to a real compile (recorded in
+	// Stats.CacheOutcome/CacheErrors and the cache.* counters, never
+	// fatal). Cache hits return a Compiled with a nil AST — every other
+	// field, including the automaton and SIMD program, is rebuilt
+	// byte-identically from the artifact. See docs/CACHE.md.
+	Cache *Cache
 	// Degrade opts in to graceful degradation: when a compile attempt
 	// exceeds a budget in Limits, retry with progressively cheaper
 	// settings (barrier-exact → §2.6 filtering, then time-splitting off,
@@ -324,6 +336,15 @@ type CompileStats struct {
 	// overruns (summed across budget.* counters) during this compile.
 	DegradeSteps   int64 `json:"degrade_steps"`
 	BudgetOverruns int64 `json:"budget_overruns"`
+	// Artifact cache (Config.Cache). CacheOutcome says how this Compiled
+	// was obtained: "" (cache off), "hit" (decoded from the store),
+	// "stored" (compiled and written back), "uncached" (compiled; not
+	// stored — degraded results are never cached), or
+	// "singleflight-shared" (another request's in-flight result).
+	// CacheErrors lists the typed cache failures absorbed along the way
+	// (each one degraded the cache, never the compile).
+	CacheOutcome string   `json:"cache_outcome,omitempty"`
+	CacheErrors  []string `json:"cache_errors,omitempty"`
 }
 
 // statsFromRecorder builds the typed view over the well-known names.
@@ -377,6 +398,16 @@ func CompileContext(ctx context.Context, source string, conf Config) (*Compiled,
 	if err := conf.Validate(); err != nil {
 		return nil, err
 	}
+	if conf.Cache != nil {
+		return conf.Cache.compile(ctx, source, conf)
+	}
+	return compileFull(ctx, source, conf)
+}
+
+// compileFull is the uncached pipeline: the degradation-ladder loop
+// around compileOnce. The cache layer calls it on a miss; everything
+// else about it predates the cache and is unchanged by it.
+func compileFull(ctx context.Context, source string, conf Config) (*Compiled, error) {
 	rec := conf.Metrics
 	if rec == nil {
 		rec = obs.NewRecorder()
@@ -546,6 +577,7 @@ func compileOnce(ctx context.Context, source string, conf Config, rec *obs.Recor
 
 // pipeline is the phase sequence itself.
 func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*Compiled, error) {
+	rec.Add(obs.CounterPipelineRuns, 1)
 	var ast *mimdc.Program
 	if err := pr.run(obs.PhaseParse, func() error {
 		a, err := mimdc.Parse(source)
@@ -631,23 +663,7 @@ func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*
 		}
 	}
 
-	mopt := metastate.DefaultOptions(conf.Compress)
-	mopt.TimeSplit = conf.TimeSplit
-	if conf.SplitDelta != 0 {
-		mopt.SplitDelta = conf.SplitDelta
-	}
-	if conf.SplitPercent != 0 {
-		mopt.SplitPercent = conf.SplitPercent
-	}
-	mopt.BarrierExact = conf.BarrierExact
-	if conf.MaxStates != 0 {
-		mopt.MaxStates = conf.MaxStates
-	}
-	if conf.Limits.MaxStates != 0 {
-		mopt.MaxStates = conf.Limits.MaxStates
-	}
-	mopt.MaxMemBytes = conf.Limits.MaxMemBytes
-	mopt.Workers = conf.ConvertWorkers
+	mopt := conversionOptions(conf)
 	mopt.Metrics = rec
 	mopt.Trace = conf.Tracer
 	var a *metastate.Automaton
@@ -730,6 +746,32 @@ func pipeline(pr *pipelineRun, source string, conf Config, rec *obs.Recorder) (*
 		Stats:       statsFromRecorder(rec),
 		Diagnostics: diags,
 	}, nil
+}
+
+// conversionOptions maps Config to the converter's effective options —
+// defaults applied, Limits overrides folded in. The cache's config
+// fingerprint hashes exactly these effective values (plus the front-end
+// and codegen knobs), so two Configs that convert identically share a
+// cache key and two that do not cannot collide.
+func conversionOptions(conf Config) metastate.Options {
+	mopt := metastate.DefaultOptions(conf.Compress)
+	mopt.TimeSplit = conf.TimeSplit
+	if conf.SplitDelta != 0 {
+		mopt.SplitDelta = conf.SplitDelta
+	}
+	if conf.SplitPercent != 0 {
+		mopt.SplitPercent = conf.SplitPercent
+	}
+	mopt.BarrierExact = conf.BarrierExact
+	if conf.MaxStates != 0 {
+		mopt.MaxStates = conf.MaxStates
+	}
+	if conf.Limits.MaxStates != 0 {
+		mopt.MaxStates = conf.Limits.MaxStates
+	}
+	mopt.MaxMemBytes = conf.Limits.MaxMemBytes
+	mopt.Workers = conf.ConvertWorkers
+	return mopt
 }
 
 // MustCompile compiles and panics on error; for examples and tests.

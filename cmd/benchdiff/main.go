@@ -173,6 +173,19 @@ func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, not
 					o.Name, o.NSPerPEStepMilli, c.NSPerPEStepMilli, pct))
 			}
 		}
+		// Cache columns are wall times too: a slower warm hit or a
+		// collapsing cold/warm speedup is worth a look, never a gate.
+		if o.CompileCachedNS > 0 && c.CompileCachedNS > 0 {
+			pct := 100 * float64(c.CompileCachedNS-o.CompileCachedNS) / float64(o.CompileCachedNS)
+			if pct > 2*tol {
+				notes = append(notes, fmt.Sprintf("%s: compile_cached_ns %d -> %d (%+.1f%%, warn-only wall metric)",
+					o.Name, o.CompileCachedNS, c.CompileCachedNS, pct))
+			}
+		}
+		if o.CacheSpeedup > 0 && c.CacheSpeedup > 0 && c.CacheSpeedup < o.CacheSpeedup/2 {
+			notes = append(notes, fmt.Sprintf("%s: cache_speedup %.1fx -> %.1fx (warn-only wall metric)",
+				o.Name, o.CacheSpeedup, c.CacheSpeedup))
+		}
 		// Wall times vary run to run: by default surface large swings
 		// without gating; -wall-tol > 0 gates them hard (use on quiet
 		// machines to pin a no-overhead claim). One-sided compile stats
@@ -221,6 +234,13 @@ func diff(old, cur *harness.BenchReport, tol, wallTol float64) (regressions, not
 				"%s: opt conversion wall %dns vs %dns unoptimized (warn-only, wall times are noisy)",
 				c.Name, c.OptConvertNS, c.ConvertNS))
 		}
+	}
+	// Suite-level cache hit rate: deterministic in shape (one miss plus
+	// the warm repeats per workload), but a drop means the bench's cache
+	// path stopped hitting — surface it without gating.
+	if old.CacheHitRate > 0 && cur.CacheHitRate+1e-9 < old.CacheHitRate {
+		notes = append(notes, fmt.Sprintf("suite cache_hit_rate %.3f -> %.3f (warn-only)",
+			old.CacheHitRate, cur.CacheHitRate))
 	}
 	return regressions, notes
 }

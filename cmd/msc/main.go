@@ -55,7 +55,9 @@
 // (§2.4), -exact-barriers (§2.6 alternative), -expand-calls (§2.2),
 // -csi (§3.1), -hash (§3.2). -pprof=ADDR serves net/http/pprof, expvar
 // (including the live compile metrics), and Prometheus text exposition
-// at /metrics for the process lifetime.
+// at /metrics for the process lifetime. -cache=DIR fronts the compile
+// with the on-disk artifact cache (docs/CACHE.md): a warm hit skips
+// the pipeline entirely, and a broken cache only costs a warning.
 package main
 
 import (
@@ -156,6 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeline  = fs.Bool("timeline", false, "per-PE occupancy timeline (simd engine)")
 		maxSteps  = fs.Int("max-steps", 0, "engine step budget; non-terminating programs fail instead of hanging (0 = default)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+		cacheDir  = fs.String("cache", "", "artifact cache directory (empty = compile uncached; see docs/CACHE.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -171,6 +174,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	conf := conv()
 	conf.Metrics = obs.NewRecorder()
+	if *cacheDir != "" {
+		cc, err := msc.OpenCache(*cacheDir)
+		if err != nil {
+			// The cache accelerates; it never gates. Warn and compile.
+			fmt.Fprintf(stderr, "msc: cache disabled: %v\n", err)
+		} else {
+			conf.Cache = cc
+		}
+	}
 	closeDebug, err := startDebug(*pprofAddr, conf.Metrics, stderr)
 	if err != nil {
 		return err
@@ -230,6 +242,12 @@ func stats(w io.Writer, c *msc.Compiled) {
 	fmt.Fprintf(w, "hashed dispatches:  %d\n", hashed)
 	fmt.Fprintf(w, "static cycles:      %d\n", static)
 	if s := c.Stats; s != nil {
+		if s.CacheOutcome != "" {
+			fmt.Fprintf(w, "cache:              %s\n", s.CacheOutcome)
+			for _, e := range s.CacheErrors {
+				fmt.Fprintf(w, "cache error:        %s\n", e)
+			}
+		}
 		fmt.Fprintf(w, "tokens parsed:      %d\n", s.TokensParsed)
 		fmt.Fprintf(w, "cfg blocks:         %d -> %d (simplify)\n", s.BlocksBeforeSimplify, s.BlocksAfterSimplify)
 		fmt.Fprintf(w, "meta explored:      %d (merged %d, barrier-filtered %d, worklist peak %d)\n",

@@ -14,7 +14,14 @@
 // Usage:
 //
 //	mscd [-addr :8377] [-workers N] [-queue N] [-deadline 10s]
-//	     [-max-states N] [-drain 15s] [-addr-file PATH]
+//	     [-max-states N] [-drain 15s] [-addr-file PATH] [-cache-dir DIR]
+//
+// -cache-dir enables the on-disk artifact cache (docs/CACHE.md):
+// identical compile requests are served from the content-addressed
+// store, concurrent identical compiles are deduplicated, and cache
+// counters appear on /metrics and /statusz. A cache that fails to open
+// is logged and the daemon serves uncached — the cache never gates
+// availability.
 //
 // -addr-file writes the bound address (useful with -addr 127.0.0.1:0)
 // so scripts can wait for the file instead of parsing logs.
@@ -51,6 +58,7 @@ func run() int {
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	drain := flag.Duration("drain", 15*time.Second, "graceful drain bound on SIGTERM/SIGINT")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (empty = compile uncached)")
 	flag.Parse()
 
 	log.SetPrefix("mscd: ")
@@ -66,6 +74,19 @@ func run() int {
 	// goroutine exists.
 	leak := faultinject.LeakCheckWithin(5 * time.Second)
 
+	var cc *msc.Cache
+	if *cacheDir != "" {
+		opened, err := msc.OpenCache(*cacheDir)
+		if err != nil {
+			// Graceful degradation at boot: a broken cache directory must
+			// not keep the service down.
+			log.Printf("cache disabled (%v); serving uncached", err)
+		} else {
+			cc = opened
+			log.Printf("artifact cache at %s (%d entries)", *cacheDir, cc.Stats().Entries)
+		}
+	}
+
 	svc := msc.NewCompileService(msc.ServiceConfig{
 		Workers:    *workers,
 		QueueDepth: *queue,
@@ -75,6 +96,7 @@ func run() int {
 		},
 		MaxSourceBytes: *maxBody,
 		DrainGrace:     5 * time.Second,
+		Cache:          cc,
 	})
 
 	mux := http.NewServeMux()
@@ -143,6 +165,11 @@ func run() int {
 	st := finalStatus(svc)
 	log.Printf("drained: served=%d 2xx=%d 4xx=%d 5xx=%d rejected=%d goroutines=%d",
 		st.Served, st.Status2xx, st.Status4xx, st.Status5xx, st.Rejected, st.Goroutines)
+	if st.Cache != nil {
+		log.Printf("cache: hits=%d misses=%d errors=%d quarantined=%d shared=%d entries=%d",
+			st.Cache.Hits, st.Cache.Misses, st.Cache.Errors, st.Cache.Quarantined,
+			st.Cache.SingleFlightShared, st.Cache.Entries)
+	}
 	if code == 0 {
 		log.Print("clean exit")
 	}

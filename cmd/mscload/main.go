@@ -14,11 +14,18 @@
 // Usage:
 //
 //	mscload [-addr host:port | -addr-file PATH] [-n 2000] [-c 64]
-//	        [-seed 1] [-invalid 10] [-overbudget 10]
+//	        [-seed 1] [-invalid 10] [-overbudget 10] [-dup 0]
+//	        [-min-hit-ratio 0]
 //
-// -invalid and -overbudget are percentages of the request mix. The
-// exit code is 0 only for a fully clean run; the summary reports
-// p50/p99/max latency and the taxonomy counts either way.
+// -invalid, -overbudget, and -dup are percentages of the request mix.
+// -dup requests draw their source from a small fixed pool, so a server
+// running with -cache-dir serves most of them from the artifact cache;
+// -min-hit-ratio asserts the server-side cache hit ratio
+// (hits/(hits+misses) from /statusz) at the end of the run, failing
+// the run when the cache underdelivers — or when the server reports no
+// cache at all. The exit code is 0 only for a fully clean run; the
+// summary reports p50/p99/max latency and the taxonomy counts either
+// way.
 package main
 
 import (
@@ -49,7 +56,7 @@ type result struct {
 	latency    time.Duration
 	status     int
 	kind       string // taxonomy kind from the error body, "" on 200
-	expected   string // "ok", "invalid", "budget"
+	expected   string // "ok", "invalid", "budget", "dup"
 	metaStates int    // from a 200 body, for the budget expectation
 	err        error  // transport failure
 }
@@ -62,6 +69,8 @@ func run() int {
 	seed := flag.Int64("seed", 1, "base seed for the request mix (fixed seed = reproducible run)")
 	invalidPct := flag.Int("invalid", 10, "percent of requests with corrupted source (expect 400)")
 	overPct := flag.Int("overbudget", 10, "percent of requests with a tiny state budget (expect 429)")
+	dupPct := flag.Int("dup", 0, "percent of requests drawn from a small fixed source pool (cache-hit fodder)")
+	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail unless the server's cache hit ratio reaches this (0 = no assertion)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 	flag.Parse()
 
@@ -111,12 +120,13 @@ func run() int {
 	work := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
+	mix := mixConfig{invalidPct: *invalidPct, overPct: *overPct, dupPct: *dupPct}
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = oneRequest(client, base, *seed, i, *invalidPct, *overPct)
+				results[i] = oneRequest(client, base, *seed, i, mix)
 			}
 		}()
 	}
@@ -129,7 +139,41 @@ func run() int {
 	close(pollDone)
 	pollWG.Wait()
 
-	return report(results, wall, maxGoroutines.Load(), maxRSS.Load())
+	code := report(results, wall, maxGoroutines.Load(), maxRSS.Load())
+	if err := assertHitRatio(client, base, *minHitRatio); err != nil {
+		fmt.Printf("FAIL: %v\n", err)
+		code = 1
+	}
+	return code
+}
+
+// assertHitRatio reads the server's cache counters from /statusz and
+// fails when the hit ratio falls short of min. Single-flight shares
+// count as hits: a deduplicated compile was served without running the
+// pipeline, which is what the ratio is meant to measure.
+func assertHitRatio(client *http.Client, base string, min float64) error {
+	if min <= 0 {
+		return nil
+	}
+	st, err := fetchStatus(client, base)
+	if err != nil {
+		return fmt.Errorf("min-hit-ratio: statusz unreachable: %v", err)
+	}
+	if st.Cache == nil {
+		return fmt.Errorf("min-hit-ratio %.2f asserted but the server reports no cache (mscd -cache-dir not set?)", min)
+	}
+	served := st.Cache.Hits + st.Cache.SingleFlightShared
+	total := served + st.Cache.Misses
+	if total == 0 {
+		return fmt.Errorf("min-hit-ratio: cache saw no lookups")
+	}
+	ratio := float64(served) / float64(total)
+	fmt.Printf("cache: hits=%d shared=%d misses=%d errors=%d ratio=%.3f (want >= %.3f)\n",
+		st.Cache.Hits, st.Cache.SingleFlightShared, st.Cache.Misses, st.Cache.Errors, ratio, min)
+	if ratio < min {
+		return fmt.Errorf("cache hit ratio %.3f below required %.3f", ratio, min)
+	}
+	return nil
 }
 
 func resolveAddr(addr, addrFile string) (string, error) {
@@ -146,27 +190,47 @@ func resolveAddr(addr, addrFile string) (string, error) {
 	return "http://" + addr, nil
 }
 
+// mixConfig is the request-mix percentages.
+type mixConfig struct {
+	invalidPct, overPct, dupPct int
+}
+
+// dupPoolSize is how many distinct sources the "dup" class cycles
+// through: small enough that a cached server hits on nearly all of
+// them, large enough to exercise more than one cache entry.
+const dupPoolSize = 4
+
 // classify decides request i's shape from the fixed seed: the mix is a
 // pure function of (seed, i), so a failing request is reproducible by
 // rerunning with the same flags.
-func classify(seed int64, i, invalidPct, overPct int) string {
+func classify(seed int64, i int, mix mixConfig) string {
 	rng := rand.New(rand.NewSource(seed + int64(i)*2654435761))
 	roll := rng.Intn(100)
 	switch {
-	case roll < invalidPct:
+	case roll < mix.invalidPct:
 		return "invalid"
-	case roll < invalidPct+overPct:
+	case roll < mix.invalidPct+mix.overPct:
 		return "budget"
+	case roll < mix.invalidPct+mix.overPct+mix.dupPct:
+		return "dup"
 	default:
 		return "ok"
 	}
 }
 
-// buildRequest produces the request body and its expectation.
-func buildRequest(seed int64, i, invalidPct, overPct int) (body []byte, expected string) {
-	expected = classify(seed, i, invalidPct, overPct)
+// buildRequest produces the request body and its expectation. "dup"
+// requests compile like "ok" ones but draw from the fixed source pool,
+// so a cache-enabled server serves them from the artifact store.
+func buildRequest(seed int64, i int, mix mixConfig) (body []byte, expected string) {
+	expected = classify(seed, i, mix)
+	srcSeed := seed + int64(i)
+	floats := i%3 == 0
+	if expected == "dup" {
+		srcSeed = seed + int64(i%dupPoolSize)
+		floats = (i % dupPoolSize % 3) == 0
+	}
 	src := progen.Source(progen.Params{
-		Seed: seed + int64(i), Barriers: true, Floats: i%3 == 0,
+		Seed: srcSeed, Barriers: true, Floats: floats,
 		MaxDepth: 3, MaxStmts: 5, Vars: 4, LoopTrip: 3,
 	})
 	req := msc.CompileRequest{Source: src}
@@ -184,8 +248,31 @@ func buildRequest(seed int64, i, invalidPct, overPct int) (body []byte, expected
 	return b, expected
 }
 
-func oneRequest(client *http.Client, base string, seed int64, i, invalidPct, overPct int) result {
-	body, expected := buildRequest(seed, i, invalidPct, overPct)
+// Overload-retry backoff: exponential from backoffBase, doubled per
+// attempt, capped at backoffCap, with ±50% jitter drawn from the
+// request's own seeded RNG — retrying clients decorrelate instead of
+// stampeding the admission queue in lockstep, and a fixed seed still
+// reproduces the exact sleep sequence.
+const (
+	backoffBase = 10 * time.Millisecond
+	backoffCap  = 640 * time.Millisecond
+)
+
+func backoff(rng *rand.Rand, attempt int) time.Duration {
+	d := backoffBase
+	for a := 0; a < attempt && d < backoffCap; a++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	// Jitter uniformly over [d/2, 3d/2).
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
+func oneRequest(client *http.Client, base string, seed int64, i int, mix mixConfig) result {
+	body, expected := buildRequest(seed, i, mix)
+	rng := rand.New(rand.NewSource(seed ^ int64(i)*0x9e3779b9))
 	var res result
 	res.expected = expected
 	for attempt := 0; ; attempt++ {
@@ -221,7 +308,7 @@ func oneRequest(client *http.Client, base string, seed int64, i, invalidPct, ove
 			// Backpressure is not an outcome, it is a request to slow
 			// down: honor it a few times before giving up.
 			if eb.Error == "overloaded" && attempt < 5 {
-				time.Sleep(time.Duration(10*(1<<attempt)) * time.Millisecond)
+				time.Sleep(backoff(rng, attempt))
 				continue
 			}
 		}
@@ -232,6 +319,12 @@ func oneRequest(client *http.Client, base string, seed int64, i, invalidPct, ove
 type serviceStatus struct {
 	Goroutines int   `json:"goroutines"`
 	RSSBytes   int64 `json:"rss_bytes"`
+	Cache      *struct {
+		Hits               int64 `json:"hits"`
+		Misses             int64 `json:"misses"`
+		Errors             int64 `json:"errors"`
+		SingleFlightShared int64 `json:"singleflight_shared"`
+	} `json:"cache"`
 }
 
 func fetchStatus(client *http.Client, base string) (serviceStatus, error) {
@@ -289,7 +382,7 @@ func report(results []result, wall time.Duration, maxGoroutines, maxRSS int64) i
 		}
 		ok := false
 		switch r.expected {
-		case "ok":
+		case "ok", "dup":
 			ok = r.status == 200
 		case "invalid":
 			ok = r.status == 400 && r.kind == "invalid"

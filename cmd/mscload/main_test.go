@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -32,30 +33,32 @@ func TestPercentileNearestRank(t *testing.T) {
 }
 
 func TestClassifyIsDeterministicAndMixed(t *testing.T) {
+	mix := mixConfig{invalidPct: 10, overPct: 10, dupPct: 20}
 	counts := map[string]int{}
 	for i := 0; i < 1000; i++ {
-		a := classify(42, i, 10, 10)
-		b := classify(42, i, 10, 10)
+		a := classify(42, i, mix)
+		b := classify(42, i, mix)
 		if a != b {
 			t.Fatalf("classify not deterministic at i=%d: %s vs %s", i, a, b)
 		}
 		counts[a]++
 	}
-	// The mix is random but 1000 draws at 10% each cannot plausibly
+	// The mix is random but 1000 draws at >=10% each cannot plausibly
 	// miss a class entirely.
-	for _, class := range []string{"ok", "invalid", "budget"} {
+	for _, class := range []string{"ok", "invalid", "budget", "dup"} {
 		if counts[class] == 0 {
 			t.Errorf("class %s absent from 1000 draws: %v", class, counts)
 		}
 	}
-	if counts["ok"] < 600 {
+	if counts["ok"] < 400 {
 		t.Errorf("valid share too small: %v", counts)
 	}
 }
 
 func TestBuildRequestShapes(t *testing.T) {
+	mix := mixConfig{invalidPct: 10, overPct: 10, dupPct: 20}
 	for i := 0; i < 200; i++ {
-		body, expected := buildRequest(7, i, 10, 10)
+		body, expected := buildRequest(7, i, mix)
 		var req msc.CompileRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			t.Fatalf("request %d not JSON: %v", i, err)
@@ -70,7 +73,7 @@ func TestBuildRequestShapes(t *testing.T) {
 			if req.Limits == nil || req.Limits.MaxStates != 1 {
 				t.Errorf("request %d: budget request carries no tiny limit: %+v", i, req.Limits)
 			}
-		case "ok":
+		case "ok", "dup":
 			if req.Limits != nil {
 				t.Errorf("request %d: valid request carries limits", i)
 			}
@@ -78,5 +81,84 @@ func TestBuildRequestShapes(t *testing.T) {
 				t.Errorf("request %d: valid source does not compile: %v", i, err)
 			}
 		}
+	}
+}
+
+// Dup requests must collapse onto the fixed source pool: far fewer
+// distinct bodies than dup requests, so a cache-enabled server serves
+// the repeats from the store.
+func TestBuildRequestDupPool(t *testing.T) {
+	mix := mixConfig{dupPct: 100}
+	bodies := map[string]int{}
+	const n = 200
+	for i := 0; i < n; i++ {
+		body, expected := buildRequest(7, i, mix)
+		if expected != "dup" {
+			t.Fatalf("request %d: expected dup with dupPct=100, got %q", i, expected)
+		}
+		bodies[string(body)]++
+	}
+	if len(bodies) > dupPoolSize {
+		t.Fatalf("%d dup requests produced %d distinct bodies, want <= %d", n, len(bodies), dupPoolSize)
+	}
+	for body, count := range bodies {
+		if count < 2 {
+			t.Errorf("pool body drawn only once (%d bodies total): %.60q", len(bodies), body)
+		}
+	}
+}
+
+// The backoff schedule is driven entirely by the caller's RNG, so a
+// fixed seed must reproduce the exact same sleep sequence.
+func TestBackoffDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt < 10; attempt++ {
+		da, db := backoff(a, attempt), backoff(b, attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+// Every draw lands in [d/2, 3d/2) where d = base·2^attempt capped at
+// backoffCap.
+func TestBackoffBoundsAndCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 12; attempt++ {
+		want := backoffBase << attempt
+		if want > backoffCap {
+			want = backoffCap
+		}
+		for draw := 0; draw < 200; draw++ {
+			d := backoff(rng, attempt)
+			if d < want/2 || d >= want+want/2 {
+				t.Fatalf("attempt %d: %v outside [%v, %v)", attempt, d, want/2, want+want/2)
+			}
+		}
+	}
+}
+
+// Even an absurd attempt count never sleeps longer than 3/2 the cap —
+// the doubling loop must not overflow its way past the ceiling.
+func TestBackoffCapAtLargeAttempts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, attempt := range []int{20, 63, 1000} {
+		if d := backoff(rng, attempt); d >= backoffCap+backoffCap/2 {
+			t.Fatalf("attempt %d: %v exceeds jittered cap %v", attempt, d, backoffCap+backoffCap/2)
+		}
+	}
+}
+
+// The exponential schedule grows until the cap: the minimum possible
+// sleep at attempt k+1 exceeds attempt k's minimum while below it.
+func TestBackoffGrows(t *testing.T) {
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 7; attempt++ { // 10ms..640ms
+		lo := (backoffBase << attempt) / 2
+		if lo <= prev {
+			t.Fatalf("attempt %d: floor %v did not grow past %v", attempt, lo, prev)
+		}
+		prev = lo
 	}
 }

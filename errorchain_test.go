@@ -3,6 +3,10 @@ package msc_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -112,6 +116,50 @@ func TestCancelChainSurvivesDegradeRetries(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled through the degraded retry, got %v", err)
+	}
+}
+
+// TestCacheErrorChain: a failing cache open surfaces a typed
+// *msc.CacheError whose Unwrap keeps the underlying OS-level cause —
+// the service layer's defensive classifyError arm and any caller
+// logging rely on errors.As/Is reaching both ends of the chain no
+// matter how many fmt.Errorf wraps are stacked on top.
+func TestCacheErrorChain(t *testing.T) {
+	notADir := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := msc.OpenCache(notADir)
+	if err == nil {
+		t.Fatal("OpenCache over a regular file succeeded")
+	}
+	var ce *msc.CacheError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CacheError, got %T: %v", err, err)
+	}
+	if ce.Op != "open" {
+		t.Fatalf("Op = %q, want open", ce.Op)
+	}
+	if ce.Unwrap() == nil {
+		t.Fatal("CacheError severed its cause: Unwrap() == nil")
+	}
+	// The chain reaches the filesystem-level cause...
+	var pe *fs.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("chain lost the *fs.PathError cause: %v", err)
+	}
+	// ...and survives further wrapping, so a caller that decorates the
+	// error (as mscd's boot log path does) can still classify it.
+	wrapped := fmt.Errorf("boot: %w", err)
+	ce = nil
+	if !errors.As(wrapped, &ce) {
+		t.Fatalf("wrapped chain lost *CacheError: %v", wrapped)
+	}
+	// Cache failures are infrastructure, never part of the compile
+	// taxonomy: they must not read as budget or invalid-input errors.
+	var be *msc.BudgetError
+	if errors.As(err, &be) {
+		t.Fatalf("cache error misclassified as *BudgetError: %v", err)
 	}
 }
 

@@ -293,6 +293,32 @@ func (s *Set) Word() (uint64, bool) {
 	return w, true
 }
 
+// Words returns the set's canonical backing words — trailing zero
+// words trimmed, so Equal sets return equal slices. The slice aliases
+// the set's storage and must not be mutated; it exists for serializers
+// (the artifact codec) that need the dense representation without the
+// per-element cost of Elems.
+func (s *Set) Words() []uint64 {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	return s.words[:n]
+}
+
+// FromWords returns a set backed by a copy of the given words (the
+// inverse of Words; the codec's deserialization path).
+func FromWords(words []uint64) *Set {
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return &Set{}
+	}
+	return &Set{words: append([]uint64(nil), words[:n]...)}
+}
+
 // Key returns a canonical string key usable as a map key. Two sets have
 // equal keys iff they are Equal.
 func (s *Set) Key() string {

@@ -1,0 +1,334 @@
+// Package cache is the on-disk content-addressed artifact store that
+// fronts the compile pipeline. Entries are artifact-codec streams
+// (internal/artifact) named by the hex SHA-256 of their full cache key
+// — source hash, config fingerprint, and codec version — so a changed
+// source, a changed result-affecting option, or a codec bump each
+// address a different object and stale entries can never be confused
+// with live ones.
+//
+// The store's robustness contract (docs/CACHE.md):
+//
+//   - Crash-safe writes: every Put writes to a private file under tmp/,
+//     fsyncs it, renames it into objects/ (atomic on POSIX), and fsyncs
+//     the directory. A crash at any point leaves either the old state
+//     or the new state, never a half-entry; orphaned temp files are
+//     swept on the next Open.
+//   - Verified reads: every Get re-verifies the whole-file digest and
+//     per-section checksums via artifact.Decode and confirms the
+//     decoded key matches the requested key. Any failure quarantines
+//     the entry (moved to quarantine/, dropped from the index — never
+//     re-served) and reports a *mscerr.CacheError; a codec version
+//     mismatch is stale, not corrupt, and is deleted silently.
+//   - Lock-free reads: the index is an immutable generation-stamped
+//     snapshot behind an atomic pointer, rebuilt by scanning objects/
+//     on Open and copied-on-write under a writer mutex. Readers never
+//     block, writers never tear.
+//
+// The store never fails a compile: every error it returns is a typed
+// *mscerr.CacheError the caller records and then ignores, falling
+// through to the real pipeline (graceful degradation).
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"msc/internal/artifact"
+	"msc/internal/faultinject"
+	"msc/internal/mscerr"
+)
+
+const (
+	objectsDir    = "objects"
+	tmpDir        = "tmp"
+	quarantineDir = "quarantine"
+	objectExt     = ".art"
+)
+
+// Store is an open artifact cache directory. It is safe for concurrent
+// use by any number of goroutines.
+type Store struct {
+	dir string
+
+	// index holds the current immutable snapshot; writers clone it
+	// under mu and swap, readers load it without locking.
+	index atomic.Pointer[snapshot]
+	mu    sync.Mutex // serializes index mutations and temp naming
+	seq   atomic.Int64
+
+	// Counters for /statusz, /metrics, and the load generator's
+	// hit-ratio assertions.
+	hits        atomic.Int64
+	misses      atomic.Int64
+	errs        atomic.Int64
+	quarantined atomic.Int64
+}
+
+// snapshot is one immutable generation of the index: the set of object
+// names present in objects/.
+type snapshot struct {
+	gen     uint64
+	entries map[string]struct{}
+}
+
+// Stats is a point-in-time view of the store's counters.
+type Stats struct {
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Errors      int64  `json:"errors"`
+	Quarantined int64  `json:"quarantined"`
+	Entries     int    `json:"entries"`
+	Generation  uint64 `json:"generation"`
+}
+
+// Name returns the content address of a key: the hex SHA-256 of the
+// source hash, config fingerprint, and codec version. Distinct codec
+// versions address distinct objects, so a version upgrade starts cold
+// rather than misreading old entries.
+func Name(key artifact.Key) string {
+	h := sha256.New()
+	h.Write(key.SourceHash[:])
+	h.Write(key.ConfigFP[:])
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], artifact.Version)
+	h.Write(v[:])
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Open opens (creating if needed) the store rooted at dir, sweeps
+// orphaned temp files left by crashed writers, and rebuilds the index
+// by scanning objects/. Any failure is a *mscerr.CacheError; callers
+// treat it as "no cache today", not as a compile failure.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{objectsDir, tmpDir, quarantineDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
+			return nil, &mscerr.CacheError{Op: "open", Path: dir, Err: err}
+		}
+	}
+	// Sweep temp orphans: anything in tmp/ is a write that never
+	// published (crash between temp write and rename). Deleting it is
+	// always safe — the entry was never in objects/, so no reader has
+	// ever seen it.
+	tmps, err := os.ReadDir(filepath.Join(dir, tmpDir))
+	if err != nil {
+		return nil, &mscerr.CacheError{Op: "open", Path: dir, Err: err}
+	}
+	for _, e := range tmps {
+		os.Remove(filepath.Join(dir, tmpDir, e.Name()))
+	}
+	objs, err := os.ReadDir(filepath.Join(dir, objectsDir))
+	if err != nil {
+		return nil, &mscerr.CacheError{Op: "open", Path: dir, Err: err}
+	}
+	entries := make(map[string]struct{}, len(objs))
+	for _, e := range objs {
+		name, ok := strings.CutSuffix(e.Name(), objectExt)
+		if !ok || e.IsDir() {
+			continue
+		}
+		entries[name] = struct{}{}
+	}
+	s := &Store{dir: dir}
+	s.index.Store(&snapshot{gen: 1, entries: entries})
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the current counters and index size.
+func (s *Store) Stats() Stats {
+	idx := s.index.Load()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Errors:      s.errs.Load(),
+		Quarantined: s.quarantined.Load(),
+		Entries:     len(idx.entries),
+		Generation:  idx.gen,
+	}
+}
+
+// Generation returns the index generation, bumped by every mutation.
+func (s *Store) Generation() uint64 { return s.index.Load().gen }
+
+// Len returns the number of live entries.
+func (s *Store) Len() int { return len(s.index.Load().entries) }
+
+func (s *Store) objectPath(name string) string {
+	return filepath.Join(s.dir, objectsDir, name+objectExt)
+}
+
+// Get looks up the artifact for key. The three outcomes are
+// (artifact, nil) — verified hit; (nil, nil) — miss, including stale
+// codec versions; and (nil, *mscerr.CacheError) — the entry existed
+// but failed verification and was quarantined, or the read itself
+// failed. Callers fall through to a real compile on anything but a hit.
+func (s *Store) Get(key artifact.Key) (*artifact.Artifact, error) {
+	name := Name(key)
+	idx := s.index.Load()
+	if _, ok := idx.entries[name]; !ok {
+		s.misses.Add(1)
+		return nil, nil
+	}
+	path := s.objectPath(name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Lost a race with a quarantine or removal: a plain miss.
+			s.misses.Add(1)
+			return nil, nil
+		}
+		s.errs.Add(1)
+		return nil, &mscerr.CacheError{Op: "read", Key: name, Path: path, Err: err}
+	}
+	data = faultinject.OnCacheRead(data)
+	a, gotKey, err := artifact.Decode(data)
+	if errors.Is(err, artifact.ErrVersion) {
+		// Stale, not corrupt: delete and miss. (Unreachable while the
+		// codec version is part of the content address, but the check
+		// keeps the store honest if naming and codec ever drift.)
+		s.remove(name)
+		s.misses.Add(1)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, s.quarantine(name, path, err)
+	}
+	if gotKey != key {
+		// The file is internally consistent but is not the entry this
+		// key addresses — a store bug or a deliberately substituted
+		// file. Either way it must never be served.
+		return nil, s.quarantine(name, path, fmt.Errorf("key mismatch: object holds a different compile"))
+	}
+	s.hits.Add(1)
+	return a, nil
+}
+
+// Put encodes and durably stores the artifact under key, overwriting
+// any existing entry. Failures never leave a partial entry visible:
+// the object either appears complete or not at all.
+func (s *Store) Put(key artifact.Key, a *artifact.Artifact) error {
+	name := Name(key)
+	data, err := artifact.Encode(a, key)
+	if err != nil {
+		s.errs.Add(1)
+		return &mscerr.CacheError{Op: "encode", Key: name, Err: err}
+	}
+	// The write hook models torn writes (data truncated but the rename
+	// still lands — detected by Get's verification later) and ENOSPC.
+	data, werr := faultinject.OnCacheWrite(data)
+	if werr != nil {
+		s.errs.Add(1)
+		return &mscerr.CacheError{Op: "write", Key: name, Err: werr}
+	}
+	tmp := filepath.Join(s.dir, tmpDir, fmt.Sprintf("%s.%d.tmp", name, s.seq.Add(1)))
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
+		s.errs.Add(1)
+		return &mscerr.CacheError{Op: "write", Key: name, Path: tmp, Err: err}
+	}
+	if err := faultinject.OnCacheRename(); err != nil {
+		s.errs.Add(1)
+		if errors.Is(err, faultinject.ErrCrash) {
+			// Simulated crash in the publish window: abandon everything
+			// exactly where a real crash would — temp file on disk, no
+			// rename, no index update. Open sweeps it later.
+			return &mscerr.CacheError{Op: "rename", Key: name, Path: tmp, Err: err}
+		}
+		os.Remove(tmp)
+		return &mscerr.CacheError{Op: "rename", Key: name, Path: tmp, Err: err}
+	}
+	path := s.objectPath(name)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		s.errs.Add(1)
+		return &mscerr.CacheError{Op: "rename", Key: name, Path: path, Err: err}
+	}
+	syncDir(filepath.Dir(path))
+	s.withIndex(func(entries map[string]struct{}) {
+		entries[name] = struct{}{}
+	})
+	return nil
+}
+
+// Contains reports whether key is in the index (no verification).
+func (s *Store) Contains(key artifact.Key) bool {
+	_, ok := s.index.Load().entries[Name(key)]
+	return ok
+}
+
+// quarantine moves a failed entry aside so it is never re-served, drops
+// it from the index, and returns the CacheError describing the failure.
+func (s *Store) quarantine(name, path string, cause error) error {
+	s.errs.Add(1)
+	s.quarantined.Add(1)
+	dst := filepath.Join(s.dir, quarantineDir, fmt.Sprintf("%s.%d%s", name, s.seq.Add(1), objectExt))
+	if err := os.Rename(path, dst); err != nil && !os.IsNotExist(err) {
+		// Even the quarantine failed; fall back to removal so the bad
+		// bytes cannot be served again.
+		os.Remove(path)
+	}
+	s.remove(name)
+	return &mscerr.CacheError{Op: "quarantine", Key: name, Path: dst, Err: cause}
+}
+
+// remove drops name from the index (the object file, if any, is the
+// caller's business).
+func (s *Store) remove(name string) {
+	s.withIndex(func(entries map[string]struct{}) {
+		delete(entries, name)
+	})
+}
+
+// withIndex applies a mutation to a copy of the current index and
+// publishes it as the next generation.
+func (s *Store) withIndex(mutate func(map[string]struct{})) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.index.Load()
+	entries := make(map[string]struct{}, len(old.entries)+1)
+	for k := range old.entries {
+		entries[k] = struct{}{}
+	}
+	mutate(entries)
+	s.index.Store(&snapshot{gen: old.gen + 1, entries: entries})
+}
+
+// writeFileSync writes data to path and fsyncs it before closing: the
+// data must be durable before the rename publishes the entry, or a
+// crash could publish a name whose blocks never hit the disk.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Errors are ignored: some filesystems reject directory fsync, and the
+// worst case is the pre-rename state — which is always valid.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -16,6 +16,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -44,6 +45,27 @@ const (
 	// SlowPhase sleeps Plan.Delay on entry to the target phase, so
 	// wall-clock deadlines fire at a chosen point.
 	SlowPhase
+
+	// Filesystem faults for the artifact cache (internal/cache calls the
+	// OnCache* hooks below). Each models one real-world failure the
+	// crash-safe write discipline must absorb.
+
+	// TornWrite truncates cache writes at Plan.Byte bytes: the rename
+	// still lands, modeling a power loss after rename but before the
+	// data blocks were durable. Detected by digest verification on read.
+	TornWrite
+	// WriteENOSPC fails the Plan.Nth cache write with ENOSPC.
+	WriteENOSPC
+	// BitFlipRead flips one bit (at Plan.Byte, modulo the data length)
+	// in data read back from the cache, modeling silent media corruption.
+	BitFlipRead
+	// RenameFail fails the publishing rename of a cache write.
+	RenameFail
+	// CrashBeforeRename aborts a cache write after the temp file is
+	// durable but before the rename, modeling a process crash in the
+	// window: the entry must simply not exist, and the orphaned temp
+	// file must be swept on the next store open.
+	CrashBeforeRename
 )
 
 func (f Fault) String() string {
@@ -58,6 +80,16 @@ func (f Fault) String() string {
 		return "cancel-after-k-states"
 	case SlowPhase:
 		return "slow-phase"
+	case TornWrite:
+		return "torn-write-at-byte-k"
+	case WriteENOSPC:
+		return "enospc-at-write-n"
+	case BitFlipRead:
+		return "bit-flip-on-read"
+	case RenameFail:
+		return "rename-failure"
+	case CrashBeforeRename:
+		return "crash-between-temp-and-rename"
 	}
 	return fmt.Sprintf("fault(%d)", uint8(f))
 }
@@ -73,6 +105,14 @@ type Plan struct {
 	States int
 	// Delay is the SlowPhase sleep.
 	Delay time.Duration
+	// Byte parameterizes the filesystem faults: the truncation offset
+	// for TornWrite and the bit position (bit Byte of the data, modulo
+	// its length in bits) for BitFlipRead.
+	Byte int
+	// Nth makes WriteENOSPC fire on the n-th cache write (1-based;
+	// 0 means the first). The other filesystem faults fire on every
+	// eligible operation, bounded by Times as usual.
+	Nth int
 	// Times bounds how often the fault fires; 0 means every time. A
 	// degradation test uses Times=1 so only the first compile attempt
 	// is sabotaged.
@@ -81,7 +121,8 @@ type Plan struct {
 	// context.CancelFunc of the compile under test.
 	Cancel func()
 
-	hits atomic.Int64
+	hits   atomic.Int64
+	writes atomic.Int64
 }
 
 // FromSeed derives a deterministic plan from a seed: the same seed and
@@ -107,6 +148,7 @@ var active atomic.Pointer[Plan]
 // other.
 func Activate(p *Plan) (deactivate func()) {
 	p.hits.Store(0)
+	p.writes.Store(0)
 	active.Store(p)
 	return func() { active.CompareAndSwap(p, nil) }
 }
@@ -157,6 +199,82 @@ func OnState() {
 	if p.hits.Add(1) == int64(p.States) {
 		p.Cancel()
 	}
+}
+
+// ErrCrash is the sentinel OnCacheRename returns for CrashBeforeRename:
+// the cache write path must abandon the entry exactly as a process
+// crash would — temp file left behind, no rename, no index update.
+var ErrCrash = errors.New("faultinject: simulated crash between temp write and rename")
+
+// ErrNoSpace is the injected ENOSPC. A distinct sentinel (rather than
+// syscall.ENOSPC) keeps the package OS-agnostic; the cache wraps it in
+// a *mscerr.CacheError either way.
+var ErrNoSpace = errors.New("faultinject: injected ENOSPC (no space left on device)")
+
+// OnCacheWrite is the hook the cache store calls with the bytes about
+// to be written. It may return a truncated copy (TornWrite) or an error
+// (WriteENOSPC on the plan's n-th write); otherwise it returns data
+// unchanged.
+func OnCacheWrite(data []byte) ([]byte, error) {
+	p := active.Load()
+	if p == nil {
+		return data, nil
+	}
+	switch p.Fault {
+	case TornWrite:
+		if p.fire() && p.Byte < len(data) {
+			return data[:p.Byte], nil
+		}
+	case WriteENOSPC:
+		n := p.writes.Add(1)
+		nth := int64(p.Nth)
+		if nth <= 0 {
+			nth = 1
+		}
+		if n == nth && p.fire() {
+			return nil, ErrNoSpace
+		}
+	}
+	return data, nil
+}
+
+// OnCacheRead is the hook the cache store calls with bytes read back
+// from disk, before verification. BitFlipRead returns a copy with one
+// bit flipped; every other plan returns data unchanged.
+func OnCacheRead(data []byte) []byte {
+	p := active.Load()
+	if p == nil || p.Fault != BitFlipRead || len(data) == 0 || !p.fire() {
+		return data
+	}
+	flipped := append([]byte(nil), data...)
+	bit := p.Byte % (len(flipped) * 8)
+	if bit < 0 {
+		bit = 0
+	}
+	flipped[bit/8] ^= 1 << (bit % 8)
+	return flipped
+}
+
+// OnCacheRename is the hook the cache store calls immediately before
+// the publishing rename. RenameFail returns a plain error (the write
+// fails, temp is cleaned up); CrashBeforeRename returns ErrCrash (the
+// write path must abandon everything in place, as a crash would).
+func OnCacheRename() error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	switch p.Fault {
+	case RenameFail:
+		if p.fire() {
+			return errors.New("faultinject: injected rename failure")
+		}
+	case CrashBeforeRename:
+		if p.fire() {
+			return ErrCrash
+		}
+	}
+	return nil
 }
 
 // LeakCheck snapshots the goroutine count and returns a checker that

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"msc"
@@ -48,6 +49,16 @@ type BenchResult struct {
 	OptConvertNS  int64             `json:"opt_convert_ns,omitempty"`
 	OptCompile    *msc.CompileStats `json:"opt_compile,omitempty"`
 
+	// Artifact-cache columns (docs/CACHE.md). CompileColdNS is the
+	// workload's first compile against a fresh content-addressed cache
+	// (full pipeline plus the store write); CompileCachedNS is the
+	// immediately following warm hit served from the store (best of 5);
+	// CacheSpeedup is cold/warm. All wall numbers, so benchdiff warns
+	// on swings rather than gating.
+	CompileColdNS   int64   `json:"compile_cold_ns,omitempty"`
+	CompileCachedNS int64   `json:"compile_cached_ns,omitempty"`
+	CacheSpeedup    float64 `json:"cache_speedup,omitempty"`
+
 	// DegradeSteps and BudgetOverruns surface the robustness counters at
 	// the top level so benchdiff can gate on them: a workload that
 	// suddenly needs the degradation ladder (or trips a budget) is a
@@ -76,6 +87,9 @@ type BenchResult struct {
 type BenchReport struct {
 	Config  string        `json:"config"`
 	Results []BenchResult `json:"results"`
+	// CacheHitRate is hits/(hits+misses) over the suite's whole cache
+	// traffic: one cold miss plus the warm repeats per workload.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // BenchSuite is the benchmark corpus: the paper's workload suite plus
@@ -94,6 +108,15 @@ func BenchSuite() []Workload {
 // on all three engines and collects the measurement rows.
 func Bench() (*BenchReport, error) {
 	rep := &BenchReport{Config: "default (compress+csi+hash)"}
+	cacheDir, err := os.MkdirTemp("", "mscbench-cache-")
+	if err != nil {
+		return nil, fmt.Errorf("bench: cache dir: %w", err)
+	}
+	defer os.RemoveAll(cacheDir)
+	cc, err := msc.OpenCache(cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: cache: %w", err)
+	}
 	for _, wl := range BenchSuite() {
 		c, err := msc.Compile(wl.Source, msc.DefaultConfig())
 		if err != nil {
@@ -146,9 +169,61 @@ func Bench() (*BenchReport, error) {
 		if mimdRes.Time > 0 {
 			r.SlowdownVsMIMD = float64(simdRes.Time) / float64(mimdRes.Time)
 		}
+		cold, cached, err := cachedCompile(cc, wl.Source)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", wl.Name, err)
+		}
+		r.CompileColdNS, r.CompileCachedNS = cold, cached
+		if cached > 0 {
+			r.CacheSpeedup = float64(cold) / float64(cached)
+		}
 		rep.Results = append(rep.Results, r)
 	}
+	if st := cc.Stats(); st.Hits+st.Misses > 0 {
+		rep.CacheHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
 	return rep, nil
+}
+
+// cachedCompile measures the artifact cache's effect on one workload:
+// the cold compile (pipeline plus store write, first sight of this
+// key) and the best-of-5 warm hit. Both verify the cache outcome they
+// claim to measure — a silent fall-through to an uncached compile
+// would otherwise time the wrong path and report speedup 1x.
+func cachedCompile(cc *msc.Cache, source string) (cold, cached int64, err error) {
+	conf := msc.DefaultConfig()
+	conf.Cache = cc
+	start := time.Now()
+	c, err := msc.Compile(source, conf)
+	cold = time.Since(start).Nanoseconds()
+	if err != nil {
+		return 0, 0, fmt.Errorf("cold cached compile: %w", err)
+	}
+	if got := cacheOutcome(c); got != "stored" {
+		return 0, 0, fmt.Errorf("cold compile cache outcome %q, want stored", got)
+	}
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		wc, err := msc.Compile(source, conf)
+		d := time.Since(start).Nanoseconds()
+		if err != nil {
+			return 0, 0, fmt.Errorf("warm cached compile: %w", err)
+		}
+		if got := cacheOutcome(wc); got != "hit" {
+			return 0, 0, fmt.Errorf("warm compile cache outcome %q, want hit", got)
+		}
+		if cached == 0 || d < cached {
+			cached = d
+		}
+	}
+	return cold, cached, nil
+}
+
+func cacheOutcome(c *msc.Compiled) string {
+	if c.Stats == nil {
+		return ""
+	}
+	return c.Stats.CacheOutcome
 }
 
 // phaseWall returns the named phase's wall time from compile stats.

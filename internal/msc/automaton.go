@@ -145,6 +145,25 @@ func (a *Automaton) RawSuccessors(set *bitset.Set) []*bitset.Set {
 	return a.exp.expand(set).raw
 }
 
+// Reindex rebuilds the hash-consed set→ID index from States. Conversion
+// builds the index as a side effect; an automaton deserialized by the
+// artifact codec arrives without one and calls Reindex so Find (and
+// through it Lookup, the engines' dispatch path) works identically on a
+// cache hit. It fails if two states carry equal sets — that is a corrupt
+// artifact, not a valid automaton.
+func (a *Automaton) Reindex() error {
+	t := &internTable{}
+	for _, s := range a.States {
+		h := s.Set.Hash()
+		if id, ok := t.lookup(h, s.Set, a.States); ok {
+			return fmt.Errorf("msc: duplicate meta-state set %s (states %d and %d)", s.Set, id, s.ID)
+		}
+		t.insert(h, s.ID)
+	}
+	a.index = t
+	return nil
+}
+
 // NumStates returns the number of meta states.
 func (a *Automaton) NumStates() int { return len(a.States) }
 

@@ -70,6 +70,43 @@ func (e *StepLimitError) Error() string {
 		e.Engine, e.Limit)
 }
 
+// CacheError reports a failure inside the artifact cache: a corrupt or
+// torn entry, a checksum or codec-version mismatch, a filesystem error
+// (ENOSPC, permissions, failed rename), or a quarantine action. Cache
+// failures are NEVER fatal to a compile and never the client's fault:
+// the pipeline degrades to a normal (uncached) compile and the error is
+// surfaced only through CompileStats.CacheErrors, the cache.* obs
+// counters, and telemetry span events. The type exists so those
+// surfaces carry structure rather than strings, and so tests can assert
+// the exact failure with errors.As.
+type CacheError struct {
+	// Op is the cache operation that failed: "open", "read", "write",
+	// "rename", "decode", "verify", "quarantine", or "encode".
+	Op string
+	// Key is the content-address key of the entry involved (may be empty
+	// for store-wide failures like "open").
+	Key string
+	// Path is the filesystem path involved, when one exists.
+	Path string
+	// Err is the underlying cause: an *os.PathError, a codec corruption
+	// error, syscall.ENOSPC, etc. Never nil.
+	Err error
+}
+
+func (e *CacheError) Error() string {
+	msg := fmt.Sprintf("artifact cache %s failed", e.Op)
+	if e.Key != "" {
+		msg += " for " + e.Key
+	}
+	if e.Path != "" {
+		msg += " (" + e.Path + ")"
+	}
+	return fmt.Sprintf("%s: %v (compile degraded to the uncached pipeline)", msg, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CacheError) Unwrap() error { return e.Err }
+
 // InternalError is a contained panic: an internal invariant failed
 // inside a pipeline phase and the phase runner recovered it. It always
 // indicates a bug in this package, never bad input.

@@ -67,6 +67,18 @@ const (
 	// ladder; see docs/ROBUSTNESS.md). Budget overruns are recorded per
 	// resource under BudgetCounterPrefix, e.g. "budget.meta_states".
 	CounterDegradeSteps = "degrade.steps"
+
+	// Artifact-cache counters (see docs/CACHE.md). PipelineRuns counts
+	// real pipeline executions — a cache hit or a shared single-flight
+	// result serves a compile without incrementing it, which is exactly
+	// what the dedup tests assert.
+	CounterPipelineRuns     = "compile.pipeline_runs"
+	CounterCacheHits        = "cache.hits"
+	CounterCacheMisses      = "cache.misses"
+	CounterCacheErrors      = "cache.errors"
+	CounterCacheQuarantined = "cache.quarantined"
+	CounterCacheStores      = "cache.stores"
+	CounterCacheShared      = "cache.singleflight_shared"
 )
 
 // BudgetCounterPrefix prefixes per-resource budget-overrun counters

@@ -51,6 +51,13 @@ type ServiceConfig struct {
 	// compile metrics of every request) for one shared /metrics
 	// exposition. Nil creates a private registry.
 	Registry *telemetry.Registry
+	// Cache, when non-nil, fronts every request's compile with the
+	// artifact cache (Config.Cache semantics: content-addressed store,
+	// single-flight dedup, graceful degradation). The cache.* counters
+	// land on /metrics through the shared recorder and a snapshot is
+	// reported on /statusz. Draining interacts safely: flights belong to
+	// in-flight requests, so Drain's wait drains the flight table too.
+	Cache *Cache
 }
 
 func (sc *ServiceConfig) fill() {
@@ -267,7 +274,18 @@ func classifyError(err error) (int, ErrorBody) {
 	var ie *InternalError
 	var be *BudgetError
 	var se *StepLimitError
+	var ce *CacheError
 	switch {
+	case errors.As(err, &ce):
+		// Defense in depth: the cache layer absorbs its own failures and
+		// falls through to a real compile, so a CacheError should never
+		// escape CompileContext. If one ever does, it is the server's
+		// fault, not the client's — 500, with the cache details kept in
+		// the server log.
+		return http.StatusInternalServerError, ErrorBody{
+			Error:   "internal",
+			Message: "internal cache error (details in server log)",
+		}
 	case errors.As(err, &ie):
 		// Contained panic: report the phase, never the stack or the
 		// panic value (internals stay in the server log).
@@ -490,6 +508,7 @@ func (s *CompileService) requestConfig(req *CompileRequest, r *http.Request) (Co
 	}
 	conf.Degrade = r.URL.Query().Get("degrade") == "1"
 	conf.Metrics = s.rec
+	conf.Cache = s.cfg.Cache
 	if err := conf.Validate(); err != nil {
 		return Config{}, err
 	}
@@ -723,10 +742,20 @@ type ServiceStatus struct {
 	Status4xx  int64 `json:"status_4xx"`
 	Status5xx  int64 `json:"status_5xx"`
 	Rejected   int64 `json:"rejected"`
+	// Cache is the artifact-cache snapshot, absent when the service
+	// compiles uncached. The load generator's hit-ratio assertions read
+	// these numbers.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 func (s *CompileService) status() ServiceStatus {
+	var cs *CacheStats
+	if s.cfg.Cache != nil {
+		snap := s.cfg.Cache.Stats()
+		cs = &snap
+	}
 	return ServiceStatus{
+		Cache:      cs,
 		Goroutines: runtime.NumGoroutine(),
 		RSSBytes:   readRSSBytes(),
 		Workers:    s.cfg.Workers,
